@@ -1,0 +1,220 @@
+package deadlinedist
+
+// Benchmarks: one per paper figure / reproduced table (regenerating a
+// reduced-batch version of the experiment per iteration) plus
+// component-level micro-benchmarks for the pipeline stages. The full-size
+// 128-graph reproductions are run by cmd/dlexp; EXPERIMENTS.md records
+// their output.
+
+import (
+	"testing"
+
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/experiment"
+	"deadlinedist/internal/generator"
+	"deadlinedist/internal/platform"
+	"deadlinedist/internal/rng"
+	"deadlinedist/internal/scheduler"
+)
+
+// benchBase is a reduced-batch configuration so each bench iteration runs
+// the whole experiment pipeline in tens of milliseconds.
+func benchBase() experiment.Config {
+	cfg := experiment.Default(generator.MDET)
+	cfg.Graphs = 8
+	cfg.Sizes = []int{2, 4, 8, 16}
+	return cfg
+}
+
+func benchFigure(b *testing.B, fn experiment.FigureFunc) {
+	b.Helper()
+	base := benchBase()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err := fn(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2 (BST metrics × comm estimation).
+func BenchmarkFigure2(b *testing.B) { benchFigure(b, experiment.Figure2) }
+
+// BenchmarkFigure3 regenerates Figure 3 (THRES surplus-factor sweep).
+func BenchmarkFigure3(b *testing.B) { benchFigure(b, experiment.Figure3) }
+
+// BenchmarkFigure4 regenerates Figure 4 (THRES threshold sweep).
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, experiment.Figure4) }
+
+// BenchmarkFigure5 regenerates Figure 5 (PURE vs THRES vs ADAPT).
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, experiment.Figure5) }
+
+// BenchmarkSection8CCR regenerates the Section 8 CCR sweep.
+func BenchmarkSection8CCR(b *testing.B) { benchFigure(b, experiment.CCRSweep) }
+
+// BenchmarkSection8MET regenerates the Section 8 MET sweep.
+func BenchmarkSection8MET(b *testing.B) { benchFigure(b, experiment.METSweep) }
+
+// BenchmarkSection8Parallelism regenerates the Section 8 parallelism sweep.
+func BenchmarkSection8Parallelism(b *testing.B) { benchFigure(b, experiment.ParallelismSweep) }
+
+// BenchmarkSection8Topology regenerates the Section 8 topology sweep.
+func BenchmarkSection8Topology(b *testing.B) { benchFigure(b, experiment.TopologySweep) }
+
+// BenchmarkSection8Shapes regenerates the structured-graph study.
+func BenchmarkSection8Shapes(b *testing.B) { benchFigure(b, experiment.StructuredSweep) }
+
+// BenchmarkExtensionBaselines regenerates the one-pass-baseline comparison.
+func BenchmarkExtensionBaselines(b *testing.B) { benchFigure(b, experiment.BaselineComparison) }
+
+// BenchmarkExtensionBus regenerates the bus-contention ablation.
+func BenchmarkExtensionBus(b *testing.B) { benchFigure(b, experiment.BusAblation) }
+
+// Component micro-benchmarks.
+
+func benchGraph(b *testing.B) *Graph {
+	b.Helper()
+	g, err := generator.Random(generator.Default(generator.MDET), rng.New(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchSystem(b *testing.B, n int) *System {
+	b.Helper()
+	sys, err := platform.New(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkGenerateRandom measures random task-graph generation.
+func BenchmarkGenerateRandom(b *testing.B) {
+	cfg := generator.Default(generator.MDET)
+	src := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := generator.Random(cfg, src.Split(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistribute measures one deadline distribution per metric.
+func BenchmarkDistribute(b *testing.B) {
+	g := benchGraph(b)
+	sys := benchSystem(b, 4)
+	for _, m := range []core.Metric{core.NORM(), core.PURE(), core.THRES(1, 1.25), core.ADAPT(1.25)} {
+		b.Run(m.Name(), func(b *testing.B) {
+			d := core.Distributor{Metric: m, Estimator: core.CCNE()}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Distribute(g, sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedule measures one list-scheduling run per bus mode.
+func BenchmarkSchedule(b *testing.B) {
+	g := benchGraph(b)
+	for _, contended := range []bool{false, true} {
+		name := "contention-free"
+		var opts []platform.Option
+		if contended {
+			name = "contended"
+			opts = append(opts, platform.WithBusContention())
+		}
+		sys, err := platform.New(8, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Distributor{Metric: core.ADAPT(1.25), Estimator: core.CCNE()}.Distribute(g, sys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := scheduler.Config{RespectRelease: true}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := scheduler.Run(g, sys, res, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipeline measures the whole distribute+schedule pipeline at the
+// paper's extreme system sizes.
+func BenchmarkPipeline(b *testing.B) {
+	g := benchGraph(b)
+	for _, n := range []int{2, 16} {
+		sys := benchSystem(b, n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			d := core.Distributor{Metric: core.ADAPT(1.25), Estimator: core.CCNE()}
+			cfg := scheduler.Config{RespectRelease: true}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := d.Distribute(g, sys)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := scheduler.Run(g, sys, res, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	if n == 2 {
+		return "2procs"
+	}
+	return "16procs"
+}
+
+// BenchmarkSection8Policy regenerates the dispatch-policy sweep.
+func BenchmarkSection8Policy(b *testing.B) { benchFigure(b, experiment.PolicySweep) }
+
+// BenchmarkSection8Preempt regenerates the run-time-model ablation.
+func BenchmarkSection8Preempt(b *testing.B) { benchFigure(b, experiment.PreemptionAblation) }
+
+// BenchmarkSection8Hetero regenerates the heterogeneous-speed sweep.
+func BenchmarkSection8Hetero(b *testing.B) { benchFigure(b, experiment.HeteroSweep) }
+
+// BenchmarkExtensionLocality regenerates the strict-locality fraction sweep.
+func BenchmarkExtensionLocality(b *testing.B) { benchFigure(b, experiment.LocalitySweep) }
+
+// BenchmarkExtensionOrder regenerates the distribution-first vs
+// assignment-first comparison.
+func BenchmarkExtensionOrder(b *testing.B) { benchFigure(b, experiment.OrderComparison) }
+
+// BenchmarkExtensionChannels regenerates the real-time-channel estimation
+// study.
+func BenchmarkExtensionChannels(b *testing.B) { benchFigure(b, experiment.ChannelSweep) }
+
+// BenchmarkExtensionAblation regenerates the AST ingredient ablation.
+func BenchmarkExtensionAblation(b *testing.B) { benchFigure(b, experiment.AblationSweep) }
+
+// BenchmarkExtensionImprove regenerates the iterative-improvement study.
+func BenchmarkExtensionImprove(b *testing.B) { benchFigure(b, experiment.ImproveSweep) }
+
+// BenchmarkSection8Apps regenerates the benchmark-application study.
+func BenchmarkSection8Apps(b *testing.B) { benchFigure(b, experiment.AppSweep) }
+
+// BenchmarkAblationOLRBasis regenerates the deadline-basis ablation.
+func BenchmarkAblationOLRBasis(b *testing.B) { benchFigure(b, experiment.OLRBasisAblation) }
+
+// BenchmarkAblationDispatch regenerates the dispatch-model ablation.
+func BenchmarkAblationDispatch(b *testing.B) { benchFigure(b, experiment.DispatchAblation) }

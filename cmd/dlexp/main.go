@@ -1,0 +1,199 @@
+// Command dlexp regenerates the experiments of Jonsson & Shin (ICDCS 1997):
+// every figure of the paper, the Section 8 complementary sweeps and the
+// repository's extension studies.
+//
+// Usage:
+//
+//	dlexp -figure 5                 # reproduce Figure 5 (full 128-graph batch)
+//	dlexp -figure all -graphs 32    # everything, reduced batch
+//	dlexp -figure 2 -plot           # include ASCII charts
+//	dlexp -figure 2 -csv out/       # also write CSV files
+//	dlexp -verify -report R.md      # machine-check the paper's claims
+//
+// Figure keys (DESIGN.md §4): 2 3 4 5 (paper figures), ccr met par topo
+// shapes apps policy preempt hetero (Section 8), baselines bus locality
+// order channels ablate improve olr dispatch (extensions and ablations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"deadlinedist/internal/experiment"
+	"deadlinedist/internal/generator"
+	"deadlinedist/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dlexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dlexp", flag.ContinueOnError)
+	var (
+		figure     = fs.String("figure", "all", "figure key to reproduce, or 'all'")
+		graphs     = fs.Int("graphs", 128, "task graphs per configuration (paper: 128)")
+		seed       = fs.Uint64("seed", 1997, "workload batch seed")
+		sizes      = fs.String("sizes", "2-16", "system sizes: 'lo-hi' or comma-separated list")
+		plot       = fs.Bool("plot", false, "render ASCII charts in addition to tables")
+		csvDir     = fs.String("csv", "", "directory to write per-table CSV files (optional)")
+		verify     = fs.Bool("verify", false, "evaluate the paper's claims against the reproduced tables")
+		reportPath = fs.String("report", "", "write a Markdown reproduction report to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sweep, err := parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+	base := experiment.Default(generator.MDET)
+	base.Graphs = *graphs
+	base.Seed = *seed
+	base.Sizes = sweep
+
+	if *verify {
+		return runVerify(base, out, *reportPath)
+	}
+
+	keys := experiment.FigureOrder()
+	if *figure != "all" {
+		keys = strings.Split(*figure, ",")
+	}
+	registry := experiment.Figures()
+
+	allTables := make(map[string][]*experiment.Table, len(keys))
+	runStart := time.Now()
+	for _, key := range keys {
+		fn, ok := registry[key]
+		if !ok {
+			return fmt.Errorf("unknown figure %q (known: %s)", key, strings.Join(experiment.FigureOrder(), " "))
+		}
+		start := time.Now()
+		tables, err := fn(base)
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", key, err)
+		}
+		allTables[key] = tables
+		fmt.Fprintf(out, "=== figure %s (%d graphs/point, %v) ===\n\n", key, *graphs, time.Since(start).Round(time.Millisecond))
+		for i, t := range tables {
+			fmt.Fprintln(out, t.String())
+			if *plot {
+				fmt.Fprintln(out, t.Plot(60, 14))
+			}
+			if *csvDir != "" {
+				name := fmt.Sprintf("figure_%s_%d_%s.csv", key, i, sanitize(t.Scenario))
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					return err
+				}
+				if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(t.CSV()), 0o644); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if *reportPath != "" {
+		if err := writeReport(*reportPath, base, keys, allTables, nil, time.Since(runStart)); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "report written to %s\n", *reportPath)
+	}
+	return nil
+}
+
+func runVerify(base experiment.Config, out io.Writer, reportPath string) error {
+	start := time.Now()
+	results, err := experiment.VerifyClaims(base)
+	if err != nil {
+		return err
+	}
+	if reportPath != "" {
+		if err := writeReport(reportPath, base, nil, nil, results, time.Since(start)); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "report written to %s\n\n", reportPath)
+	}
+	passed := 0
+	for _, r := range results {
+		status := "FAIL"
+		if r.Passed {
+			status = "PASS"
+			passed++
+		}
+		fmt.Fprintf(out, "[%s] %s — %s\n", status, r.Claim.ID, r.Claim.Statement)
+		fmt.Fprintf(out, "       source: %s\n", r.Claim.Source)
+		fmt.Fprintf(out, "       detail: %s\n\n", r.Detail)
+	}
+	fmt.Fprintf(out, "%d/%d claims reproduced (%d graphs/point, %v)\n",
+		passed, len(results), base.Graphs, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func writeReport(path string, base experiment.Config, keys []string,
+	tables map[string][]*experiment.Table, claims []experiment.ClaimResult, elapsed time.Duration) error {
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	opts := report.Options{
+		Title:   "Reproduction report: Jonsson & Shin, ICDCS 1997",
+		Graphs:  base.Graphs,
+		Seed:    base.Seed,
+		Elapsed: elapsed,
+		PairedPairs: [][2]string{
+			{"ADAPT/CCNE", "PURE/CCNE"},
+			{"THRES/CCNE", "PURE/CCNE"},
+		},
+	}
+	if err := report.Write(f, opts, keys, tables, claims); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func parseSizes(s string) ([]int, error) {
+	if lo, hi, ok := strings.Cut(s, "-"); ok && !strings.Contains(s, ",") {
+		a, err1 := strconv.Atoi(strings.TrimSpace(lo))
+		b, err2 := strconv.Atoi(strings.TrimSpace(hi))
+		if err1 != nil || err2 != nil || a < 1 || b < a {
+			return nil, fmt.Errorf("bad size range %q", s)
+		}
+		out := make([]int, 0, b-a+1)
+		for n := a; n <= b; n++ {
+			out = append(out, n)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

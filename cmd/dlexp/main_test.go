@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseSizesRange(t *testing.T) {
+	got, err := parseSizes("2-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{2, 3, 4, 5}) {
+		t.Fatalf("parseSizes(2-5) = %v", got)
+	}
+}
+
+func TestParseSizesList(t *testing.T) {
+	got, err := parseSizes("2, 8,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{2, 8, 16}) {
+		t.Fatalf("parseSizes list = %v", got)
+	}
+}
+
+func TestParseSizesSingle(t *testing.T) {
+	got, err := parseSizes("4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{4}) {
+		t.Fatalf("parseSizes(4) = %v", got)
+	}
+}
+
+func TestParseSizesErrors(t *testing.T) {
+	for _, bad := range []string{"", "x", "5-2", "0-3", "2,x", "-1"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("MDET CCR=1.5"); got != "MDET_CCR_1_5" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-figure", "5", "-graphs", "3", "-sizes", "2,8"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"figure 5", "PURE/CCNE", "ADAPT/CCNE", "LDET", "MDET", "HDET"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunWithPlotAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{"-figure", "baselines", "-graphs", "2", "-sizes", "2,4", "-plot", "-csv", dir}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("wrote %d CSV files, want 1", len(files))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, files[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "size,") {
+		t.Errorf("CSV malformed: %q", string(data)[:20])
+	}
+	if !strings.Contains(buf.String(), "|") {
+		t.Error("plot not rendered")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-figure", "nope", "-graphs", "2", "-sizes", "2"}, &buf); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-sizes", "zzz"}, &buf); err == nil {
+		t.Fatal("bad sizes accepted")
+	}
+}
+
+func TestRunWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.md")
+	var buf bytes.Buffer
+	err := run([]string{"-figure", "5", "-graphs", "3", "-sizes", "2,8", "-report", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{"# Reproduction report", "## Figure 5", "ADAPT/CCNE", "Paired per-graph difference"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunVerifyMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "claims.md")
+	var buf bytes.Buffer
+	// Tiny batch: the claim machinery must run end to end; statistical
+	// verdicts at this scale are not asserted.
+	err := run([]string{"-verify", "-graphs", "2", "-report", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "claims reproduced") {
+		t.Errorf("verify summary missing:\n%s", out)
+	}
+	for _, id := range []string{"C1", "C5", "C10"} {
+		if !strings.Contains(out, id+" —") {
+			t.Errorf("claim %s missing from output", id)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "## Claims:") {
+		t.Error("report missing claims section")
+	}
+}

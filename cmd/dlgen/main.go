@@ -1,0 +1,114 @@
+// Command dlgen generates task-graph workloads in the paper's Section 5.2
+// style (or structured shapes) and writes them as JSON or Graphviz DOT.
+//
+// Usage:
+//
+//	dlgen -seed 7 > graph.json
+//	dlgen -scenario HDET -format dot | dot -Tpng > graph.png
+//	dlgen -shape fork-join -depth 6 -width 4 > fj.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"deadlinedist/internal/generator"
+	"deadlinedist/internal/rng"
+	"deadlinedist/internal/taskgraph"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dlgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dlgen", flag.ContinueOnError)
+	var (
+		seed     = fs.Uint64("seed", 1, "random seed")
+		scenario = fs.String("scenario", "MDET", "execution-time scenario: LDET, MDET or HDET")
+		shape    = fs.String("shape", "random", "graph family: random, chain, out-tree, in-tree, fork-join, layered")
+		depth    = fs.Int("depth", 6, "structured shapes: subtask levels")
+		width    = fs.Int("width", 3, "structured shapes: branching / section width")
+		ccr      = fs.Float64("ccr", 1.0, "communication-to-computation cost ratio")
+		olr      = fs.Float64("olr", 1.5, "overall laxity ratio for end-to-end deadlines")
+		met      = fs.Float64("met", 20, "mean subtask execution time")
+		pinned   = fs.Float64("pinned", 0, "fraction of boundary subtasks with strict locality constraints")
+		pinprocs = fs.Int("pinprocs", 2, "processor pool pinned subtasks draw from")
+		basis    = fs.String("olrbasis", "total", "end-to-end deadline basis: total (workload) or path (longest path)")
+		format   = fs.String("format", "json", "output format: json or dot")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc, err := parseScenario(*scenario)
+	if err != nil {
+		return err
+	}
+	wcfg := generator.Default(sc)
+	wcfg.CCR = *ccr
+	wcfg.OLR = *olr
+	wcfg.MET = *met
+	wcfg.PinnedFraction = *pinned
+	wcfg.PinnedProcs = *pinprocs
+	switch *basis {
+	case "total":
+		wcfg.Basis = generator.OLRTotalWork
+	case "path":
+		wcfg.Basis = generator.OLRLongestPath
+	default:
+		return fmt.Errorf("unknown OLR basis %q (want total or path)", *basis)
+	}
+
+	g, err := generate(*shape, wcfg, *depth, *width, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+
+	switch *format {
+	case "json":
+		data, err := g.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(out, string(data))
+		return err
+	case "dot":
+		_, err := io.WriteString(out, g.DOT())
+		return err
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}
+
+func generate(shape string, wcfg generator.Config, depth, width int, src *rng.Source) (*taskgraph.Graph, error) {
+	if shape == "random" {
+		return generator.Random(wcfg, src)
+	}
+	for _, s := range generator.Shapes() {
+		if s.String() == shape {
+			return generator.Structured(generator.StructuredConfig{
+				Workload: wcfg,
+				Shape:    s,
+				Depth:    depth,
+				Width:    width,
+			}, src)
+		}
+	}
+	return nil, fmt.Errorf("unknown shape %q", shape)
+}
+
+func parseScenario(name string) (generator.Scenario, error) {
+	for _, s := range generator.Scenarios() {
+		if strings.EqualFold(s.Name, name) {
+			return s, nil
+		}
+	}
+	return generator.Scenario{}, fmt.Errorf("unknown scenario %q (want LDET, MDET or HDET)", name)
+}

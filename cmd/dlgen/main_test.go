@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"deadlinedist/internal/taskgraph"
+)
+
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := taskgraph.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("output is not a valid task graph: %v", err)
+	}
+	if n := g.NumSubtasks(); n < 40 || n > 60 {
+		t.Errorf("generated %d subtasks, want the paper's 40-60", n)
+	}
+}
+
+func TestRunDOTOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-seed", "3", "-format", "dot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "digraph") {
+		t.Errorf("DOT output malformed: %q", buf.String()[:20])
+	}
+}
+
+func TestRunStructuredShapes(t *testing.T) {
+	for _, shape := range []string{"chain", "out-tree", "in-tree", "fork-join", "layered"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-shape", shape, "-depth", "3", "-width", "2"}, &buf); err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		if _, err := taskgraph.Decode(buf.Bytes()); err != nil {
+			t.Fatalf("%s: invalid output: %v", shape, err)
+		}
+	}
+}
+
+func TestRunScenarios(t *testing.T) {
+	for _, sc := range []string{"LDET", "mdet", "HDET"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-scenario", sc}, &buf); err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-scenario", "XXX"},
+		{"-shape", "pentagon"},
+		{"-format", "xml"},
+		{"-met", "-5"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunPinnedFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-pinned", "1", "-pinprocs", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"pinned"`) {
+		t.Error("no pinned subtasks in output despite -pinned 1")
+	}
+}
+
+func TestRunOLRBasisFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-olrbasis", "path", "-seed", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := run([]string{"-olrbasis", "total", "-seed", "4"}, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() == buf2.String() {
+		t.Error("OLR basis had no effect on deadlines")
+	}
+	var buf3 bytes.Buffer
+	if err := run([]string{"-olrbasis", "zigzag"}, &buf3); err == nil {
+		t.Error("unknown basis accepted")
+	}
+}

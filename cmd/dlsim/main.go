@@ -1,0 +1,194 @@
+// Command dlsim runs the full pipeline for one task graph: distribute
+// end-to-end deadlines with a chosen metric, schedule on a chosen platform,
+// and print the windows, a Gantt chart and the lateness measures.
+//
+// Usage:
+//
+//	dlgen -seed 7 | dlsim -procs 4 -metric ADAPT
+//	dlsim -in graph.json -procs 8 -metric PURE -estimator CCAA -gantt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/platform"
+	"deadlinedist/internal/scheduler"
+	"deadlinedist/internal/taskgraph"
+	"deadlinedist/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dlsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("dlsim", flag.ContinueOnError)
+	var (
+		in        = fs.String("in", "-", "task graph JSON file ('-' for stdin)")
+		procs     = fs.Int("procs", 4, "number of processors")
+		metric    = fs.String("metric", "ADAPT", "deadline metric: NORM, PURE, THRES or ADAPT")
+		estimator = fs.String("estimator", "CCNE", "communication estimator: CCNE, CCAA or CCEXP")
+		delta     = fs.Float64("delta", 1.0, "THRES surplus factor")
+		thres     = fs.Float64("cthres", 1.25, "THRES/ADAPT threshold as a multiple of MET")
+		respect   = fs.Bool("respect", true, "time-driven dispatch (respect release times)")
+		policy    = fs.String("policy", "EDF", "dispatch policy: EDF, LLF, FIFO or HLF")
+		preempt   = fs.Bool("preempt", false, "re-simulate under preemptive EDF")
+		contended = fs.Bool("contended", false, "serialize messages on a contended bus")
+		gantt     = fs.Bool("gantt", true, "print an ASCII Gantt chart")
+		tracePath = fs.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing)")
+		windows   = fs.Bool("windows", false, "print per-subtask windows")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	data, err := readInput(*in, stdin)
+	if err != nil {
+		return err
+	}
+	g, err := taskgraph.Decode(data)
+	if err != nil {
+		return err
+	}
+
+	var opts []platform.Option
+	if *contended {
+		opts = append(opts, platform.WithBusContention())
+	}
+	sys, err := platform.New(*procs, opts...)
+	if err != nil {
+		return err
+	}
+
+	m, err := parseMetric(*metric, *delta, *thres)
+	if err != nil {
+		return err
+	}
+	e, err := parseEstimator(*estimator)
+	if err != nil {
+		return err
+	}
+
+	res, err := core.Distributor{Metric: m, Estimator: e}.Distribute(g, sys)
+	if err != nil {
+		return err
+	}
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	cfg := scheduler.Config{RespectRelease: *respect, Policy: pol}
+	var sched *scheduler.Schedule
+	if *preempt {
+		if sched, err = scheduler.RunPreemptive(g, sys, res, cfg); err != nil {
+			return err
+		}
+		if err := scheduler.ValidatePreemptive(g, sys, res, sched, cfg); err != nil {
+			return fmt.Errorf("schedule validation: %w", err)
+		}
+	} else {
+		if sched, err = scheduler.Run(g, sys, res, cfg); err != nil {
+			return err
+		}
+		if err := scheduler.Validate(g, sys, res, sched, cfg); err != nil {
+			return fmt.Errorf("schedule validation: %w", err)
+		}
+	}
+
+	fmt.Fprintf(out, "graph: %d subtasks, %d messages, depth %d, parallelism %.2f, workload %.1f\n",
+		g.NumSubtasks(), g.NumMessages(), g.Depth(), g.AvgParallelism(), g.TotalWork())
+	fmt.Fprintf(out, "platform: %d processors, %s topology, contention=%v\n",
+		sys.NumProcs(), sys.Topology().Name(), sys.BusContention())
+	fmt.Fprintf(out, "distribution: metric %s, estimator %s, %d critical paths, min laxity %.2f\n",
+		res.Metric, res.Estimator, len(res.Paths), res.MinLaxity(g))
+
+	if *windows {
+		fmt.Fprintln(out, "\nsubtask windows (release / relative deadline / absolute deadline):")
+		nodes := g.Nodes()
+		sort.Slice(nodes, func(i, j int) bool { return res.Release[nodes[i].ID] < res.Release[nodes[j].ID] })
+		for _, n := range nodes {
+			if n.Kind != taskgraph.KindSubtask {
+				continue
+			}
+			fmt.Fprintf(out, "  %-8s c=%6.2f  r=%8.2f  d=%8.2f  D=%8.2f\n",
+				n.Name, n.Cost, res.Release[n.ID], res.Relative[n.ID], res.Absolute[n.ID])
+		}
+	}
+
+	fmt.Fprintf(out, "\nschedule: policy %s, makespan %.2f, utilization %.1f%%", cfg.Policy, sched.Makespan, 100*sched.Utilization(g, sys))
+	if *preempt {
+		fmt.Fprintf(out, ", %d preemptions", sched.Preemptions(g))
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "max lateness %.2f, missed windows %d, end-to-end lateness %.2f\n",
+		sched.MaxLateness(g, res), sched.MissedDeadlines(g, res), sched.EndToEndLateness(g))
+	if *gantt {
+		fmt.Fprintln(out)
+		io.WriteString(out, scheduler.Gantt(g, sys, sched, 72))
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Write(f, g, res, sched); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\ntrace written to %s\n", *tracePath)
+	}
+	return nil
+}
+
+func readInput(path string, stdin io.Reader) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func parseMetric(name string, delta, thres float64) (core.Metric, error) {
+	switch strings.ToUpper(name) {
+	case "NORM":
+		return core.NORM(), nil
+	case "PURE":
+		return core.PURE(), nil
+	case "THRES":
+		return core.THRES(delta, thres), nil
+	case "ADAPT":
+		return core.ADAPT(thres), nil
+	default:
+		return nil, fmt.Errorf("unknown metric %q", name)
+	}
+}
+
+func parsePolicy(name string) (scheduler.Policy, error) {
+	for _, p := range scheduler.Policies() {
+		if strings.EqualFold(p.String(), name) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown policy %q", name)
+}
+
+func parseEstimator(name string) (core.CommEstimator, error) {
+	switch strings.ToUpper(name) {
+	case "CCNE":
+		return core.CCNE(), nil
+	case "CCAA":
+		return core.CCAA(), nil
+	case "CCEXP":
+		return core.CCEXP(), nil
+	default:
+		return nil, fmt.Errorf("unknown estimator %q", name)
+	}
+}

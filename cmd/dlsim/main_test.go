@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleGraph = `{
+  "subtasks": [
+    {"name": "a", "cost": 10},
+    {"name": "b", "cost": 20},
+    {"name": "c", "cost": 10, "endToEnd": 120}
+  ],
+  "arcs": [
+    {"from": "a", "to": "b", "size": 5},
+    {"from": "b", "to": "c", "size": 5}
+  ]
+}`
+
+func TestRunFromStdin(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-procs", "2", "-metric", "ADAPT"}, strings.NewReader(sampleGraph), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"3 subtasks", "2 processors", "metric ADAPT", "max lateness", "P0", "P1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.json")
+	if err := os.WriteFile(path, []byte(sampleGraph), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-windows", "-gantt=false"}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "subtask windows") {
+		t.Errorf("windows not printed:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "makespan %!") {
+		t.Errorf("formatting bug:\n%s", out.String())
+	}
+}
+
+func TestRunAllMetricsAndEstimators(t *testing.T) {
+	for _, m := range []string{"NORM", "PURE", "THRES", "ADAPT"} {
+		for _, e := range []string{"CCNE", "CCAA", "CCEXP"} {
+			var out bytes.Buffer
+			err := run([]string{"-metric", m, "-estimator", e, "-gantt=false"},
+				strings.NewReader(sampleGraph), &out)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m, e, err)
+			}
+		}
+	}
+}
+
+func TestRunContended(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-contended", "-gantt=false"}, strings.NewReader(sampleGraph), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "contention=true") {
+		t.Errorf("contention not reported:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	t.Run("bad metric", func(t *testing.T) {
+		var out bytes.Buffer
+		if err := run([]string{"-metric", "XYZ"}, strings.NewReader(sampleGraph), &out); err == nil {
+			t.Fatal("bad metric accepted")
+		}
+	})
+	t.Run("bad estimator", func(t *testing.T) {
+		var out bytes.Buffer
+		if err := run([]string{"-estimator", "XYZ"}, strings.NewReader(sampleGraph), &out); err == nil {
+			t.Fatal("bad estimator accepted")
+		}
+	})
+	t.Run("bad graph", func(t *testing.T) {
+		var out bytes.Buffer
+		if err := run(nil, strings.NewReader("{"), &out); err == nil {
+			t.Fatal("bad graph accepted")
+		}
+	})
+	t.Run("missing file", func(t *testing.T) {
+		var out bytes.Buffer
+		if err := run([]string{"-in", "/nonexistent/g.json"}, strings.NewReader(""), &out); err == nil {
+			t.Fatal("missing file accepted")
+		}
+	})
+	t.Run("bad procs", func(t *testing.T) {
+		var out bytes.Buffer
+		if err := run([]string{"-procs", "0"}, strings.NewReader(sampleGraph), &out); err == nil {
+			t.Fatal("zero processors accepted")
+		}
+	})
+}
+
+func TestRunPolicies(t *testing.T) {
+	for _, p := range []string{"EDF", "llf", "FIFO", "hlf"} {
+		var out bytes.Buffer
+		if err := run([]string{"-policy", p, "-gantt=false"}, strings.NewReader(sampleGraph), &out); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-policy", "nope"}, strings.NewReader(sampleGraph), &out); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestRunPreemptive(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-preempt", "-gantt=false"}, strings.NewReader(sampleGraph), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "preemptions") {
+		t.Errorf("preemption count not reported:\n%s", out.String())
+	}
+}
+
+func TestRunWritesTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	if err := run([]string{"-trace", path, "-gantt=false"}, strings.NewReader(sampleGraph), &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(string(data)), "[") {
+		t.Errorf("trace not a JSON array: %q", string(data)[:20])
+	}
+	if !strings.Contains(out.String(), "trace written") {
+		t.Error("trace path not reported")
+	}
+}

@@ -1,0 +1,45 @@
+// Package deadlinedist distributes end-to-end deadlines over the subtasks
+// of distributed hard real-time applications whose task-to-processor
+// assignment is not yet known — the problem, algorithms and evaluation of
+// Jonsson & Shin, "Deadline Assignment in Distributed Hard Real-Time
+// Systems with Relaxed Locality Constraints" (ICDCS 1997).
+//
+// # Overview
+//
+// A real-time application is a directed acyclic task graph: ordinary
+// subtasks (computation) connected by precedence arcs, each arc carrying a
+// communication subtask (a message). Input/output subtask pairs are
+// constrained by end-to-end deadlines. Before the application can be
+// scheduled, each subtask needs its own release time and local deadline —
+// the deadline distribution problem. Classic techniques require the
+// task-to-processor assignment to be known first, yet assignment algorithms
+// want local deadlines as input: a circular dependency. This library breaks
+// the circle by distributing deadlines before assignment, following the
+// slicing approach of the paper:
+//
+//   - The Basic Slicing Technique (BST) metrics NORM and PURE
+//     (Di Natale & Stankovic) serve as the baseline.
+//   - The Adaptive Slicing Technique (AST) metrics THRES and ADAPT inflate
+//     the virtual execution time of long subtasks — adaptively, in ADAPT's
+//     case, by the ratio of task-graph parallelism to system size — so
+//     that the subtasks most vulnerable to processor contention receive
+//     extra slack.
+//
+// Communication costs, unknown before assignment, are estimated by
+// pluggable strategies (CCNE: assume none; CCAA: always assume; CCEXP:
+// expected cost under random placement).
+//
+// # Pipeline
+//
+// The full evaluation pipeline of the paper is available end to end:
+//
+//	g := ...                                   // build or generate a task graph
+//	sys, _ := deadlinedist.NewSystem(8)        // 8 processors, shared bus
+//	res, _ := deadlinedist.Distribute(g, sys, deadlinedist.ADAPT(1.25), deadlinedist.CCNE())
+//	sched, _ := deadlinedist.Schedule(g, sys, res, deadlinedist.SchedulerConfig{RespectRelease: true})
+//	fmt.Println(sched.MaxLateness(g, res))     // the paper's quality measure
+//
+// The experiment harness (Experiment, Figures) regenerates every figure of
+// the paper; see DESIGN.md and EXPERIMENTS.md, cmd/dlexp, and the runnable
+// examples under examples/.
+package deadlinedist

@@ -1,0 +1,3 @@
+module deadlinedist
+
+go 1.22

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"fmt"
+
+	"deadlinedist/internal/platform"
+	"deadlinedist/internal/taskgraph"
+)
+
+// Feasibility collects necessary conditions for a workload to be
+// schedulable on a platform. The conditions are necessary, not sufficient:
+// a workload that fails any of them cannot meet its deadlines under any
+// assignment, so mission-critical systems (which the paper targets — "task
+// assignment and scheduling are usually assumed to be performed off-line
+// in order to guarantee the 100% a priori schedulability") can reject it
+// before running the distribution pipeline at all.
+type Feasibility struct {
+	// CriticalPathOK reports D >= the longest execution path into every
+	// output (no assignment can beat the critical path).
+	CriticalPathOK bool
+	// CapacityOK reports total workload <= aggregate processor capacity ×
+	// the latest end-to-end deadline.
+	CapacityOK bool
+	// PinnedLoadOK reports that no processor's pinned workload exceeds its
+	// own capacity × the latest deadline.
+	PinnedLoadOK bool
+	// Violations lists human-readable findings for every failed condition.
+	Violations []string
+}
+
+// Feasible reports whether every necessary condition holds.
+func (f Feasibility) Feasible() bool {
+	return f.CriticalPathOK && f.CapacityOK && f.PinnedLoadOK
+}
+
+// CheckFeasibility evaluates the necessary schedulability conditions of g
+// on sys. Outputs without end-to-end deadlines are ignored (they impose no
+// constraint).
+func CheckFeasibility(g *taskgraph.Graph, sys *platform.System) Feasibility {
+	f := Feasibility{CriticalPathOK: true, CapacityOK: true, PinnedLoadOK: true}
+
+	// Condition 1: no output's deadline may undercut the longest
+	// execution path reaching it.
+	to := g.LongestPathTo(taskgraph.ExecCost)
+	latest := 0.0
+	for _, out := range g.Outputs() {
+		n := g.Node(out)
+		if n.EndToEnd <= 0 {
+			continue
+		}
+		if n.EndToEnd > latest {
+			latest = n.EndToEnd
+		}
+		if to[out] > n.EndToEnd+1e-9 {
+			f.CriticalPathOK = false
+			f.Violations = append(f.Violations, fmt.Sprintf(
+				"output %q: critical path %.2f exceeds end-to-end deadline %.2f",
+				n.Name, to[out], n.EndToEnd))
+		}
+	}
+	if latest == 0 {
+		return f
+	}
+
+	// Condition 2: aggregate demand within the busy interval [0, latest].
+	capacity := 0.0
+	for p := 0; p < sys.NumProcs(); p++ {
+		capacity += sys.Speed(p) * latest
+	}
+	if work := g.TotalWork(); work > capacity+1e-9 {
+		f.CapacityOK = false
+		f.Violations = append(f.Violations, fmt.Sprintf(
+			"workload %.2f exceeds aggregate capacity %.2f before the latest deadline %.2f",
+			work, capacity, latest))
+	}
+
+	// Condition 3: per-processor pinned demand.
+	pinned := make([]float64, sys.NumProcs())
+	for _, n := range g.Nodes() {
+		if n.Kind != taskgraph.KindSubtask || n.Pinned == taskgraph.Unpinned {
+			continue
+		}
+		if n.Pinned >= sys.NumProcs() {
+			f.PinnedLoadOK = false
+			f.Violations = append(f.Violations, fmt.Sprintf(
+				"subtask %q pinned to processor %d on a %d-processor platform",
+				n.Name, n.Pinned, sys.NumProcs()))
+			continue
+		}
+		pinned[n.Pinned] += n.Cost
+	}
+	for p, load := range pinned {
+		if limit := sys.Speed(p) * latest; load > limit+1e-9 {
+			f.PinnedLoadOK = false
+			f.Violations = append(f.Violations, fmt.Sprintf(
+				"processor %d: pinned workload %.2f exceeds capacity %.2f", p, load, limit))
+		}
+	}
+	return f
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"deadlinedist/internal/generator"
+	"deadlinedist/internal/platform"
+	"deadlinedist/internal/rng"
+	"deadlinedist/internal/taskgraph"
+)
+
+func mustSys(t *testing.T, n int, opts ...platform.Option) *platform.System {
+	t.Helper()
+	s, err := platform.New(n, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFeasibilityPasses(t *testing.T) {
+	g, err := generator.Random(generator.Default(generator.MDET), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := CheckFeasibility(g, mustSys(t, 4))
+	if !f.Feasible() {
+		t.Fatalf("paper workload infeasible: %v", f.Violations)
+	}
+	if len(f.Violations) != 0 {
+		t.Fatalf("unexpected violations: %v", f.Violations)
+	}
+}
+
+func TestFeasibilityCriticalPath(t *testing.T) {
+	b := taskgraph.NewBuilder()
+	a := b.AddSubtask("a", 50)
+	c := b.AddSubtask("c", 50)
+	b.Connect(a, c, 1)
+	b.SetEndToEnd(c, 60) // path work 100 > 60
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := CheckFeasibility(g, mustSys(t, 8))
+	if f.CriticalPathOK || f.Feasible() {
+		t.Fatal("critical-path violation not detected")
+	}
+	if len(f.Violations) == 0 || !strings.Contains(f.Violations[0], "critical path") {
+		t.Fatalf("violations = %v", f.Violations)
+	}
+}
+
+func TestFeasibilityCapacity(t *testing.T) {
+	// 4 independent tasks of 50 on 1 processor with deadline 100:
+	// workload 200 > capacity 100.
+	b := taskgraph.NewBuilder()
+	for i := 0; i < 4; i++ {
+		id := b.AddSubtask("", 50)
+		b.SetEndToEnd(id, 100)
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := CheckFeasibility(g, mustSys(t, 1))
+	if f.CapacityOK {
+		t.Fatal("capacity violation not detected")
+	}
+	// On 2 processors it fits exactly.
+	f2 := CheckFeasibility(g, mustSys(t, 2))
+	if !f2.CapacityOK {
+		t.Fatalf("capacity falsely violated: %v", f2.Violations)
+	}
+}
+
+func TestFeasibilityCapacityHonoursSpeeds(t *testing.T) {
+	b := taskgraph.NewBuilder()
+	for i := 0; i < 4; i++ {
+		id := b.AddSubtask("", 50)
+		b.SetEndToEnd(id, 100)
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One 2x processor has capacity 200: enough.
+	f := CheckFeasibility(g, mustSys(t, 1, platform.WithSpeeds([]float64{2})))
+	if !f.CapacityOK {
+		t.Fatalf("heterogeneous capacity miscomputed: %v", f.Violations)
+	}
+}
+
+func TestFeasibilityPinnedLoad(t *testing.T) {
+	b := taskgraph.NewBuilder()
+	x := b.AddSubtask("x", 60)
+	y := b.AddSubtask("y", 60)
+	b.Pin(x, 0)
+	b.Pin(y, 0)
+	b.SetEndToEnd(x, 100)
+	b.SetEndToEnd(y, 100)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := CheckFeasibility(g, mustSys(t, 4))
+	if f.PinnedLoadOK {
+		t.Fatal("pinned overload not detected (120 on one processor before 100)")
+	}
+}
+
+func TestFeasibilityPinOutOfRange(t *testing.T) {
+	b := taskgraph.NewBuilder()
+	x := b.AddSubtask("x", 10)
+	b.Pin(x, 9)
+	b.SetEndToEnd(x, 100)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := CheckFeasibility(g, mustSys(t, 2))
+	if f.PinnedLoadOK {
+		t.Fatal("out-of-range pin not detected")
+	}
+}
+
+func TestFeasibilityNoDeadlines(t *testing.T) {
+	b := taskgraph.NewBuilder()
+	b.AddSubtask("x", 10)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := CheckFeasibility(g, mustSys(t, 1))
+	if !f.Feasible() {
+		t.Fatalf("deadline-free workload should be trivially feasible: %v", f.Violations)
+	}
+}

@@ -1,0 +1,90 @@
+// Package analysis provides the measurement aggregation used by the
+// experiment harness: per-configuration summary statistics over the 128
+// simulation runs the paper averages in every plotted point.
+package analysis
+
+import "math"
+
+// Stats accumulates summary statistics over a stream of observations using
+// Welford's online algorithm. The zero value is ready to use.
+type Stats struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Stats) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	delta := v - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (v - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Stats) N() int { return s.n }
+
+// Mean returns the arithmetic mean (0 with no observations).
+func (s *Stats) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation (0 with no observations).
+func (s *Stats) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 with no observations).
+func (s *Stats) Max() float64 { return s.max }
+
+// Variance returns the sample variance (0 with fewer than two
+// observations).
+func (s *Stats) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Stats) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func (s *Stats) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// Merge folds other into s, as if all of other's observations had been
+// added to s (Chan et al. parallel variance combination).
+func (s *Stats) Merge(other Stats) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = other
+		return
+	}
+	n := float64(s.n + other.n)
+	delta := other.mean - s.mean
+	mean := s.mean + delta*float64(other.n)/n
+	m2 := s.m2 + other.m2 + delta*delta*float64(s.n)*float64(other.n)/n
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.n += other.n
+	s.mean = mean
+	s.m2 = m2
+}

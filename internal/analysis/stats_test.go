@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deadlinedist/internal/rng"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestZeroValue(t *testing.T) {
+	var s Stats
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.CI95() != 0 {
+		t.Fatal("zero-value Stats not neutral")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var s Stats
+	s.Add(7)
+	if s.N() != 1 || s.Mean() != 7 || s.Min() != 7 || s.Max() != 7 {
+		t.Fatalf("single observation: N=%d mean=%v min=%v max=%v", s.N(), s.Mean(), s.Min(), s.Max())
+	}
+	if s.Variance() != 0 || s.CI95() != 0 {
+		t.Fatal("variance/CI must be 0 for a single observation")
+	}
+}
+
+func TestKnownMoments(t *testing.T) {
+	var s Stats
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if !approx(s.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	// Sample variance: Σ(x-5)² = 32, /7.
+	if !approx(s.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("variance = %v, want %v", s.Variance(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestNegativeValues(t *testing.T) {
+	var s Stats
+	for _, v := range []float64{-10, -20, -30} {
+		s.Add(v)
+	}
+	if !approx(s.Mean(), -20, 1e-12) {
+		t.Errorf("mean = %v, want -20", s.Mean())
+	}
+	if s.Min() != -30 || s.Max() != -10 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	src := rng.New(1)
+	var small, large Stats
+	for i := 0; i < 10; i++ {
+		small.Add(src.Float64())
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(src.Float64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Errorf("CI95 did not shrink: %v (n=1000) vs %v (n=10)", large.CI95(), small.CI95())
+	}
+}
+
+func TestMergeEqualsSequential(t *testing.T) {
+	src := rng.New(2)
+	var all, a, b Stats
+	for i := 0; i < 500; i++ {
+		v := src.NormFloat64()
+		all.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if !approx(a.Mean(), all.Mean(), 1e-9) {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), all.Mean())
+	}
+	if !approx(a.Variance(), all.Variance(), 1e-9) {
+		t.Errorf("merged variance = %v, want %v", a.Variance(), all.Variance())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Errorf("merged min/max = %v/%v, want %v/%v", a.Min(), a.Max(), all.Min(), all.Max())
+	}
+}
+
+func TestMergeWithEmpty(t *testing.T) {
+	var a, empty Stats
+	a.Add(3)
+	a.Add(5)
+	before := a
+	a.Merge(empty)
+	if a != before {
+		t.Error("merging an empty Stats changed the accumulator")
+	}
+	empty.Merge(a)
+	if empty.Mean() != a.Mean() || empty.N() != a.N() {
+		t.Error("merging into an empty Stats did not copy")
+	}
+}
+
+// Property: mean is always within [min, max] and variance is non-negative.
+func TestPropertyMomentBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Stats
+		ok := true
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Bound magnitudes: astronomically large inputs overflow any
+			// floating-point moment accumulator and are not meaningful
+			// lateness values.
+			v = math.Remainder(v, 1e12)
+			s.Add(v)
+			ok = ok && s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9 && s.Variance() >= 0
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package apps provides realistic benchmark applications — the Section 8
+// wish "we would like to evaluate AST on a set of realistic benchmarks
+// that do not only encompass small comprehensible applications ... but
+// also larger applications". Each constructor models a published-style
+// embedded system as a task graph with strict locality constraints on its
+// sensor/actuator subtasks (the paper's motivating case for relaxed
+// locality everywhere else).
+//
+// Execution times are nominal worst-case estimates jittered by ±10% from
+// the supplied random stream, so a batch of instances models WCET
+// uncertainty across builds while keeping the structure fixed.
+package apps
+
+import (
+	"errors"
+	"fmt"
+
+	"deadlinedist/internal/rng"
+	"deadlinedist/internal/taskgraph"
+)
+
+// jitter is the relative WCET uncertainty applied to nominal costs.
+const jitter = 0.10
+
+// App names a benchmark application.
+type App struct {
+	// Name is the application mnemonic.
+	Name string
+	// Build constructs one instance with WCET jitter from src.
+	Build func(src *rng.Source) (*taskgraph.Graph, error)
+	// About summarizes the modelled system.
+	About string
+}
+
+// All returns the benchmark applications.
+func All() []App {
+	return []App{
+		{
+			Name:  "autodrive",
+			Build: AutonomousDriving,
+			About: "camera/lidar/radar perception, fusion, tracking, planning, actuation (50 ms frame)",
+		},
+		{
+			Name:  "aocs",
+			Build: SatelliteAOCS,
+			About: "satellite attitude & orbit control: sensor suite, estimation, control, wheels/torquers",
+		},
+		{
+			Name:  "cell",
+			Build: IndustrialCell,
+			About: "robotic manufacturing cell: per-robot sense/plan/move, conveyor, vision QA, PLC outputs",
+		},
+	}
+}
+
+// ErrNilSource guards the constructors.
+var ErrNilSource = errors.New("benchmark application needs a random source")
+
+// builder wraps taskgraph.Builder with cost jitter.
+type builder struct {
+	b   *taskgraph.Builder
+	src *rng.Source
+}
+
+func (a *builder) task(name string, nominal float64) taskgraph.NodeID {
+	c := a.src.Float64In(nominal*(1-jitter), nominal*(1+jitter))
+	return a.b.AddSubtask(name, c)
+}
+
+func (a *builder) arc(u, v taskgraph.NodeID, items float64) { a.b.Connect(u, v, items) }
+
+// AutonomousDriving models a driving pipeline: three camera chains, lidar
+// and radar chains, an object-fusion stage, tracking, prediction, planning
+// and three actuator outputs, plus a telemetry/logging branch. Times are
+// in 100 µs units; the 50 ms control frame gives end-to-end deadlines of
+// 500 units on the actuators (750 for telemetry). Sensor captures pin to
+// the I/O processor 0 and actuators to processor 1.
+func AutonomousDriving(src *rng.Source) (*taskgraph.Graph, error) {
+	if src == nil {
+		return nil, ErrNilSource
+	}
+	a := &builder{b: taskgraph.NewBuilder(), src: src}
+
+	fusion := a.task("fusion", 45)
+	for i := 0; i < 3; i++ {
+		cap := a.task(fmt.Sprintf("cam%d.capture", i), 8)
+		a.b.Pin(cap, 0)
+		deb := a.task(fmt.Sprintf("cam%d.debayer", i), 15)
+		det := a.task(fmt.Sprintf("cam%d.detect", i), 40)
+		a.arc(cap, deb, 24)
+		a.arc(deb, det, 24)
+		a.arc(det, fusion, 6)
+	}
+	lcap := a.task("lidar.capture", 10)
+	a.b.Pin(lcap, 0)
+	lseg := a.task("lidar.segment", 35)
+	lclu := a.task("lidar.cluster", 25)
+	a.arc(lcap, lseg, 30)
+	a.arc(lseg, lclu, 12)
+	a.arc(lclu, fusion, 6)
+	rcap := a.task("radar.capture", 6)
+	a.b.Pin(rcap, 0)
+	rtrk := a.task("radar.detect", 18)
+	a.arc(rcap, rtrk, 8)
+	a.arc(rtrk, fusion, 4)
+
+	track := a.task("track", 30)
+	predict := a.task("predict", 25)
+	plan := a.task("plan", 50)
+	a.arc(fusion, track, 10)
+	a.arc(track, predict, 8)
+	a.arc(predict, plan, 8)
+
+	for _, act := range []struct {
+		name string
+		cost float64
+	}{{"steer", 6}, {"brake", 5}, {"throttle", 5}} {
+		id := a.task("act."+act.name, act.cost)
+		a.b.Pin(id, 1)
+		a.arc(plan, id, 2)
+		a.b.SetEndToEnd(id, 500)
+	}
+
+	logpack := a.task("telemetry.pack", 12)
+	logtx := a.task("telemetry.tx", 8)
+	a.arc(fusion, logpack, 16)
+	a.arc(track, logpack, 6)
+	a.arc(logpack, logtx, 20)
+	a.b.SetEndToEnd(logtx, 750)
+
+	return a.b.Finalize()
+}
+
+// SatelliteAOCS models an attitude-and-orbit-control frame: a redundant
+// sensor suite feeding an attitude filter and orbit propagator, control
+// law, and four reaction wheels plus magnetorquers, with a fault-detection
+// branch. Times in 100 µs units; the 100 ms control cycle gives deadlines
+// of 1000 units (600 for the fast wheel commands).
+func SatelliteAOCS(src *rng.Source) (*taskgraph.Graph, error) {
+	if src == nil {
+		return nil, ErrNilSource
+	}
+	a := &builder{b: taskgraph.NewBuilder(), src: src}
+
+	filter := a.task("attitude.filter", 60)
+	for i, s := range []struct {
+		name  string
+		cost  float64
+		items float64
+	}{
+		{"startracker", 25, 16}, {"gyro0", 6, 4}, {"gyro1", 6, 4}, {"gyro2", 6, 4},
+		{"magnetometer", 8, 4}, {"sunsensor", 7, 4},
+	} {
+		id := a.task("sense."+s.name, s.cost)
+		a.b.Pin(id, i%2) // sensor buses split over two I/O nodes
+		pre := a.task("cal."+s.name, 10)
+		a.arc(id, pre, s.items)
+		a.arc(pre, filter, 4)
+	}
+
+	orbit := a.task("orbit.propagate", 35)
+	guidance := a.task("guidance", 30)
+	control := a.task("control.law", 40)
+	a.arc(filter, control, 8)
+	a.arc(filter, orbit, 6)
+	a.arc(orbit, guidance, 6)
+	a.arc(guidance, control, 6)
+
+	for i := 0; i < 4; i++ {
+		w := a.task(fmt.Sprintf("wheel%d", i), 8)
+		a.b.Pin(w, 0)
+		a.arc(control, w, 2)
+		a.b.SetEndToEnd(w, 600)
+	}
+	torq := a.task("magnetorquer", 10)
+	a.b.Pin(torq, 1)
+	a.arc(control, torq, 2)
+	a.b.SetEndToEnd(torq, 1000)
+
+	fdir := a.task("fdir.monitor", 20)
+	alarm := a.task("fdir.report", 8)
+	a.arc(filter, fdir, 6)
+	a.arc(orbit, fdir, 4)
+	a.arc(fdir, alarm, 4)
+	a.b.SetEndToEnd(alarm, 1000)
+
+	return a.b.Finalize()
+}
+
+// IndustrialCell models a manufacturing cell: four robots each running a
+// sense→plan→move chain, a shared conveyor controller, a vision QA chain,
+// and a cell coordinator writing PLC outputs. Times in 1 ms units; the
+// 220 ms cell cycle gives deadlines of 220 units (280 for QA reporting).
+func IndustrialCell(src *rng.Source) (*taskgraph.Graph, error) {
+	if src == nil {
+		return nil, ErrNilSource
+	}
+	a := &builder{b: taskgraph.NewBuilder(), src: src}
+
+	coord := a.task("coordinator", 18)
+	for i := 0; i < 4; i++ {
+		sense := a.task(fmt.Sprintf("r%d.sense", i), 5)
+		a.b.Pin(sense, 0)
+		plan := a.task(fmt.Sprintf("r%d.plan", i), 22)
+		move := a.task(fmt.Sprintf("r%d.move", i), 12)
+		a.arc(sense, plan, 6)
+		a.arc(plan, move, 4)
+		a.arc(move, coord, 2)
+	}
+
+	belt := a.task("conveyor.sense", 4)
+	a.b.Pin(belt, 0)
+	beltCtl := a.task("conveyor.control", 10)
+	a.arc(belt, beltCtl, 3)
+	a.arc(beltCtl, coord, 2)
+
+	qaCap := a.task("qa.capture", 6)
+	a.b.Pin(qaCap, 0)
+	qaSeg := a.task("qa.segment", 25)
+	qaCls := a.task("qa.classify", 30)
+	qaRep := a.task("qa.report", 6)
+	a.arc(qaCap, qaSeg, 40)
+	a.arc(qaSeg, qaCls, 10)
+	a.arc(qaCls, qaRep, 2)
+	a.arc(qaCls, coord, 2)
+	a.b.SetEndToEnd(qaRep, 280)
+
+	plc := a.task("plc.write", 6)
+	a.b.Pin(plc, 1)
+	a.arc(coord, plc, 4)
+	a.b.SetEndToEnd(plc, 220)
+
+	return a.b.Finalize()
+}

@@ -1,0 +1,278 @@
+// Package assign implements task-assignment heuristics that produce a full
+// static task-to-processor mapping before scheduling — the "conventional
+// order" the paper argues against. With an assignment in hand, every
+// communication cost is known exactly and deadline distribution can run in
+// its classic strict-locality mode; comparing that flow against the
+// paper's distribution-first flow reproduces the premise of the paper
+// (experiment X4 in DESIGN.md).
+//
+// The heuristic is Sarkar-style edge zeroing followed by load-balanced
+// cluster-to-processor mapping:
+//
+//  1. every subtask starts in its own cluster;
+//  2. messages are visited in decreasing size order; a message's producer
+//     and consumer clusters are merged ("the edge is zeroed") unless the
+//     merge increases the graph's estimated critical path (execution plus
+//     the communication costs of unzeroed arcs);
+//  3. clusters are mapped to processors largest-first onto the least
+//     loaded processor (LPT), honouring pinned subtasks.
+package assign
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"deadlinedist/internal/platform"
+	"deadlinedist/internal/taskgraph"
+)
+
+// Errors returned by Cluster and Apply.
+var (
+	ErrNilInput    = errors.New("assignment needs a graph and a platform")
+	ErrPinConflict = errors.New("pinned subtasks with different processors ended up in one cluster")
+)
+
+// Assignment maps every ordinary subtask to a processor. Entries for
+// communication subtasks are -1.
+type Assignment []int
+
+// Cluster computes a static assignment of g's subtasks onto sys.
+func Cluster(g *taskgraph.Graph, sys *platform.System) (Assignment, error) {
+	if g == nil || sys == nil {
+		return nil, ErrNilInput
+	}
+	n := g.NumNodes()
+
+	// Union-find over subtasks.
+	parent := make([]taskgraph.NodeID, n)
+	for i := range parent {
+		parent[i] = taskgraph.NodeID(i)
+	}
+	var find func(taskgraph.NodeID) taskgraph.NodeID
+	find = func(x taskgraph.NodeID) taskgraph.NodeID {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	// rootPin tracks the strict locality constraint of each cluster;
+	// clusters with conflicting pins are never merged.
+	rootPin := make([]int, n)
+	for i := range rootPin {
+		rootPin[i] = taskgraph.Unpinned
+	}
+	for _, node := range g.Nodes() {
+		if node.Kind == taskgraph.KindSubtask {
+			rootPin[node.ID] = node.Pinned
+		}
+	}
+
+	// rootLoad tracks cluster workloads; merges stop at the balanced
+	// per-processor share so the clustering stays platform-aware (a
+	// load-capped Sarkar variant — unbounded edge zeroing collapses
+	// layered graphs into one or two clusters).
+	rootLoad := make([]float64, n)
+	maxCost := 0.0
+	for _, node := range g.Nodes() {
+		if node.Kind == taskgraph.KindSubtask {
+			rootLoad[node.ID] = node.Cost
+			if node.Cost > maxCost {
+				maxCost = node.Cost
+			}
+		}
+	}
+	// The cap is the balanced per-processor share, but never below the
+	// critical-path workload: a cluster following one dependence chain
+	// gains nothing from being split, however many processors exist.
+	loadCap := g.TotalWork() / float64(sys.NumProcs())
+	if cp := g.LongestPath(taskgraph.ExecCost); loadCap < cp {
+		loadCap = cp
+	}
+	if loadCap < maxCost {
+		loadCap = maxCost
+	}
+
+	// zeroed[m] marks messages made free by clustering.
+	zeroed := make([]bool, n)
+	pairCost := meanPairCost(sys)
+	commCost := func(m taskgraph.NodeID) float64 {
+		if zeroed[m] {
+			return 0
+		}
+		if root := find(g.Pred(m)[0]); root == find(g.Succ(m)[0]) {
+			return 0
+		}
+		return g.Node(m).Size * pairCost
+	}
+	criticalPath := func() float64 {
+		return g.LongestPath(func(node taskgraph.Node) float64 {
+			if node.Kind == taskgraph.KindSubtask {
+				return node.Cost
+			}
+			return commCost(node.ID)
+		})
+	}
+
+	// Edge zeroing in decreasing message-size order.
+	var msgs []taskgraph.NodeID
+	for _, node := range g.Nodes() {
+		if node.Kind == taskgraph.KindMessage {
+			msgs = append(msgs, node.ID)
+		}
+	}
+	sort.Slice(msgs, func(i, j int) bool {
+		si, sj := g.Node(msgs[i]).Size, g.Node(msgs[j]).Size
+		if si != sj {
+			return si > sj
+		}
+		return msgs[i] < msgs[j]
+	})
+
+	best := criticalPath()
+	for _, m := range msgs {
+		u, v := find(g.Pred(m)[0]), find(g.Succ(m)[0])
+		if u == v {
+			zeroed[m] = true
+			continue
+		}
+		// Never join clusters carrying conflicting strict locality
+		// constraints, and keep cluster loads within the balanced share.
+		if rootPin[u] != taskgraph.Unpinned && rootPin[v] != taskgraph.Unpinned &&
+			rootPin[u] != rootPin[v] {
+			continue
+		}
+		if rootLoad[u]+rootLoad[v] > loadCap+1e-9 {
+			continue
+		}
+		// Tentatively merge and keep the merge only if the critical path
+		// does not grow (serializing the clusters may lengthen it even
+		// though the message became free).
+		oldU, oldV := parent[u], parent[v]
+		parent[v] = u
+		zeroed[m] = true
+		if cp := criticalPath(); cp <= best+1e-9 {
+			best = cp
+			if rootPin[u] == taskgraph.Unpinned {
+				rootPin[u] = rootPin[v]
+			}
+			rootLoad[u] += rootLoad[v]
+			continue
+		}
+		parent[u], parent[v] = oldU, oldV
+		zeroed[m] = false
+	}
+
+	return mapClusters(g, sys, find)
+}
+
+// mapClusters places clusters on processors, largest first, onto the least
+// loaded processor; clusters containing pinned subtasks go to the pinned
+// processor.
+func mapClusters(g *taskgraph.Graph, sys *platform.System,
+	find func(taskgraph.NodeID) taskgraph.NodeID) (Assignment, error) {
+
+	type cluster struct {
+		load float64
+		pin  int
+		ids  []taskgraph.NodeID
+	}
+	clusters := make(map[taskgraph.NodeID]*cluster)
+	for _, node := range g.Nodes() {
+		if node.Kind != taskgraph.KindSubtask {
+			continue
+		}
+		root := find(node.ID)
+		c := clusters[root]
+		if c == nil {
+			c = &cluster{pin: taskgraph.Unpinned}
+			clusters[root] = c
+		}
+		c.load += node.Cost
+		c.ids = append(c.ids, node.ID)
+		if node.Pinned != taskgraph.Unpinned {
+			if c.pin != taskgraph.Unpinned && c.pin != node.Pinned {
+				return nil, fmt.Errorf("cluster of %q: %w", node.Name, ErrPinConflict)
+			}
+			if node.Pinned >= sys.NumProcs() {
+				return nil, fmt.Errorf("subtask %q pinned to %d on %d processors",
+					node.Name, node.Pinned, sys.NumProcs())
+			}
+			c.pin = node.Pinned
+		}
+	}
+	ordered := make([]*cluster, 0, len(clusters))
+	for _, c := range clusters {
+		ordered = append(ordered, c)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].load != ordered[j].load {
+			return ordered[i].load > ordered[j].load
+		}
+		return ordered[i].ids[0] < ordered[j].ids[0]
+	})
+
+	out := make(Assignment, g.NumNodes())
+	for i := range out {
+		out[i] = -1
+	}
+	loads := make([]float64, sys.NumProcs())
+	for _, c := range ordered {
+		p := c.pin
+		if p == taskgraph.Unpinned {
+			p = 0
+			for q := 1; q < sys.NumProcs(); q++ {
+				if loads[q] < loads[p] {
+					p = q
+				}
+			}
+		}
+		loads[p] += c.load / sys.Speed(p)
+		for _, id := range c.ids {
+			out[id] = p
+		}
+	}
+	return out, nil
+}
+
+// Apply returns a clone of g with every subtask pinned to its assigned
+// processor, turning a relaxed-locality graph into a strict-locality one.
+func Apply(g *taskgraph.Graph, a Assignment) (*taskgraph.Graph, error) {
+	if len(a) != g.NumNodes() {
+		return nil, fmt.Errorf("assignment for %d nodes, graph has %d", len(a), g.NumNodes())
+	}
+	c := g.Clone()
+	for _, node := range g.Nodes() {
+		if node.Kind != taskgraph.KindSubtask {
+			continue
+		}
+		if a[node.ID] < 0 {
+			return nil, fmt.Errorf("subtask %q unassigned", node.Name)
+		}
+		if err := c.SetPinned(node.ID, a[node.ID]); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// meanPairCost mirrors the estimation used by CCAA: the mean cost of one
+// data item between two distinct processors.
+func meanPairCost(sys *platform.System) float64 {
+	n := sys.NumProcs()
+	if n < 2 {
+		return 0
+	}
+	sum, pairs := 0.0, 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				sum += sys.CommCost(i, j, 1)
+				pairs++
+			}
+		}
+	}
+	return sum / float64(pairs)
+}

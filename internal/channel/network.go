@@ -1,0 +1,255 @@
+// Package channel models real-time communication over multihop networks in
+// the spirit of Kandlur, Shin & Ferrari ("Real-Time Communication in
+// Multihop Networks", IEEE TPDS 1994) — reference [13] of the paper, whose
+// Section 8 calls for measurements on systems that schedule messages over
+// such channels, and notes that "it is far from obvious how the
+// communication cost for a real-time channel should be estimated in a
+// system with relaxed locality constraints".
+//
+// A Network is a set of unidirectional links between processors. A message
+// travels along a fixed shortest route, store-and-forward: each hop
+// occupies one link for size × per-item-cost time units, links serialize
+// their transfers, and contention is resolved by the message deadlines the
+// deadline-distribution stage assigned to communication subtasks —
+// deadline-based channel scheduling, exactly what the annotated
+// communication subtasks enable.
+package channel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LinkID indexes a link within its Network.
+type LinkID int
+
+// Link is one unidirectional connection.
+type Link struct {
+	ID       LinkID
+	From, To int
+	// PerItem is the transfer cost of one data item over this link.
+	PerItem float64
+}
+
+// Network is an immutable multihop interconnect between n processors with
+// precomputed shortest routes.
+type Network struct {
+	name   string
+	nProcs int
+	links  []Link
+	// route[src][dst] is the link sequence from src to dst (nil when
+	// src == dst; routes always exist in the provided builders).
+	route [][][]LinkID
+}
+
+// Errors returned by builders and Route.
+var (
+	ErrTooSmall    = errors.New("network needs at least one processor")
+	ErrUnreachable = errors.New("no route between processors")
+	ErrBadProc     = errors.New("processor index out of range")
+)
+
+// Bus returns a network where every processor pair communicates over one
+// shared medium (a single link resource used by all transfers) — the
+// multihop view of the paper's time-multiplexed bus.
+func Bus(n int, perItem float64) (*Network, error) {
+	if n < 1 {
+		return nil, ErrTooSmall
+	}
+	net := &Network{name: "bus", nProcs: n}
+	net.links = []Link{{ID: 0, From: -1, To: -1, PerItem: perItem}}
+	net.route = makeRoutes(n)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				net.route[s][d] = []LinkID{0}
+			}
+		}
+	}
+	return net, nil
+}
+
+// Ring returns a bidirectional ring: links i→(i+1) mod n and i→(i-1) mod n,
+// with minimum-hop routes.
+func Ring(n int, perItem float64) (*Network, error) {
+	if n < 1 {
+		return nil, ErrTooSmall
+	}
+	net := &Network{name: "ring", nProcs: n}
+	fwd := make([]LinkID, n) // i -> i+1
+	bwd := make([]LinkID, n) // i -> i-1
+	for i := 0; i < n; i++ {
+		fwd[i] = LinkID(len(net.links))
+		net.links = append(net.links, Link{ID: fwd[i], From: i, To: (i + 1) % n, PerItem: perItem})
+	}
+	for i := 0; i < n; i++ {
+		bwd[i] = LinkID(len(net.links))
+		net.links = append(net.links, Link{ID: bwd[i], From: i, To: (i - 1 + n) % n, PerItem: perItem})
+	}
+	net.route = makeRoutes(n)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			cw := (d - s + n) % n  // hops going forward
+			ccw := (s - d + n) % n // hops going backward
+			var hops []LinkID
+			if cw <= ccw {
+				for i := s; i != d; i = (i + 1) % n {
+					hops = append(hops, fwd[i])
+				}
+			} else {
+				for i := s; i != d; i = (i - 1 + n) % n {
+					hops = append(hops, bwd[i])
+				}
+			}
+			net.route[s][d] = hops
+		}
+	}
+	return net, nil
+}
+
+// Star returns a hub-and-spoke network: processor i communicates over
+// links i→hub and hub→j, where the hub is a dedicated switch (not one of
+// the processors).
+func Star(n int, perItem float64) (*Network, error) {
+	if n < 1 {
+		return nil, ErrTooSmall
+	}
+	net := &Network{name: "star", nProcs: n}
+	up := make([]LinkID, n)
+	down := make([]LinkID, n)
+	for i := 0; i < n; i++ {
+		up[i] = LinkID(len(net.links))
+		net.links = append(net.links, Link{ID: up[i], From: i, To: -1, PerItem: perItem})
+	}
+	for i := 0; i < n; i++ {
+		down[i] = LinkID(len(net.links))
+		net.links = append(net.links, Link{ID: down[i], From: -1, To: i, PerItem: perItem})
+	}
+	net.route = makeRoutes(n)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				net.route[s][d] = []LinkID{up[s], down[d]}
+			}
+		}
+	}
+	return net, nil
+}
+
+// Mesh returns dedicated point-to-point links for every ordered pair.
+func Mesh(n int, perItem float64) (*Network, error) {
+	if n < 1 {
+		return nil, ErrTooSmall
+	}
+	net := &Network{name: "mesh", nProcs: n}
+	net.route = makeRoutes(n)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			id := LinkID(len(net.links))
+			net.links = append(net.links, Link{ID: id, From: s, To: d, PerItem: perItem})
+			net.route[s][d] = []LinkID{id}
+		}
+	}
+	return net, nil
+}
+
+func makeRoutes(n int) [][][]LinkID {
+	r := make([][][]LinkID, n)
+	for i := range r {
+		r[i] = make([][]LinkID, n)
+	}
+	return r
+}
+
+// Name returns the network mnemonic.
+func (n *Network) Name() string { return n.name }
+
+// NumProcs returns the processor count.
+func (n *Network) NumProcs() int { return n.nProcs }
+
+// NumLinks returns the link count.
+func (n *Network) NumLinks() int { return len(n.links) }
+
+// Link returns the link with the given ID.
+func (n *Network) Link(id LinkID) Link { return n.links[id] }
+
+// Route returns the link sequence from src to dst (empty when co-located).
+func (n *Network) Route(src, dst int) ([]LinkID, error) {
+	if src < 0 || src >= n.nProcs || dst < 0 || dst >= n.nProcs {
+		return nil, fmt.Errorf("route %d -> %d: %w", src, dst, ErrBadProc)
+	}
+	if src == dst {
+		return nil, nil
+	}
+	r := n.route[src][dst]
+	if r == nil {
+		return nil, fmt.Errorf("route %d -> %d: %w", src, dst, ErrUnreachable)
+	}
+	return r, nil
+}
+
+// UncontendedCost returns the store-and-forward transfer time of size data
+// items from src to dst with no link contention: the sum of per-hop costs.
+func (n *Network) UncontendedCost(src, dst int, size float64) float64 {
+	if src == dst {
+		return 0
+	}
+	r := n.route[src][dst]
+	total := 0.0
+	for _, l := range r {
+		total += n.links[l].PerItem * size
+	}
+	return total
+}
+
+// MeanRouteCost returns the mean uncontended transfer cost of one data
+// item over all ordered distinct processor pairs — the basis of the CCHOP
+// estimation strategy.
+func (n *Network) MeanRouteCost() float64 {
+	if n.nProcs < 2 {
+		return 0
+	}
+	sum, pairs := 0.0, 0
+	for s := 0; s < n.nProcs; s++ {
+		for d := 0; d < n.nProcs; d++ {
+			if s != d {
+				sum += n.UncontendedCost(s, d, 1)
+				pairs++
+			}
+		}
+	}
+	return sum / float64(pairs)
+}
+
+// MaxRouteLen returns the diameter in hops.
+func (n *Network) MaxRouteLen() int {
+	max := 0
+	for s := 0; s < n.nProcs; s++ {
+		for d := 0; d < n.nProcs; d++ {
+			if len(n.route[s][d]) > max {
+				max = len(n.route[s][d])
+			}
+		}
+	}
+	return max
+}
+
+// Builder constructs a named network family for a processor count; used by
+// the experiment harness.
+type Builder func(n int, perItem float64) (*Network, error)
+
+// Builders returns the network families by name.
+func Builders() map[string]Builder {
+	return map[string]Builder{
+		"bus":  Bus,
+		"ring": Ring,
+		"star": Star,
+		"mesh": Mesh,
+	}
+}

@@ -1,0 +1,209 @@
+package channel
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestBusSingleLink(t *testing.T) {
+	net, err := Bus(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumLinks() != 1 {
+		t.Fatalf("bus has %d links, want 1", net.NumLinks())
+	}
+	r, err := net.Route(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 1 || r[0] != 0 {
+		t.Fatalf("bus route = %v", r)
+	}
+	if got := net.UncontendedCost(1, 2, 10); got != 10 {
+		t.Errorf("bus cost = %v, want 10", got)
+	}
+}
+
+func TestRingRoutes(t *testing.T) {
+	net, err := Ring(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumLinks() != 12 {
+		t.Fatalf("ring-6 has %d links, want 12", net.NumLinks())
+	}
+	cases := []struct {
+		src, dst, hops int
+	}{
+		{0, 1, 1}, {0, 2, 2}, {0, 3, 3}, {0, 5, 1}, {0, 4, 2}, {4, 1, 3},
+	}
+	for _, c := range cases {
+		r, err := net.Route(c.src, c.dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r) != c.hops {
+			t.Errorf("ring route %d->%d has %d hops, want %d", c.src, c.dst, len(r), c.hops)
+		}
+	}
+	// Route continuity: each hop's To must equal the next hop's From.
+	r, _ := net.Route(0, 3)
+	at := 0
+	for _, l := range r {
+		link := net.Link(l)
+		if link.From != at {
+			t.Fatalf("discontinuous route at link %v (from %d, at %d)", l, link.From, at)
+		}
+		at = link.To
+	}
+	if at != 3 {
+		t.Fatalf("route ends at %d, want 3", at)
+	}
+}
+
+func TestStarTwoHops(t *testing.T) {
+	net, err := Star(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumLinks() != 10 {
+		t.Fatalf("star-5 has %d links, want 10", net.NumLinks())
+	}
+	r, err := net.Route(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 {
+		t.Fatalf("star route has %d hops, want 2", len(r))
+	}
+	if got := net.UncontendedCost(1, 4, 3); got != 12 {
+		t.Errorf("star cost = %v, want 12 (2 hops × 2/item × 3 items)", got)
+	}
+}
+
+func TestMeshDirect(t *testing.T) {
+	net, err := Mesh(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumLinks() != 12 {
+		t.Fatalf("mesh-4 has %d links, want 12", net.NumLinks())
+	}
+	if net.MaxRouteLen() != 1 {
+		t.Fatalf("mesh diameter = %d hops, want 1", net.MaxRouteLen())
+	}
+}
+
+func TestCoLocatedRoutesEmpty(t *testing.T) {
+	for name, build := range Builders() {
+		net, err := build(4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r, err := net.Route(2, 2)
+		if err != nil || len(r) != 0 {
+			t.Errorf("%s: co-located route = %v, %v", name, r, err)
+		}
+		if c := net.UncontendedCost(2, 2, 100); c != 0 {
+			t.Errorf("%s: co-located cost = %v", name, c)
+		}
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	net, err := Ring(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Route(-1, 2); !errors.Is(err, ErrBadProc) {
+		t.Errorf("negative src: %v", err)
+	}
+	if _, err := net.Route(0, 7); !errors.Is(err, ErrBadProc) {
+		t.Errorf("out-of-range dst: %v", err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	for name, build := range Builders() {
+		if _, err := build(0, 1); !errors.Is(err, ErrTooSmall) {
+			t.Errorf("%s(0): %v, want ErrTooSmall", name, err)
+		}
+	}
+}
+
+func TestMeanRouteCost(t *testing.T) {
+	bus, _ := Bus(4, 1)
+	if got := bus.MeanRouteCost(); got != 1 {
+		t.Errorf("bus mean = %v, want 1", got)
+	}
+	mesh, _ := Mesh(4, 1)
+	if got := mesh.MeanRouteCost(); got != 1 {
+		t.Errorf("mesh mean = %v, want 1", got)
+	}
+	star, _ := Star(4, 1)
+	if got := star.MeanRouteCost(); got != 2 {
+		t.Errorf("star mean = %v, want 2", got)
+	}
+	// Ring of 4: distances 1,2,1 per source -> mean 4/3.
+	ring, _ := Ring(4, 1)
+	if got := ring.MeanRouteCost(); got < 4.0/3.0-1e-9 || got > 4.0/3.0+1e-9 {
+		t.Errorf("ring mean = %v, want 4/3", got)
+	}
+	single, _ := Ring(1, 1)
+	if got := single.MeanRouteCost(); got != 0 {
+		t.Errorf("1-proc mean = %v, want 0", got)
+	}
+}
+
+// Property: every route in every family is continuous, starts at src, ends
+// at dst, and its length never exceeds the diameter.
+func TestPropertyRoutesWellFormed(t *testing.T) {
+	nets := make([]*Network, 0, 4)
+	for _, build := range Builders() {
+		net, err := build(8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets = append(nets, net)
+	}
+	f := func(a, b uint8) bool {
+		src, dst := int(a%8), int(b%8)
+		for _, net := range nets {
+			r, err := net.Route(src, dst)
+			if err != nil {
+				return false
+			}
+			if src == dst {
+				if len(r) != 0 {
+					return false
+				}
+				continue
+			}
+			if len(r) == 0 || len(r) > net.MaxRouteLen() {
+				return false
+			}
+			at := src
+			for _, l := range r {
+				link := net.Link(l)
+				// Hub / bus endpoints are -1 (wildcard).
+				if link.From != -1 && link.From != at {
+					return false
+				}
+				if link.To != -1 {
+					at = link.To
+				}
+			}
+			// For networks with explicit endpoints the route must land on
+			// dst; bus routes are wildcard.
+			if net.Name() != "bus" && net.Name() != "star" && at != dst {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

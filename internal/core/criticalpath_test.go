@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"deadlinedist/internal/taskgraph"
+)
+
+// pathOf returns the index of the sliced path containing id.
+func pathOf(res *Result, id taskgraph.NodeID) int {
+	for i, p := range res.Paths {
+		for _, n := range p {
+			if n == id {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// TestTighterChainSlicedFirst: two disjoint chains; the one with less
+// slack per node is the critical path and must be sliced first.
+func TestTighterChainSlicedFirst(t *testing.T) {
+	b := taskgraph.NewBuilder()
+	// Loose chain: work 20, D=200 -> R_pure = (200-20)/2 = 90.
+	l1 := b.AddSubtask("l1", 10)
+	l2 := b.AddSubtask("l2", 10)
+	b.Connect(l1, l2, 1)
+	b.SetEndToEnd(l2, 200)
+	// Tight chain: work 20, D=40 -> R_pure = 10.
+	t1 := b.AddSubtask("t1", 10)
+	t2 := b.AddSubtask("t2", 10)
+	b.Connect(t1, t2, 1)
+	b.SetEndToEnd(t2, 40)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := distribute(t, g, PURE(), CCNE(), 4)
+	if pathOf(res, t1) != 0 {
+		t.Fatalf("tight chain not sliced first: paths %v", res.Paths)
+	}
+	if pathOf(res, l1) == 0 {
+		t.Fatalf("loose chain sliced first: paths %v", res.Paths)
+	}
+}
+
+// TestNORMAndPUREPickDifferentCriticalPaths: NORM ranks by slack/work,
+// PURE by slack/node-count; a long many-node path and a short one-node
+// path can rank oppositely.
+func TestNORMAndPUREPickDifferentCriticalPaths(t *testing.T) {
+	build := func() (*taskgraph.Graph, [3]taskgraph.NodeID, taskgraph.NodeID) {
+		b := taskgraph.NewBuilder()
+		// Path A: 3 nodes of 10, D=60: R_pure = 10, R_norm = 1.
+		a1 := b.AddSubtask("a1", 10)
+		a2 := b.AddSubtask("a2", 10)
+		a3 := b.AddSubtask("a3", 10)
+		b.Connect(a1, a2, 1)
+		b.Connect(a2, a3, 1)
+		b.SetEndToEnd(a3, 60)
+		// Path B: 1 node of 25, D=40: R_pure = 15, R_norm = 0.6.
+		bb := b.AddSubtask("b", 25)
+		b.SetEndToEnd(bb, 40)
+		g, err := b.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, [3]taskgraph.NodeID{a1, a2, a3}, bb
+	}
+
+	g, aNodes, bNode := build()
+	pure := distribute(t, g, PURE(), CCNE(), 4)
+	if pathOf(pure, aNodes[0]) != 0 {
+		t.Errorf("PURE must slice the 3-node path first (R=10 < 15): %v", pure.Paths)
+	}
+	norm := distribute(t, g, NORM(), CCNE(), 4)
+	if pathOf(norm, bNode) != 0 {
+		t.Errorf("NORM must slice the short heavy path first (R=0.6 < 1): %v", norm.Paths)
+	}
+}
+
+// TestCCAAChangesCriticalPath: a message-heavy path becomes critical only
+// when communication costs are assumed.
+func TestCCAAChangesCriticalPath(t *testing.T) {
+	build := func() (*taskgraph.Graph, taskgraph.NodeID, taskgraph.NodeID) {
+		b := taskgraph.NewBuilder()
+		// Compute path: 2 nodes of 20, no big message, D=80.
+		// CCNE: R = (80-40)/2 = 20. CCAA (msg 1): R = (80-41)/3 = 13.
+		c1 := b.AddSubtask("c1", 20)
+		c2 := b.AddSubtask("c2", 20)
+		b.Connect(c1, c2, 1)
+		b.SetEndToEnd(c2, 80)
+		// Message path: 2 nodes of 10 with a 50-item message, D=90.
+		// CCNE: R = (90-20)/2 = 35 (looser). CCAA: R = (90-70)/3 ≈ 6.7
+		// (tighter).
+		m1 := b.AddSubtask("m1", 10)
+		m2 := b.AddSubtask("m2", 10)
+		b.Connect(m1, m2, 50)
+		b.SetEndToEnd(m2, 90)
+		g, err := b.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, c1, m1
+	}
+
+	g, c1, m1 := build()
+	ne := distribute(t, g, PURE(), CCNE(), 4)
+	if pathOf(ne, c1) != 0 {
+		t.Errorf("CCNE must rank the compute path critical: %v", ne.Paths)
+	}
+	aa := distribute(t, g, PURE(), CCAA(), 4)
+	if pathOf(aa, m1) != 0 {
+		t.Errorf("CCAA must rank the message-heavy path critical: %v", aa.Paths)
+	}
+}
+
+// TestAttachedSubtaskAnchors: after the spine is sliced, a parallel branch
+// must anchor between its predecessor's absolute deadline and its
+// successor's release, even across several iterations.
+func TestAttachedSubtaskAnchors(t *testing.T) {
+	b := taskgraph.NewBuilder()
+	src := b.AddSubtask("src", 10)
+	long1 := b.AddSubtask("long1", 30)
+	long2 := b.AddSubtask("long2", 30)
+	sideA := b.AddSubtask("sideA", 5)
+	sideB := b.AddSubtask("sideB", 5)
+	sink := b.AddSubtask("sink", 10)
+	b.Connect(src, long1, 1)
+	b.Connect(long1, long2, 1)
+	b.Connect(long2, sink, 1)
+	b.Connect(src, sideA, 1)
+	b.Connect(sideA, sideB, 1)
+	b.Connect(sideB, sink, 1)
+	b.SetEndToEnd(sink, 160)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := distribute(t, g, PURE(), CCNE(), 4)
+
+	// Spine = src-long1-long2-sink (R = (160-80)/4 = 20 vs side R = 32.5).
+	if pathOf(res, long1) != 0 || pathOf(res, sideA) == 0 {
+		t.Fatalf("wrong spine: %v", res.Paths)
+	}
+	// Side branch anchors: release = abs(src), final abs = release(sink).
+	if !approx(res.Release[sideA], res.Absolute[src]) {
+		t.Errorf("sideA release %v != abs(src) %v", res.Release[sideA], res.Absolute[src])
+	}
+	if !approx(res.Absolute[sideB], res.Release[sink]) {
+		t.Errorf("sideB abs %v != release(sink) %v", res.Absolute[sideB], res.Release[sink])
+	}
+	// The side slack is divided equally between sideA and sideB.
+	if !approx(res.Relative[sideA], res.Relative[sideB]) {
+		t.Errorf("equal-share violated on side branch: %v vs %v",
+			res.Relative[sideA], res.Relative[sideB])
+	}
+	if err := res.Validate(g, 1e-9); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+// TestMultiplePredecessorsUseLatestDeadline: a join subtask sliced later
+// must release at the LATEST absolute deadline among its assigned
+// predecessors (paper: "the latest absolute deadline of any predecessor").
+func TestMultiplePredecessorsUseLatestDeadline(t *testing.T) {
+	b := taskgraph.NewBuilder()
+	early := b.AddSubtask("early", 5)
+	late := b.AddSubtask("late", 40)
+	join := b.AddSubtask("join", 10)
+	b.Connect(early, join, 1)
+	b.Connect(late, join, 1)
+	b.SetEndToEnd(join, 100)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := distribute(t, g, PURE(), CCNE(), 4)
+	// Spine = late-join (R=(100-50)/2=25); early attaches afterwards with
+	// deadline anchor = join's release.
+	if !approx(res.Absolute[early], res.Release[join]) {
+		t.Errorf("early abs %v != join release %v", res.Absolute[early], res.Release[join])
+	}
+	if res.Absolute[early] <= 40 {
+		t.Errorf("early's window should span up to join's release (%v), got abs %v",
+			res.Release[join], res.Absolute[early])
+	}
+}

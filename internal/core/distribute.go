@@ -1,0 +1,364 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"deadlinedist/internal/platform"
+	"deadlinedist/internal/taskgraph"
+)
+
+// Distributor runs the deadline-distribution algorithm of Figure 1 in the
+// paper: while unassigned subtasks remain, find the critical path that
+// minimizes the metric's laxity ratio, slice its end-to-end deadline into
+// execution windows, anchor the remaining subtasks to the sliced spine, and
+// repeat.
+type Distributor struct {
+	// Metric ranks candidate paths and sizes windows (NORM, PURE, THRES,
+	// ADAPT).
+	Metric Metric
+	// Estimator predicts communication costs before assignment (CCNE,
+	// CCAA, CCEXP).
+	Estimator CommEstimator
+}
+
+// Errors returned by Distribute.
+var (
+	ErrNilStrategy = errors.New("distributor needs both a metric and a communication estimator")
+	ErrNoDeadline  = errors.New("output subtask has no end-to-end deadline")
+	ErrNoCritical  = errors.New("internal: no critical path candidate found")
+)
+
+// Distribute annotates every node of g with a release time and a relative
+// deadline. It never modifies g.
+func (d Distributor) Distribute(g *taskgraph.Graph, sys *platform.System) (*Result, error) {
+	if d.Metric == nil || d.Estimator == nil {
+		return nil, ErrNilStrategy
+	}
+	for _, out := range g.Outputs() {
+		if g.Node(out).EndToEnd <= 0 {
+			return nil, fmt.Errorf("subtask %q: %w", g.Node(out).Name, ErrNoDeadline)
+		}
+	}
+
+	est := d.Estimator.Estimate(g, sys)
+	vc := d.Metric.VirtualCosts(g, sys, est)
+	vcWin := vc
+	if wc, ok := d.Metric.(WindowCoster); ok {
+		vcWin = wc.WindowCosts(g, sys, est)
+	}
+
+	n := g.NumNodes()
+	res := &Result{
+		Release:       make([]float64, n),
+		Relative:      make([]float64, n),
+		Absolute:      make([]float64, n),
+		Windowed:      make([]bool, n),
+		EstimatedComm: est,
+		Metric:        d.Metric.Name(),
+		Estimator:     d.Estimator.Name(),
+	}
+
+	st := &distState{
+		g:        g,
+		sys:      sys,
+		metric:   d.Metric,
+		vc:       vc,
+		vcWin:    vcWin,
+		assigned: make([]bool, n),
+		res:      res,
+	}
+	st.alloc()
+
+	for remaining := n; remaining > 0; {
+		path, ratio, err := st.findCriticalPath()
+		if err != nil {
+			return nil, err
+		}
+		st.slice(path, ratio)
+		remaining -= len(path)
+		res.Paths = append(res.Paths, path)
+	}
+	return res, nil
+}
+
+// distState is the per-distribution working set.
+type distState struct {
+	g      *taskgraph.Graph
+	sys    *platform.System
+	metric Metric
+	vc     []float64
+
+	// vcWin are the window-sizing costs (same slice as vc unless the
+	// metric implements WindowCoster).
+	vcWin []float64
+
+	assigned []bool
+	res      *Result
+
+	// DP buffers, reused across iterations. dp[id][k] is the maximum
+	// accumulated virtual cost over paths from the current start to id
+	// containing k windowed nodes; par[id][k] is the predecessor on that
+	// path. touched tracks which rows were written so reset is O(reached).
+	dp      [][]float64
+	par     [][]taskgraph.NodeID
+	touched []taskgraph.NodeID
+}
+
+func (st *distState) alloc() {
+	n := st.g.NumNodes()
+	// The windowed-node count of any path is bounded by the longest path's
+	// node count, which is far smaller than the node count for layered
+	// graphs; sizing rows accordingly keeps the DP inner loop tight.
+	maxLen := int(st.g.LongestPath(func(taskgraph.Node) float64 { return 1 }))
+	width := maxLen + 1
+	st.dp = make([][]float64, n)
+	st.par = make([][]taskgraph.NodeID, n)
+	dpFlat := make([]float64, n*width)
+	parFlat := make([]taskgraph.NodeID, n*width)
+	for i := range dpFlat {
+		dpFlat[i] = math.Inf(-1)
+		parFlat[i] = taskgraph.None
+	}
+	for i := 0; i < n; i++ {
+		st.dp[i] = dpFlat[i*width : (i+1)*width]
+		st.par[i] = parFlat[i*width : (i+1)*width]
+	}
+}
+
+func (st *distState) resetDP() {
+	for _, id := range st.touched {
+		row, prow := st.dp[id], st.par[id]
+		for k := range row {
+			row[k] = math.Inf(-1)
+			prow[k] = taskgraph.None
+		}
+	}
+	st.touched = st.touched[:0]
+}
+
+// releaseAnchor returns the path-start release time of node id, valid only
+// when every predecessor has been assigned: the latest absolute deadline of
+// any predecessor, or the node's own application release time for inputs.
+func (st *distState) releaseAnchor(id taskgraph.NodeID) (float64, bool) {
+	preds := st.g.Pred(id)
+	if len(preds) == 0 {
+		return st.g.Node(id).Release, true
+	}
+	anchor := math.Inf(-1)
+	for _, p := range preds {
+		if !st.assigned[p] {
+			return 0, false
+		}
+		if st.res.Absolute[p] > anchor {
+			anchor = st.res.Absolute[p]
+		}
+	}
+	return anchor, true
+}
+
+// deadlineAnchor returns the path-end absolute deadline of node id, valid
+// only when every successor has been assigned: the earliest release time of
+// any successor, or the end-to-end deadline for outputs.
+func (st *distState) deadlineAnchor(id taskgraph.NodeID) (float64, bool) {
+	succs := st.g.Succ(id)
+	if len(succs) == 0 {
+		return st.g.Node(id).EndToEnd, true
+	}
+	anchor := math.Inf(1)
+	for _, s := range succs {
+		if !st.assigned[s] {
+			return 0, false
+		}
+		if st.res.Release[s] < anchor {
+			anchor = st.res.Release[s]
+		}
+	}
+	return anchor, true
+}
+
+// findCriticalPath locates the unassigned path with the minimum metric
+// ratio among all (release-anchored, deadline-anchored) node pairs. Ties
+// are broken by discovery order (arbitrary, per the paper).
+func (st *distState) findCriticalPath() ([]taskgraph.NodeID, float64, error) {
+	type candidate struct {
+		start, end taskgraph.NodeID
+		k          int
+		ratio      float64
+	}
+	best := candidate{start: taskgraph.None, ratio: math.Inf(1)}
+	found := false
+
+	starts := st.startCandidates()
+	for _, s := range starts {
+		relAnchor, _ := st.releaseAnchor(s)
+		st.runDP(s)
+		for _, id := range st.touched {
+			dl, ok := st.deadlineAnchor(id)
+			if !ok {
+				continue
+			}
+			row := st.dp[id]
+			for k := range row {
+				if math.IsInf(row[k], -1) {
+					continue
+				}
+				r := st.metric.Ratio(dl-relAnchor, row[k], k)
+				if !found || r < best.ratio {
+					best = candidate{start: s, end: id, k: k, ratio: r}
+					found = true
+				}
+			}
+		}
+		st.resetDP()
+	}
+	if !found {
+		return nil, 0, ErrNoCritical
+	}
+
+	// Re-run the DP for the winning start and backtrack the path.
+	st.runDP(best.start)
+	path := st.backtrack(best.end, best.k)
+	st.resetDP()
+	return path, best.ratio, nil
+}
+
+// startCandidates returns unassigned nodes whose predecessors are all
+// assigned, in ID order.
+func (st *distState) startCandidates() []taskgraph.NodeID {
+	var out []taskgraph.NodeID
+	for id := 0; id < st.g.NumNodes(); id++ {
+		nid := taskgraph.NodeID(id)
+		if st.assigned[nid] {
+			continue
+		}
+		if _, ok := st.releaseAnchor(nid); ok {
+			out = append(out, nid)
+		}
+	}
+	return out
+}
+
+// runDP fills dp/par with the maximum accumulated virtual cost of every
+// path from s through unassigned nodes, bucketed by windowed-node count.
+func (st *distState) runDP(s taskgraph.NodeID) {
+	ws := 0
+	if st.vc[s] > 0 {
+		ws = 1
+	}
+	st.dp[s][ws] = st.vc[s]
+	st.touched = append(st.touched, s)
+
+	for _, u := range st.g.TopoOrder() {
+		if st.assigned[u] {
+			continue
+		}
+		row := st.dp[u]
+		reached := false
+		for k := range row {
+			if !math.IsInf(row[k], -1) {
+				reached = true
+				break
+			}
+		}
+		if !reached {
+			continue
+		}
+		for _, v := range st.g.Succ(u) {
+			if st.assigned[v] {
+				continue
+			}
+			wv := 0
+			if st.vc[v] > 0 {
+				wv = 1
+			}
+			vrow, vpar := st.dp[v], st.par[v]
+			vTouched := false
+			for k := range row {
+				if math.IsInf(row[k], -1) {
+					continue
+				}
+				kv := k + wv
+				if cand := row[k] + st.vc[v]; cand > vrow[kv] {
+					if !vTouched && rowUntouched(vrow) {
+						st.touched = append(st.touched, v)
+					}
+					vTouched = true
+					vrow[kv] = cand
+					vpar[kv] = u
+				}
+			}
+		}
+	}
+}
+
+// rowUntouched reports whether a dp row is still in its reset state. It is
+// only called before the first write to a row in the current DP run, where
+// scanning is cheap relative to the relaxation itself.
+func rowUntouched(row []float64) bool {
+	for _, v := range row {
+		if !math.IsInf(v, -1) {
+			return false
+		}
+	}
+	return true
+}
+
+// backtrack reconstructs the path ending at (end, k) from the par table.
+func (st *distState) backtrack(end taskgraph.NodeID, k int) []taskgraph.NodeID {
+	var rev []taskgraph.NodeID
+	id := end
+	for id != taskgraph.None {
+		rev = append(rev, id)
+		prev := st.par[id][k]
+		if st.vc[id] > 0 {
+			k--
+		}
+		id = prev
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// slice distributes the critical path's end-to-end deadline over the
+// path's nodes as consecutive, non-overlapping windows. Windowed nodes get
+// Metric.Window(c', R) (clamped at zero under overload); negligible nodes
+// get zero-width windows at the running position. When the metric sizes
+// windows with different costs than it ranks paths (WindowCoster), the
+// ratio is recomputed over the chosen path with the window costs so the
+// windows still sum exactly to the path's end-to-end deadline.
+func (st *distState) slice(path []taskgraph.NodeID, ratio float64) {
+	t, _ := st.releaseAnchor(path[0])
+	vc := st.vc
+	if &st.vcWin[0] != &st.vc[0] {
+		vc = st.vcWin
+		dl, _ := st.deadlineAnchor(path[len(path)-1])
+		sum, count := 0.0, 0
+		for _, id := range path {
+			if vc[id] > 0 {
+				sum += vc[id]
+				count++
+			}
+		}
+		ratio = st.metric.Ratio(dl-t, sum, count)
+	}
+	for _, id := range path {
+		st.res.Release[id] = t
+		if vc[id] > 0 {
+			w := st.metric.Window(vc[id], ratio)
+			if w < 0 || math.IsInf(ratio, 1) {
+				w = 0
+			}
+			st.res.Relative[id] = w
+			st.res.Windowed[id] = true
+			t += w
+		} else {
+			st.res.Relative[id] = 0
+		}
+		st.res.Absolute[id] = t
+		st.assigned[id] = true
+	}
+}

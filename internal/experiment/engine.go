@@ -1,0 +1,531 @@
+// Package experiment is the evaluation harness of this repository — the
+// equivalent of the authors' FEAST framework [14]. It generates workload
+// batches, runs the deadline-distribution → list-scheduling pipeline over a
+// sweep of system sizes, and aggregates the paper's quality measure (the
+// maximum task lateness, averaged over the batch) into tables that
+// reproduce every figure in the paper plus the Section 8 complementary
+// results.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"deadlinedist/internal/analysis"
+	"deadlinedist/internal/assign"
+	"deadlinedist/internal/channel"
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/generator"
+	"deadlinedist/internal/improve"
+	"deadlinedist/internal/platform"
+	"deadlinedist/internal/rng"
+	"deadlinedist/internal/scheduler"
+	"deadlinedist/internal/strategy"
+	"deadlinedist/internal/taskgraph"
+)
+
+// Assigner abstracts a deadline-assignment strategy: the slicing
+// distributors of internal/core and the one-pass baselines of
+// internal/strategy.
+type Assigner interface {
+	// Label identifies the strategy in tables ("PURE/CCNE", "ADAPT", "EQF").
+	Label() string
+	// Fingerprint returns a value that fully determines the assignment's
+	// dependence on the platform for a given graph: two platforms with
+	// equal fingerprints yield identical assignments, so results can be
+	// cached across the system-size sweep. nil means platform-independent.
+	Fingerprint(g *taskgraph.Graph, sys *platform.System) []float64
+	// Assign produces the annotated graph.
+	Assign(g *taskgraph.Graph, sys *platform.System) (*core.Result, error)
+}
+
+// slicingAssigner adapts a core.Distributor.
+type slicingAssigner struct {
+	dist core.Distributor
+}
+
+var _ Assigner = slicingAssigner{}
+
+// Slicing wraps a metric and a communication-cost estimator as an Assigner.
+func Slicing(m core.Metric, e core.CommEstimator) Assigner {
+	return slicingAssigner{dist: core.Distributor{Metric: m, Estimator: e}}
+}
+
+func (a slicingAssigner) Label() string {
+	return a.dist.Metric.Name() + "/" + a.dist.Estimator.Name()
+}
+
+func (a slicingAssigner) Fingerprint(g *taskgraph.Graph, sys *platform.System) []float64 {
+	est := a.dist.Estimator.Estimate(g, sys)
+	fp := a.dist.Metric.VirtualCosts(g, sys, est)
+	// Metrics sizing windows with separate costs depend on the platform
+	// through those too.
+	if wc, ok := a.dist.Metric.(core.WindowCoster); ok {
+		fp = append(append([]float64(nil), fp...), wc.WindowCosts(g, sys, est)...)
+	}
+	return fp
+}
+
+func (a slicingAssigner) Assign(g *taskgraph.Graph, sys *platform.System) (*core.Result, error) {
+	return a.dist.Distribute(g, sys)
+}
+
+// dynSlicingAssigner is a slicing assigner whose estimator depends on the
+// concrete platform (e.g. CCHOP needs the network built for the right
+// processor count).
+type dynSlicingAssigner struct {
+	metric core.Metric
+	label  string
+	est    func(sys *platform.System) (core.CommEstimator, error)
+}
+
+var _ Assigner = dynSlicingAssigner{}
+
+// SlicingDyn wraps a metric with a platform-dependent estimator factory.
+func SlicingDyn(m core.Metric, label string,
+	est func(sys *platform.System) (core.CommEstimator, error)) Assigner {
+	return dynSlicingAssigner{metric: m, label: label, est: est}
+}
+
+func (a dynSlicingAssigner) Label() string { return a.label }
+
+func (a dynSlicingAssigner) Fingerprint(g *taskgraph.Graph, sys *platform.System) []float64 {
+	e, err := a.est(sys)
+	if err != nil {
+		return nil // force a fresh Assign, which will surface the error
+	}
+	return a.metric.VirtualCosts(g, sys, e.Estimate(g, sys))
+}
+
+func (a dynSlicingAssigner) Assign(g *taskgraph.Graph, sys *platform.System) (*core.Result, error) {
+	e, err := a.est(sys)
+	if err != nil {
+		return nil, err
+	}
+	return core.Distributor{Metric: a.metric, Estimator: e}.Distribute(g, sys)
+}
+
+// baselineAssigner adapts a strategy.Strategy (platform-independent).
+type baselineAssigner struct {
+	s strategy.Strategy
+}
+
+var _ Assigner = baselineAssigner{}
+
+// Baseline wraps a one-pass assignment strategy as an Assigner.
+func Baseline(s strategy.Strategy) Assigner { return baselineAssigner{s: s} }
+
+func (a baselineAssigner) Label() string { return a.s.Name() }
+
+func (a baselineAssigner) Fingerprint(*taskgraph.Graph, *platform.System) []float64 { return nil }
+
+func (a baselineAssigner) Assign(g *taskgraph.Graph, _ *platform.System) (*core.Result, error) {
+	return a.s.Assign(g)
+}
+
+// assignFirst is the conventional-order strategy the paper argues against:
+// compute a full static task assignment first (Sarkar-style clustering +
+// load balancing), pin it into the graph, then distribute deadlines with
+// exact communication costs (the original BST's strict-locality mode).
+type assignFirst struct {
+	metric core.Metric
+}
+
+var (
+	_ Assigner         = assignFirst{}
+	_ GraphTransformer = assignFirst{}
+)
+
+// AssignFirst wraps a metric in the assignment-before-distribution flow.
+func AssignFirst(m core.Metric) Assigner { return assignFirst{metric: m} }
+
+func (a assignFirst) Label() string { return a.metric.Name() + "/assign-first" }
+
+func (a assignFirst) Transform(g *taskgraph.Graph, sys *platform.System) (*taskgraph.Graph, error) {
+	mapping, err := assign.Cluster(g, sys)
+	if err != nil {
+		return nil, err
+	}
+	return assign.Apply(g, mapping)
+}
+
+func (a assignFirst) Fingerprint(g *taskgraph.Graph, sys *platform.System) []float64 {
+	est := core.CCKnown(nil).Estimate(g, sys)
+	return a.metric.VirtualCosts(g, sys, est)
+}
+
+func (a assignFirst) Assign(g *taskgraph.Graph, sys *platform.System) (*core.Result, error) {
+	return core.Distributor{Metric: a.metric, Estimator: core.CCKnown(nil)}.Distribute(g, sys)
+}
+
+// improvedAssigner wraps a slicing distribution with the reference-[3]
+// style iterative improvement loop.
+type improvedAssigner struct {
+	dist core.Distributor
+	cfg  improve.Config
+}
+
+var _ Assigner = improvedAssigner{}
+
+// Improved wraps a metric and estimator with iterative improvement: after
+// distributing, the windows are reshaped toward the binding subtask for a
+// bounded number of schedule-and-adjust rounds.
+func Improved(m core.Metric, e core.CommEstimator, cfg improve.Config) Assigner {
+	return improvedAssigner{dist: core.Distributor{Metric: m, Estimator: e}, cfg: cfg}
+}
+
+func (a improvedAssigner) Label() string {
+	return a.dist.Metric.Name() + "+improve"
+}
+
+func (a improvedAssigner) Fingerprint(g *taskgraph.Graph, sys *platform.System) []float64 {
+	// Improvement schedules on the concrete platform, so the outcome
+	// always depends on the processor count.
+	est := a.dist.Estimator.Estimate(g, sys)
+	fp := a.dist.Metric.VirtualCosts(g, sys, est)
+	return append(append([]float64(nil), fp...), float64(sys.NumProcs()))
+}
+
+func (a improvedAssigner) Assign(g *taskgraph.Graph, sys *platform.System) (*core.Result, error) {
+	res, err := a.dist.Distribute(g, sys)
+	if err != nil {
+		return nil, err
+	}
+	out, err := improve.Run(g, sys, res, a.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return out.Distribution, nil
+}
+
+// Measure maps one completed run to the observed quantity.
+type Measure func(g *taskgraph.Graph, res *core.Result, sched *scheduler.Schedule) float64
+
+// MaxLateness is the paper's measure: maximum subtask lateness in the
+// final schedule.
+func MaxLateness(g *taskgraph.Graph, res *core.Result, sched *scheduler.Schedule) float64 {
+	return sched.MaxLateness(g, res)
+}
+
+// Makespan measures the schedule length instead.
+func Makespan(_ *taskgraph.Graph, _ *core.Result, sched *scheduler.Schedule) float64 {
+	return sched.Makespan
+}
+
+// EndToEndLateness measures output lateness against end-to-end deadlines.
+func EndToEndLateness(g *taskgraph.Graph, _ *core.Result, sched *scheduler.Schedule) float64 {
+	return sched.EndToEndLateness(g)
+}
+
+// Config parameterizes one experiment run.
+type Config struct {
+	// Workload is the task-graph generator configuration.
+	Workload generator.Config
+	// Graphs is the batch size (paper: 128 task graphs per point).
+	Graphs int
+	// Seed identifies the batch; the same seed regenerates the same
+	// graphs.
+	Seed uint64
+	// Sizes is the system-size sweep (paper: 2..16 processors).
+	Sizes []int
+	// Platform builds the system for a given size. Nil means the paper's
+	// default platform (homogeneous, contention-free shared bus, unit
+	// per-item cost).
+	Platform func(n int) (*platform.System, error)
+	// Scheduler configures the list scheduler.
+	Scheduler scheduler.Config
+	// Preemptive re-simulates each schedule under preemptive EDF (the
+	// Section 8 run-time-model alternative) instead of the paper's
+	// non-preemptive model.
+	Preemptive bool
+	// Network, when non-nil, routes messages over a multihop network with
+	// contended, deadline-scheduled links (reference [13]-style real-time
+	// channels) instead of the contention-free platform costs.
+	Network func(n int) (*channel.Network, error)
+	// Measure maps a run to the observed value (default MaxLateness).
+	Measure Measure
+	// Workers bounds the number of concurrent graph pipelines
+	// (default GOMAXPROCS).
+	Workers int
+	// Structured, when non-nil, replaces the random generator with a
+	// structured shape (its Workload field is overwritten with Workload).
+	Structured *generator.StructuredConfig
+	// Custom, when non-nil, replaces the generator entirely: one call per
+	// batch index with an independent random stream (used for the
+	// realistic benchmark applications). Takes precedence over Structured.
+	Custom func(src *rng.Source) (*taskgraph.Graph, error)
+}
+
+// GraphTransformer is an optional Assigner capability: strategies that
+// need to rewrite the workload for a concrete platform (e.g. computing a
+// static task assignment and pinning it into the graph) implement it; the
+// engine distributes, schedules and measures on the transformed graph.
+type GraphTransformer interface {
+	Transform(g *taskgraph.Graph, sys *platform.System) (*taskgraph.Graph, error)
+}
+
+// labelled overrides an assigner's table label.
+type labelled struct {
+	Assigner
+	label string
+}
+
+func (l labelled) Label() string { return l.label }
+
+// Default returns the paper's experimental setup (Section 5) for the given
+// execution-time scenario: 128 graphs, 2–16 processors, contention-free
+// shared bus, and the time-driven run-time model (subtasks dispatch within
+// their assigned windows).
+func Default(s generator.Scenario) Config {
+	return Config{
+		Workload:  generator.Default(s),
+		Graphs:    128,
+		Seed:      1997,
+		Sizes:     sizes(2, 16),
+		Scheduler: scheduler.Config{RespectRelease: true},
+	}
+}
+
+func sizes(lo, hi int) []int {
+	out := make([]int, 0, hi-lo+1)
+	for n := lo; n <= hi; n++ {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Point is one aggregated measurement at one system size. Raw retains the
+// per-graph observations (in batch order) so that paired comparisons
+// between curves — which share the same graphs — are possible.
+type Point struct {
+	Size  int
+	Stats analysis.Stats
+	Raw   []float64
+}
+
+// Curve is one strategy's measurements across the size sweep.
+type Curve struct {
+	Label  string
+	Points []Point
+}
+
+// Table is one chart of the paper: several curves over the same sweep.
+type Table struct {
+	Title    string
+	Scenario string
+	XLabel   string
+	YLabel   string
+	Curves   []Curve
+}
+
+// ErrNoAssigners is returned when Run is called without strategies.
+var ErrNoAssigners = errors.New("experiment needs at least one assigner")
+
+// Run executes the full pipeline for every assigner over the size sweep and
+// returns one table. Graph pipelines run concurrently; results are
+// aggregated in deterministic (graph-index) order so output is identical
+// regardless of parallelism.
+func (cfg Config) Run(title string, assigners ...Assigner) (*Table, error) {
+	if len(assigners) == 0 {
+		return nil, ErrNoAssigners
+	}
+	if cfg.Graphs < 1 {
+		return nil, fmt.Errorf("batch of %d graphs", cfg.Graphs)
+	}
+	if len(cfg.Sizes) == 0 {
+		return nil, errors.New("empty system-size sweep")
+	}
+	measure := cfg.Measure
+	if measure == nil {
+		measure = MaxLateness
+	}
+	makeSys := cfg.Platform
+	if makeSys == nil {
+		makeSys = func(n int) (*platform.System, error) { return platform.New(n) }
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	graphs, err := cfg.batch()
+	if err != nil {
+		return nil, fmt.Errorf("generate batch: %w", err)
+	}
+	systems := make([]*platform.System, len(cfg.Sizes))
+	nets := make([]*channel.Network, len(cfg.Sizes))
+	for i, n := range cfg.Sizes {
+		if systems[i], err = makeSys(n); err != nil {
+			return nil, fmt.Errorf("platform for %d processors: %w", n, err)
+		}
+		if cfg.Network != nil {
+			if nets[i], err = cfg.Network(n); err != nil {
+				return nil, fmt.Errorf("network for %d processors: %w", n, err)
+			}
+		}
+	}
+
+	// vals[a][g][s] = measure for assigner a, graph g, size s.
+	vals := make([][][]float64, len(assigners))
+	for a := range vals {
+		vals[a] = make([][]float64, cfg.Graphs)
+		for g := range vals[a] {
+			vals[a][g] = make([]float64, len(cfg.Sizes))
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for gi := range jobs {
+				if err := runGraph(cfg, graphs[gi], systems, nets, assigners, measure, gi, vals); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("graph %d: %w", gi, err)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for gi := 0; gi < cfg.Graphs; gi++ {
+		jobs <- gi
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	table := &Table{
+		Title:    title,
+		Scenario: scenarioName(cfg.Workload),
+		XLabel:   "processors",
+		YLabel:   "avg max lateness",
+	}
+	for a, asg := range assigners {
+		curve := Curve{Label: asg.Label(), Points: make([]Point, len(cfg.Sizes))}
+		for si, size := range cfg.Sizes {
+			pt := Point{Size: size, Raw: make([]float64, cfg.Graphs)}
+			for gi := 0; gi < cfg.Graphs; gi++ {
+				pt.Stats.Add(vals[a][gi][si])
+				pt.Raw[gi] = vals[a][gi][si]
+			}
+			curve.Points[si] = pt
+		}
+		table.Curves = append(table.Curves, curve)
+	}
+	return table, nil
+}
+
+// runGraph runs one graph through every assigner and size, reusing the
+// distribution when its fingerprint is unchanged across sizes.
+func runGraph(cfg Config, g *taskgraph.Graph, systems []*platform.System,
+	nets []*channel.Network, assigners []Assigner, measure Measure, gi int, vals [][][]float64) error {
+
+	for a, asg := range assigners {
+		var (
+			cachedFP  []float64
+			cachedRes *core.Result
+		)
+		transformer, _ := asg.(GraphTransformer)
+		for si, sys := range systems {
+			gg := g
+			if transformer != nil {
+				var err error
+				if gg, err = transformer.Transform(g, sys); err != nil {
+					return fmt.Errorf("%s: transform: %w", asg.Label(), err)
+				}
+			}
+			fp := asg.Fingerprint(gg, sys)
+			if cachedRes == nil || !equalFP(fp, cachedFP) {
+				res, err := asg.Assign(gg, sys)
+				if err != nil {
+					return fmt.Errorf("%s: %w", asg.Label(), err)
+				}
+				cachedRes, cachedFP = res, fp
+			}
+			var (
+				sched *scheduler.Schedule
+				err   error
+			)
+			switch {
+			case nets[si] != nil:
+				var ms *scheduler.MultihopSchedule
+				if ms, err = scheduler.RunMultihop(gg, sys, nets[si], cachedRes, cfg.Scheduler); err == nil {
+					sched = ms.Schedule
+				}
+			case cfg.Preemptive:
+				sched, err = scheduler.RunPreemptive(gg, sys, cachedRes, cfg.Scheduler)
+			default:
+				sched, err = scheduler.Run(gg, sys, cachedRes, cfg.Scheduler)
+			}
+			if err != nil {
+				return fmt.Errorf("%s: schedule: %w", asg.Label(), err)
+			}
+			vals[a][gi][si] = measure(gg, cachedRes, sched)
+		}
+	}
+	return nil
+}
+
+// batch generates the run's task graphs: random by default, or one
+// structured shape per seed split when Structured is set.
+func (cfg Config) batch() ([]*taskgraph.Graph, error) {
+	src := rng.New(cfg.Seed)
+	if cfg.Custom != nil {
+		graphs := make([]*taskgraph.Graph, cfg.Graphs)
+		for i := range graphs {
+			g, err := cfg.Custom(src.Split(uint64(i)))
+			if err != nil {
+				return nil, fmt.Errorf("custom graph %d: %w", i, err)
+			}
+			graphs[i] = g
+		}
+		return graphs, nil
+	}
+	if cfg.Structured == nil {
+		return generator.Batch(cfg.Workload, src, cfg.Graphs)
+	}
+	sc := *cfg.Structured
+	sc.Workload = cfg.Workload
+	graphs := make([]*taskgraph.Graph, cfg.Graphs)
+	for i := range graphs {
+		g, err := generator.Structured(sc, src.Split(uint64(i)))
+		if err != nil {
+			return nil, fmt.Errorf("structured graph %d: %w", i, err)
+		}
+		graphs[i] = g
+	}
+	return graphs, nil
+}
+
+func equalFP(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return a != nil || b == nil
+}
+
+func scenarioName(w generator.Config) string {
+	for _, s := range generator.Scenarios() {
+		if s.Deviation == w.ExecDeviation {
+			return s.Name
+		}
+	}
+	return fmt.Sprintf("dev=%.2f", w.ExecDeviation)
+}

@@ -1,0 +1,472 @@
+package experiment
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"deadlinedist/internal/apps"
+	"deadlinedist/internal/channel"
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/generator"
+	"deadlinedist/internal/improve"
+	"deadlinedist/internal/platform"
+	"deadlinedist/internal/rng"
+	"deadlinedist/internal/strategy"
+	"deadlinedist/internal/taskgraph"
+)
+
+// tiny returns a fast configuration for unit tests: few graphs, two sizes.
+func tiny() Config {
+	cfg := Default(generator.MDET)
+	cfg.Graphs = 6
+	cfg.Sizes = []int{2, 8}
+	return cfg
+}
+
+func TestRunTableShape(t *testing.T) {
+	cfg := tiny()
+	table, err := cfg.Run("shape test",
+		Slicing(core.PURE(), core.CCNE()),
+		Slicing(core.NORM(), core.CCAA()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Curves) != 2 {
+		t.Fatalf("curves = %d, want 2", len(table.Curves))
+	}
+	if table.Curves[0].Label != "PURE/CCNE" || table.Curves[1].Label != "NORM/CCAA" {
+		t.Fatalf("labels = %q, %q", table.Curves[0].Label, table.Curves[1].Label)
+	}
+	for _, c := range table.Curves {
+		if len(c.Points) != 2 {
+			t.Fatalf("points = %d, want 2", len(c.Points))
+		}
+		for i, p := range c.Points {
+			if p.Size != cfg.Sizes[i] {
+				t.Errorf("point %d size = %d, want %d", i, p.Size, cfg.Sizes[i])
+			}
+			if p.Stats.N() != cfg.Graphs {
+				t.Errorf("point %d aggregated %d runs, want %d", i, p.Stats.N(), cfg.Graphs)
+			}
+		}
+	}
+	if table.Scenario != "MDET" {
+		t.Errorf("scenario = %q, want MDET", table.Scenario)
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) *Table {
+		cfg := tiny()
+		cfg.Workers = workers
+		table, err := cfg.Run("determinism", Slicing(core.ADAPT(1.25), core.CCNE()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return table
+	}
+	t1, t4 := run(1), run(4)
+	for si := range t1.Curves[0].Points {
+		m1 := t1.Curves[0].Points[si].Stats.Mean()
+		m4 := t4.Curves[0].Points[si].Stats.Mean()
+		if m1 != m4 {
+			t.Fatalf("size index %d: mean %v (1 worker) != %v (4 workers)", si, m1, m4)
+		}
+	}
+}
+
+func TestFingerprintCachingMatchesFreshRuns(t *testing.T) {
+	// ADAPT depends on system size, so running the sweep {2,16} must give
+	// the same value at 16 as running {16} alone (cache must miss).
+	full := tiny()
+	full.Sizes = []int{2, 16}
+	alone := tiny()
+	alone.Sizes = []int{16}
+
+	a := Slicing(core.ADAPT(1.25), core.CCNE())
+	tf, err := full.Run("full", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := alone.Run("alone", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, _ := tf.Mean("ADAPT/CCNE", 16)
+	ma, _ := ta.Mean("ADAPT/CCNE", 16)
+	if mf != ma {
+		t.Fatalf("cached sweep mean %v != standalone mean %v", mf, ma)
+	}
+}
+
+func TestPlatformIndependentStrategyCached(t *testing.T) {
+	// PURE/CCNE is platform-independent: values at a common size must
+	// agree between sweeps regardless of cache reuse.
+	full := tiny()
+	full.Sizes = []int{2, 4, 8}
+	alone := tiny()
+	alone.Sizes = []int{8}
+	a := Slicing(core.PURE(), core.CCNE())
+	tf, err := full.Run("full", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := alone.Run("alone", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, okf := tf.Mean("PURE/CCNE", 8)
+	ma, oka := ta.Mean("PURE/CCNE", 8)
+	if !okf || !oka || mf != ma {
+		t.Fatalf("means differ: %v vs %v (ok %v/%v)", mf, ma, okf, oka)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cfg := tiny()
+	if _, err := cfg.Run("none"); !errors.Is(err, ErrNoAssigners) {
+		t.Errorf("no assigners: %v, want ErrNoAssigners", err)
+	}
+	bad := tiny()
+	bad.Graphs = 0
+	if _, err := bad.Run("bad", Slicing(core.PURE(), core.CCNE())); err == nil {
+		t.Error("zero graphs accepted")
+	}
+	bad2 := tiny()
+	bad2.Sizes = nil
+	if _, err := bad2.Run("bad", Slicing(core.PURE(), core.CCNE())); err == nil {
+		t.Error("empty size sweep accepted")
+	}
+	bad3 := tiny()
+	bad3.Workload.MET = -1
+	if _, err := bad3.Run("bad", Slicing(core.PURE(), core.CCNE())); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestBaselineAssigner(t *testing.T) {
+	cfg := tiny()
+	table, err := cfg.Run("baseline", Baseline(strategy.EQF()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Curves[0].Label != "EQF" {
+		t.Errorf("label = %q, want EQF", table.Curves[0].Label)
+	}
+	if table.Curves[0].Points[0].Stats.N() != cfg.Graphs {
+		t.Error("baseline curve incomplete")
+	}
+}
+
+func TestMeasureOverride(t *testing.T) {
+	cfg := tiny()
+	cfg.Measure = Makespan
+	table, err := cfg.Run("makespan", Slicing(core.PURE(), core.CCNE()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Makespans are positive; lateness would be mostly negative here.
+	for _, p := range table.Curves[0].Points {
+		if p.Stats.Mean() <= 0 {
+			t.Errorf("size %d: makespan mean %v, want > 0", p.Size, p.Stats.Mean())
+		}
+	}
+	// More processors cannot increase the makespan much.
+	m2, _ := table.Mean("PURE/CCNE", 2)
+	m8, _ := table.Mean("PURE/CCNE", 8)
+	if m8 > m2 {
+		t.Errorf("makespan grew with processors: %v at 2, %v at 8", m2, m8)
+	}
+}
+
+func TestStructuredBatch(t *testing.T) {
+	cfg := tiny()
+	cfg.Structured = &generator.StructuredConfig{Shape: generator.ShapeForkJoin, Depth: 4, Width: 3}
+	table, err := cfg.Run("structured", Slicing(core.PURE(), core.CCNE()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Curves[0].Points[0].Stats.N() != cfg.Graphs {
+		t.Error("structured batch incomplete")
+	}
+}
+
+func TestTableFormats(t *testing.T) {
+	cfg := tiny()
+	table, err := cfg.Run("format test", Slicing(core.PURE(), core.CCNE()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := table.String()
+	for _, want := range []string{"format test", "MDET", "PURE/CCNE", "2", "8"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("String() missing %q:\n%s", want, txt)
+		}
+	}
+	csv := table.CSV()
+	if !strings.HasPrefix(csv, "size,PURE/CCNE mean,PURE/CCNE ci95") {
+		t.Errorf("CSV header = %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if lines := strings.Count(csv, "\n"); lines != 3 { // header + 2 sizes
+		t.Errorf("CSV has %d lines, want 3:\n%s", lines, csv)
+	}
+	plot := table.Plot(40, 10)
+	if !strings.Contains(plot, "PURE/CCNE") {
+		t.Errorf("Plot missing legend:\n%s", plot)
+	}
+}
+
+func TestMeanLookup(t *testing.T) {
+	cfg := tiny()
+	table, err := cfg.Run("lookup", Slicing(core.PURE(), core.CCNE()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := table.Mean("PURE/CCNE", 2); !ok {
+		t.Error("existing point not found")
+	}
+	if _, ok := table.Mean("PURE/CCNE", 99); ok {
+		t.Error("nonexistent size found")
+	}
+	if _, ok := table.Mean("NOPE", 2); ok {
+		t.Error("nonexistent label found")
+	}
+}
+
+func TestFigureRegistryComplete(t *testing.T) {
+	figs := Figures()
+	order := FigureOrder()
+	if len(figs) != len(order) {
+		t.Fatalf("registry has %d entries, order has %d", len(figs), len(order))
+	}
+	for _, k := range order {
+		if figs[k] == nil {
+			t.Errorf("figure %q missing from registry", k)
+		}
+	}
+}
+
+func TestClaimsWellFormed(t *testing.T) {
+	registry := Figures()
+	ids := map[string]bool{}
+	for _, c := range Claims() {
+		if c.ID == "" || c.Statement == "" || c.Source == "" || c.Check == nil {
+			t.Fatalf("claim %+v incomplete", c.ID)
+		}
+		if ids[c.ID] {
+			t.Fatalf("duplicate claim ID %s", c.ID)
+		}
+		ids[c.ID] = true
+		for _, f := range c.Figures {
+			if registry[f] == nil {
+				t.Fatalf("claim %s references unknown figure %q", c.ID, f)
+			}
+		}
+	}
+}
+
+func TestPairedDiff(t *testing.T) {
+	cfg := tiny()
+	table, err := cfg.Run("paired",
+		Slicing(core.PURE(), core.CCNE()),
+		Slicing(core.ADAPT(1.25), core.CCNE()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := table.PairedDiff("ADAPT/CCNE", "PURE/CCNE", 2)
+	if !ok {
+		t.Fatal("paired diff unavailable")
+	}
+	if d.N() != cfg.Graphs {
+		t.Fatalf("paired over %d graphs, want %d", d.N(), cfg.Graphs)
+	}
+	// Consistency: mean of differences == difference of means.
+	a, _ := table.Mean("ADAPT/CCNE", 2)
+	p, _ := table.Mean("PURE/CCNE", 2)
+	if diff := d.Mean() - (a - p); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("paired mean %v != mean diff %v", d.Mean(), a-p)
+	}
+	// Missing labels or sizes are reported.
+	if _, ok := table.PairedDiff("NOPE", "PURE/CCNE", 2); ok {
+		t.Error("missing label accepted")
+	}
+	if _, ok := table.PairedDiff("ADAPT/CCNE", "PURE/CCNE", 99); ok {
+		t.Error("missing size accepted")
+	}
+}
+
+func TestPairedCITighterThanMarginal(t *testing.T) {
+	cfg := tiny()
+	cfg.Graphs = 24
+	table, err := cfg.Run("paired-ci",
+		Slicing(core.PURE(), core.CCNE()),
+		Slicing(core.THRES(1, 1.25), core.CCNE()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := table.PairedDiff("THRES/CCNE", "PURE/CCNE", 2)
+	if !ok {
+		t.Fatal("paired diff unavailable")
+	}
+	var marginal float64
+	for _, c := range table.Curves {
+		if c.Label == "PURE/CCNE" {
+			marginal = c.Points[0].Stats.CI95()
+		}
+	}
+	if d.CI95() >= marginal {
+		t.Fatalf("paired CI %v not tighter than marginal %v", d.CI95(), marginal)
+	}
+}
+
+func TestWindowCosterFingerprintNotCachedAcrossSizes(t *testing.T) {
+	// The window-only ablation metric's ranking costs are platform-
+	// independent but its window costs are not; the fingerprint must
+	// include both so the sweep re-distributes per size (regression test).
+	full := tiny()
+	full.Sizes = []int{2, 16}
+	alone := tiny()
+	alone.Sizes = []int{16}
+	a := Slicing(core.ADAPTAblation(1.25, false, true), core.CCNE())
+	tf, err := full.Run("full", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := alone.Run("alone", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	label := tf.Curves[0].Label
+	mf, _ := tf.Mean(label, 16)
+	ma, _ := ta.Mean(label, 16)
+	if mf != ma {
+		t.Fatalf("cached sweep mean %v != standalone mean %v", mf, ma)
+	}
+}
+
+func TestVerifyClaimsMachinery(t *testing.T) {
+	// Claims need the full contiguous size sweep (saturation checks look
+	// at N-1); a 3-graph batch keeps this fast. Statistical claims may
+	// legitimately fail at this scale — the test checks the machinery, not
+	// the verdicts.
+	base := Default(generator.MDET)
+	base.Graphs = 3
+	results, err := VerifyClaims(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Claims()) {
+		t.Fatalf("got %d results for %d claims", len(results), len(Claims()))
+	}
+	for _, r := range results {
+		if r.Detail == "" {
+			t.Errorf("claim %s returned no detail", r.Claim.ID)
+		}
+	}
+}
+
+func TestEndToEndLatenessMeasure(t *testing.T) {
+	cfg := tiny()
+	cfg.Measure = EndToEndLateness
+	table, err := cfg.Run("e2e", Slicing(core.PURE(), core.CCNE()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feasible workloads: every output meets its end-to-end deadline.
+	for _, p := range table.Curves[0].Points {
+		if p.Stats.Max() > 0 {
+			t.Errorf("size %d: end-to-end lateness %v > 0", p.Size, p.Stats.Max())
+		}
+	}
+}
+
+func TestCustomBatch(t *testing.T) {
+	cfg := tiny()
+	cfg.Custom = apps.All()[0].Build
+	table, err := cfg.Run("custom", Slicing(core.PURE(), core.CCNE()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Curves[0].Points[0].Stats.N() != cfg.Graphs {
+		t.Fatal("custom batch incomplete")
+	}
+}
+
+func TestCustomBatchError(t *testing.T) {
+	cfg := tiny()
+	cfg.Custom = func(*rng.Source) (*taskgraph.Graph, error) {
+		return nil, errors.New("boom")
+	}
+	if _, err := cfg.Run("custom", Slicing(core.PURE(), core.CCNE())); err == nil {
+		t.Fatal("custom factory error not propagated")
+	}
+}
+
+func TestImprovedAssigner(t *testing.T) {
+	cfg := tiny()
+	icfg := improve.Config{Iterations: 2, Scheduler: cfg.Scheduler}
+	table, err := cfg.Run("improved",
+		Slicing(core.PURE(), core.CCNE()),
+		Improved(core.PURE(), core.CCNE(), icfg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Curves[1].Label != "PURE+improve" {
+		t.Fatalf("label = %q", table.Curves[1].Label)
+	}
+	// The improver keeps the best assignment, so it can never do worse.
+	for _, p := range table.Curves[0].Points {
+		plain, _ := table.Mean("PURE/CCNE", p.Size)
+		better, _ := table.Mean("PURE+improve", p.Size)
+		if better > plain+1e-9 {
+			t.Fatalf("size %d: improved %v worse than plain %v", p.Size, better, plain)
+		}
+	}
+}
+
+func TestSlicingDynAssigner(t *testing.T) {
+	cfg := tiny()
+	mkEst := func(sys *platform.System) (core.CommEstimator, error) {
+		net, err := channel.Ring(sys.NumProcs(), 1)
+		if err != nil {
+			return nil, err
+		}
+		return core.CCHOP(net), nil
+	}
+	table, err := cfg.Run("dyn", SlicingDyn(core.PURE(), "PURE/CCHOP", mkEst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Curves[0].Label != "PURE/CCHOP" {
+		t.Fatalf("label = %q", table.Curves[0].Label)
+	}
+	// A failing factory surfaces as a run error.
+	bad := SlicingDyn(core.PURE(), "bad", func(*platform.System) (core.CommEstimator, error) {
+		return nil, errors.New("no network")
+	})
+	if _, err := cfg.Run("dyn-bad", bad); err == nil {
+		t.Fatal("factory error not propagated")
+	}
+}
+
+func TestNetworkedRun(t *testing.T) {
+	cfg := tiny()
+	cfg.Network = func(n int) (*channel.Network, error) { return channel.Ring(n, 1) }
+	table, err := cfg.Run("networked", Slicing(core.ADAPT(1.25), core.CCNE()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Curves[0].Points[0].Stats.N() != cfg.Graphs {
+		t.Fatal("networked run incomplete")
+	}
+	// A failing network factory surfaces as a run error.
+	cfg.Network = func(int) (*channel.Network, error) { return nil, errors.New("down") }
+	if _, err := cfg.Run("networked-bad", Slicing(core.PURE(), core.CCNE())); err == nil {
+		t.Fatal("network factory error not propagated")
+	}
+}

@@ -1,0 +1,599 @@
+package experiment
+
+import (
+	"fmt"
+
+	"deadlinedist/internal/apps"
+	"deadlinedist/internal/channel"
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/generator"
+	"deadlinedist/internal/improve"
+	"deadlinedist/internal/platform"
+	"deadlinedist/internal/scheduler"
+	"deadlinedist/internal/strategy"
+)
+
+// This file maps every figure of the paper — and the Section 8
+// complementary results — onto harness runs. Each function takes a base
+// configuration (typically experiment.Default(scenario) with the batch
+// size possibly reduced) and returns one table per scenario/panel, exactly
+// mirroring the paper's plot layout. See DESIGN.md §4 for the index.
+
+// options shared by the AST experiments (Section 7): Figure 5 uses
+// Δ=1 and c_thres = 1.25 × MET.
+const (
+	defaultDelta       = 1.0
+	defaultThresFactor = 1.25
+)
+
+// scenarioConfigs clones base once per paper scenario (LDET, MDET, HDET).
+func scenarioConfigs(base Config) []Config {
+	out := make([]Config, 0, 3)
+	for _, s := range generator.Scenarios() {
+		cfg := base
+		cfg.Workload.ExecDeviation = s.Deviation
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// Figure2 reproduces Figure 2: maximum task lateness of the BST metrics
+// (PURE, NORM) under both communication-cost estimation strategies (CCNE,
+// CCAA), one table per execution-time scenario.
+func Figure2(base Config) ([]*Table, error) {
+	var tables []*Table
+	for _, cfg := range scenarioConfigs(base) {
+		t, err := cfg.Run("Figure 2: BST metrics (PURE, NORM) x (CCNE, CCAA)",
+			Slicing(core.PURE(), core.CCNE()),
+			Slicing(core.PURE(), core.CCAA()),
+			Slicing(core.NORM(), core.CCNE()),
+			Slicing(core.NORM(), core.CCAA()),
+		)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Figure3 reproduces Figure 3: the THRES metric for surplus factors
+// Δ ∈ {1, 2, 4} (CCNE, c_thres = MET), one table per scenario.
+func Figure3(base Config) ([]*Table, error) {
+	var tables []*Table
+	for _, cfg := range scenarioConfigs(base) {
+		t, err := cfg.Run("Figure 3: THRES surplus factor sweep",
+			labelled{Slicing(core.THRES(1, 1.0), core.CCNE()), "THRES d=1"},
+			labelled{Slicing(core.THRES(2, 1.0), core.CCNE()), "THRES d=2"},
+			labelled{Slicing(core.THRES(4, 1.0), core.CCNE()), "THRES d=4"},
+		)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Figure4 reproduces Figure 4: the THRES metric for execution-time
+// thresholds c_thres ∈ {0.75, 1.0, 1.25} × MET (Δ=1, CCNE).
+func Figure4(base Config) ([]*Table, error) {
+	var tables []*Table
+	for _, cfg := range scenarioConfigs(base) {
+		t, err := cfg.Run("Figure 4: THRES execution-time threshold sweep",
+			labelled{Slicing(core.THRES(defaultDelta, 0.75), core.CCNE()), "cthres=0.75 MET"},
+			labelled{Slicing(core.THRES(defaultDelta, 1.00), core.CCNE()), "cthres=1.00 MET"},
+			labelled{Slicing(core.THRES(defaultDelta, 1.25), core.CCNE()), "cthres=1.25 MET"},
+		)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Figure5 reproduces Figure 5: PURE vs THRES(Δ=1) vs ADAPT, with
+// c_thres = 1.25 × MET and the CCNE strategy (AST's design choice).
+func Figure5(base Config) ([]*Table, error) {
+	var tables []*Table
+	for _, cfg := range scenarioConfigs(base) {
+		t, err := cfg.Run("Figure 5: PURE vs THRES vs ADAPT",
+			Slicing(core.PURE(), core.CCNE()),
+			Slicing(core.THRES(defaultDelta, defaultThresFactor), core.CCNE()),
+			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
+		)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// CCRSweep reproduces the Section 8 result that AST scales with the
+// communication-to-computation cost ratio: PURE vs ADAPT for CCR ∈
+// {0.5, 1, 2, 4} under the MDET scenario.
+func CCRSweep(base Config) ([]*Table, error) {
+	var tables []*Table
+	for _, ccr := range []float64{0.5, 1, 2, 4} {
+		cfg := base
+		cfg.Workload.ExecDeviation = generator.MDET.Deviation
+		cfg.Workload.CCR = ccr
+		t, err := cfg.Run(fmt.Sprintf("Section 8: CCR sweep (CCR=%.1f)", ccr),
+			Slicing(core.PURE(), core.CCNE()),
+			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
+		)
+		if err != nil {
+			return nil, err
+		}
+		t.Scenario = fmt.Sprintf("MDET CCR=%.1f", ccr)
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// METSweep reproduces the Section 8 result that AST scales with the mean
+// subtask execution time: PURE vs ADAPT for MET ∈ {5, 20, 80} (MDET).
+// Message sizes follow CCR so communication scales proportionally.
+func METSweep(base Config) ([]*Table, error) {
+	var tables []*Table
+	for _, met := range []float64{5, 20, 80} {
+		cfg := base
+		cfg.Workload.ExecDeviation = generator.MDET.Deviation
+		cfg.Workload.MET = met
+		t, err := cfg.Run(fmt.Sprintf("Section 8: MET sweep (MET=%g)", met),
+			Slicing(core.PURE(), core.CCNE()),
+			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
+		)
+		if err != nil {
+			return nil, err
+		}
+		t.Scenario = fmt.Sprintf("MDET MET=%g", met)
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// ParallelismSweep reproduces the Section 8 result that AST scales with the
+// degree of task-graph parallelism, by reshaping the random graphs: deep
+// (low parallelism), the paper's default, and shallow (high parallelism).
+func ParallelismSweep(base Config) ([]*Table, error) {
+	shapes := []struct {
+		name               string
+		minDepth, maxDepth int
+	}{
+		{"deep 14-18 levels", 14, 18},
+		{"default 8-12 levels", 8, 12},
+		{"shallow 4-6 levels", 4, 6},
+	}
+	var tables []*Table
+	for _, sh := range shapes {
+		cfg := base
+		cfg.Workload.ExecDeviation = generator.MDET.Deviation
+		cfg.Workload.MinDepth, cfg.Workload.MaxDepth = sh.minDepth, sh.maxDepth
+		t, err := cfg.Run("Section 8: parallelism sweep ("+sh.name+")",
+			Slicing(core.PURE(), core.CCNE()),
+			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
+		)
+		if err != nil {
+			return nil, err
+		}
+		t.Scenario = "MDET " + sh.name
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// TopologySweep reproduces the Section 8 result that AST scales across
+// interconnection topologies.
+func TopologySweep(base Config) ([]*Table, error) {
+	topos := []struct {
+		name string
+		make func(n int) platform.Topology
+	}{
+		{"shared-bus", func(int) platform.Topology { return platform.SharedBus{PerItemCost: 1} }},
+		{"full-mesh", func(int) platform.Topology { return platform.FullMesh{PerItemCost: 1} }},
+		{"ring", func(n int) platform.Topology { return platform.Ring{NumProcs: n, PerItemCost: 1} }},
+		{"star", func(int) platform.Topology { return platform.Star{PerItemCost: 1} }},
+	}
+	var tables []*Table
+	for _, topo := range topos {
+		cfg := base
+		cfg.Workload.ExecDeviation = generator.MDET.Deviation
+		mk := topo.make
+		cfg.Platform = func(n int) (*platform.System, error) {
+			return platform.New(n, platform.WithTopology(mk(n)))
+		}
+		t, err := cfg.Run("Section 8: topology sweep ("+topo.name+")",
+			Slicing(core.PURE(), core.CCNE()),
+			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
+		)
+		if err != nil {
+			return nil, err
+		}
+		t.Scenario = "MDET " + topo.name
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// BaselineComparison is extension X1: the one-pass Kao & Garcia-Molina
+// baselines against PURE and ADAPT (MDET).
+func BaselineComparison(base Config) ([]*Table, error) {
+	cfg := base
+	cfg.Workload.ExecDeviation = generator.MDET.Deviation
+	assigners := []Assigner{
+		Slicing(core.PURE(), core.CCNE()),
+		Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
+	}
+	for _, s := range strategy.All() {
+		assigners = append(assigners, Baseline(s))
+	}
+	t, err := cfg.Run("Extension X1: one-pass baselines vs slicing", assigners...)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+// BusAblation is extension X2: the contention-free bus of the paper's base
+// model against a contended EDF bus (ADAPT and PURE, CCAA estimates since
+// communication is what contends).
+func BusAblation(base Config) ([]*Table, error) {
+	var tables []*Table
+	for _, contended := range []bool{false, true} {
+		cfg := base
+		cfg.Workload.ExecDeviation = generator.MDET.Deviation
+		name := "contention-free bus"
+		if contended {
+			name = "contended EDF bus"
+			cfg.Platform = func(n int) (*platform.System, error) {
+				return platform.New(n, platform.WithBusContention())
+			}
+		}
+		t, err := cfg.Run("Extension X2: bus contention ablation ("+name+")",
+			Slicing(core.PURE(), core.CCAA()),
+			Slicing(core.ADAPT(defaultThresFactor), core.CCAA()),
+		)
+		if err != nil {
+			return nil, err
+		}
+		t.Scenario = "MDET " + name
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// OLRBasisAblation is ablation X8: the two readings of the paper's
+// "overall laxity ratio" rule (DESIGN.md §3). The default total-workload
+// basis yields feasible schedules whose lateness saturates negative; the
+// tighter longest-path basis drives small systems into overload where all
+// metrics coincide — the evidence behind the model decision.
+func OLRBasisAblation(base Config) ([]*Table, error) {
+	var tables []*Table
+	for _, basis := range []struct {
+		name string
+		b    generator.OLRBasis
+	}{
+		{"OLR x total workload (default)", generator.OLRTotalWork},
+		{"OLR x longest path", generator.OLRLongestPath},
+	} {
+		cfg := base
+		cfg.Workload.ExecDeviation = generator.MDET.Deviation
+		cfg.Workload.Basis = basis.b
+		t, err := cfg.Run("Ablation X8: end-to-end deadline basis ("+basis.name+")",
+			Slicing(core.PURE(), core.CCNE()),
+			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
+		)
+		if err != nil {
+			return nil, err
+		}
+		t.Scenario = "MDET " + basis.name
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// DispatchAblation is ablation X9: the time-driven run-time model (the
+// default; slices occupy static positions, per BST's static windows)
+// against work-conserving ASAP dispatch that uses the windows only for EDF
+// priorities (DESIGN.md §3).
+func DispatchAblation(base Config) ([]*Table, error) {
+	var tables []*Table
+	for _, mode := range []struct {
+		name    string
+		respect bool
+	}{
+		{"time-driven (default)", true},
+		{"work-conserving ASAP", false},
+	} {
+		cfg := base
+		cfg.Workload.ExecDeviation = generator.MDET.Deviation
+		cfg.Scheduler.RespectRelease = mode.respect
+		t, err := cfg.Run("Ablation X9: dispatch model ("+mode.name+")",
+			Slicing(core.PURE(), core.CCNE()),
+			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
+		)
+		if err != nil {
+			return nil, err
+		}
+		t.Scenario = "MDET " + mode.name
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// AppSweep evaluates the metrics on the realistic benchmark applications
+// (Section 8: "evaluate AST on a set of realistic benchmarks ... larger
+// applications"): one table per application, over a batch of WCET-jittered
+// instances, with the applications' own strict locality constraints in
+// force.
+func AppSweep(base Config) ([]*Table, error) {
+	var tables []*Table
+	for _, app := range apps.All() {
+		cfg := base
+		cfg.Custom = app.Build
+		t, err := cfg.Run("Section 8 (future work): benchmark application ("+app.Name+")",
+			Slicing(core.PURE(), core.CCNE()),
+			Slicing(core.THRES(defaultDelta, defaultThresFactor), core.CCNE()),
+			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
+		)
+		if err != nil {
+			return nil, err
+		}
+		t.Scenario = app.Name + " (" + app.About + ")"
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// ImproveSweep is extension X7, the reference-[3] flavour of the related
+// work: iterative improvement of an initial distribution ("given an
+// initial local deadline assignment, find an improved solution in
+// reasonable time"). PURE and ADAPT with and without the improvement loop,
+// MDET.
+func ImproveSweep(base Config) ([]*Table, error) {
+	cfg := base
+	cfg.Workload.ExecDeviation = generator.MDET.Deviation
+	icfg := improve.Config{Iterations: 8, Scheduler: cfg.Scheduler}
+	t, err := cfg.Run("Extension X7: iterative improvement of the distribution",
+		Slicing(core.PURE(), core.CCNE()),
+		Improved(core.PURE(), core.CCNE(), icfg),
+		Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
+		Improved(core.ADAPT(defaultThresFactor), core.CCNE(), icfg),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+// AblationSweep decomposes ADAPT into its two ingredients (extension X6):
+// the inflated virtual execution times are applied to critical-path
+// ranking only, window sizing only, both (= ADAPT) or neither (= PURE),
+// isolating which ingredient produces the small-system gains DESIGN.md
+// calls out as AST's design choice. MDET.
+func AblationSweep(base Config) ([]*Table, error) {
+	cfg := base
+	cfg.Workload.ExecDeviation = generator.MDET.Deviation
+	t, err := cfg.Run("Extension X6: AST ingredient ablation",
+		labelled{Slicing(core.ADAPTAblation(defaultThresFactor, false, false), core.CCNE()), "neither (PURE)"},
+		labelled{Slicing(core.ADAPTAblation(defaultThresFactor, true, false), core.CCNE()), "rank-only"},
+		labelled{Slicing(core.ADAPTAblation(defaultThresFactor, false, true), core.CCNE()), "window-only"},
+		labelled{Slicing(core.ADAPTAblation(defaultThresFactor, true, true), core.CCNE()), "both (ADAPT)"},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+// ChannelSweep addresses the Section 8 open question head-on: with
+// messages carried by contended, deadline-scheduled multihop channels
+// (reference [13]), how should the distributor estimate communication
+// costs under relaxed locality constraints? For each network family the
+// ADAPT metric runs with CCNE (ignore channels), CCHOP (mean route cost,
+// this repository's proposal) and CCAA (single-hop pair cost).
+func ChannelSweep(base Config) ([]*Table, error) {
+	var tables []*Table
+	for _, name := range []string{"bus", "ring", "star", "mesh"} {
+		build := channel.Builders()[name]
+		cfg := base
+		cfg.Workload.ExecDeviation = generator.MDET.Deviation
+		cfg.Network = func(n int) (*channel.Network, error) { return build(n, 1) }
+		mkEst := func(sys *platform.System) (core.CommEstimator, error) {
+			net, err := build(sys.NumProcs(), 1)
+			if err != nil {
+				return nil, err
+			}
+			return core.CCHOP(net), nil
+		}
+		t, err := cfg.Run("Extension X5: real-time channels ("+name+" network)",
+			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
+			SlicingDyn(core.ADAPT(defaultThresFactor), "ADAPT/CCHOP", mkEst),
+			Slicing(core.ADAPT(defaultThresFactor), core.CCAA()),
+		)
+		if err != nil {
+			return nil, err
+		}
+		t.Scenario = "MDET " + name + " channels"
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// HeteroSweep is the Section 8 future-work item "the applicability of AST
+// on a heterogeneous system": PURE vs ADAPT on platforms whose processors
+// have mixed speeds but the same aggregate capacity as the homogeneous
+// baseline, so the curves stay comparable.
+func HeteroSweep(base Config) ([]*Table, error) {
+	mixes := []struct {
+		name  string
+		speed func(i, n int) float64
+	}{
+		{"homogeneous 1x", func(int, int) float64 { return 1 }},
+		// Alternating halves: mean speed 1, spread 2:1.
+		{"mixed 0.67x/1.33x", func(i, n int) float64 {
+			if i%2 == 0 {
+				return 2.0 / 3.0
+			}
+			return 4.0 / 3.0
+		}},
+		// One fast node among slower ones, mean speed 1.
+		{"one 1.5x node", func(i, n int) float64 {
+			if i == 0 {
+				return 1.5
+			}
+			return (float64(n) - 1.5) / float64(n-1)
+		}},
+	}
+	var tables []*Table
+	for _, mix := range mixes {
+		cfg := base
+		cfg.Workload.ExecDeviation = generator.MDET.Deviation
+		speed := mix.speed
+		cfg.Platform = func(n int) (*platform.System, error) {
+			speeds := make([]float64, n)
+			for i := range speeds {
+				speeds[i] = speed(i, n)
+			}
+			return platform.New(n, platform.WithSpeeds(speeds))
+		}
+		t, err := cfg.Run("Section 8 (future work): heterogeneous speeds ("+mix.name+")",
+			Slicing(core.PURE(), core.CCNE()),
+			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
+		)
+		if err != nil {
+			return nil, err
+		}
+		t.Scenario = "MDET " + mix.name
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// OrderComparison is extension X4, testing the paper's premise head-on:
+// the distribution-first flow (deadlines before assignment, ADAPT/PURE
+// with CCNE estimates) against the conventional assignment-first flow
+// (Sarkar-style clustering pins every subtask, then the distributor runs
+// in the original BST's strict-locality mode with exact communication
+// costs). MDET.
+func OrderComparison(base Config) ([]*Table, error) {
+	cfg := base
+	cfg.Workload.ExecDeviation = generator.MDET.Deviation
+	t, err := cfg.Run("Extension X4: distribution-first vs assignment-first",
+		Slicing(core.PURE(), core.CCNE()),
+		Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
+		AssignFirst(core.PURE()),
+		AssignFirst(core.NORM()),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+// PolicySweep is the Section 8 future-work item "explore the quality of
+// AST under various task assignment and scheduling policies": PURE vs
+// ADAPT under each dispatch policy (EDF, LLF, FIFO, HLF), MDET.
+func PolicySweep(base Config) ([]*Table, error) {
+	var tables []*Table
+	for _, p := range scheduler.Policies() {
+		cfg := base
+		cfg.Workload.ExecDeviation = generator.MDET.Deviation
+		cfg.Scheduler.Policy = p
+		t, err := cfg.Run("Section 8: dispatch policy sweep ("+p.String()+")",
+			Slicing(core.PURE(), core.CCNE()),
+			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
+		)
+		if err != nil {
+			return nil, err
+		}
+		t.Scenario = "MDET " + p.String()
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// PreemptionAblation is the Section 8 future-work item on run-time models:
+// the paper's non-preemptive time-driven model against preemptive EDF,
+// with PURE and ADAPT (MDET).
+func PreemptionAblation(base Config) ([]*Table, error) {
+	var tables []*Table
+	for _, preemptive := range []bool{false, true} {
+		cfg := base
+		cfg.Workload.ExecDeviation = generator.MDET.Deviation
+		cfg.Preemptive = preemptive
+		name := "non-preemptive"
+		if preemptive {
+			name = "preemptive EDF"
+		}
+		t, err := cfg.Run("Section 8: run-time model ("+name+")",
+			Slicing(core.PURE(), core.CCNE()),
+			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
+		)
+		if err != nil {
+			return nil, err
+		}
+		t.Scenario = "MDET " + name
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// LocalitySweep is extension X3, motivated directly by the paper's title:
+// a growing fraction of the boundary (sensor/actuator) subtasks is given
+// strict locality constraints, interpolating between fully relaxed
+// (the paper's experiments) and fully pinned boundaries. PURE vs ADAPT
+// under MDET.
+func LocalitySweep(base Config) ([]*Table, error) {
+	var tables []*Table
+	for _, frac := range []float64{0, 0.25, 0.5, 1.0} {
+		cfg := base
+		cfg.Workload.ExecDeviation = generator.MDET.Deviation
+		cfg.Workload.PinnedFraction = frac
+		cfg.Workload.PinnedProcs = 2
+		t, err := cfg.Run(fmt.Sprintf("Extension X3: strict-locality fraction %.0f%%", 100*frac),
+			Slicing(core.PURE(), core.CCNE()),
+			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
+		)
+		if err != nil {
+			return nil, err
+		}
+		t.Scenario = fmt.Sprintf("MDET pinned=%.0f%%", 100*frac)
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// StructuredSweep is the Section 8 future-work item: AST on the structured
+// task-graph shapes (chain, trees, fork-join, layered).
+func StructuredSweep(base Config) ([]*Table, error) {
+	// Structured generation replaces the random generator; sized to stay
+	// near the paper's 40-60 subtasks.
+	shapes := []generator.StructuredConfig{
+		{Shape: generator.ShapeChain, Depth: 48},
+		{Shape: generator.ShapeOutTree, Depth: 5, Width: 2},  // 31 subtasks
+		{Shape: generator.ShapeInTree, Depth: 5, Width: 2},   // 31 subtasks
+		{Shape: generator.ShapeForkJoin, Depth: 8, Width: 5}, // 49 subtasks
+		{Shape: generator.ShapeLayered, Depth: 10, Width: 5}, // 50 subtasks
+	}
+	var tables []*Table
+	for _, sc := range shapes {
+		cfg := base
+		cfg.Workload.ExecDeviation = generator.MDET.Deviation
+		shape := sc
+		cfg.Structured = &shape
+		t, err := cfg.Run("Section 8 (future work): structured graphs ("+sc.Shape.String()+")",
+			Slicing(core.PURE(), core.CCNE()),
+			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
+		)
+		if err != nil {
+			return nil, err
+		}
+		t.Scenario = "MDET " + sc.Shape.String()
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

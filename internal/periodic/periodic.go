@@ -1,0 +1,150 @@
+// Package periodic transforms periodic real-time applications into the
+// non-periodic task sets the deadline-distribution algorithms operate on,
+// following Section 3 of the paper: "For an application with periodic
+// tasks we can always transform the original periodic tasks into a set of
+// non-periodic tasks that execute within an interval [0, L), where L is
+// the least common multiple of the periods of all periodic tasks
+// involved."
+//
+// Each periodic task is a task-graph template with an integer period and a
+// relative end-to-end deadline. Unroll instantiates every template once
+// per period within the hyperperiod: instance k of a task with period P
+// releases its input subtasks at k·P and constrains its output subtasks by
+// the absolute deadline k·P + D. The combined graph can then be
+// distributed and scheduled exactly like any non-periodic workload.
+package periodic
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"deadlinedist/internal/taskgraph"
+)
+
+// Task is one periodic task template.
+type Task struct {
+	// Name prefixes instance subtask names (defaults to "task<i>").
+	Name string
+	// Graph is the template task graph. Its input releases are treated as
+	// offsets within each period; its output EndToEnd values, if set, are
+	// relative deadlines overriding Deadline for that output.
+	Graph *taskgraph.Graph
+	// Period is the task period in integer time units (> 0).
+	Period int
+	// Deadline is the relative end-to-end deadline of each instance.
+	// Zero means deadline = period (the common implicit-deadline model).
+	Deadline float64
+}
+
+// Errors returned by Unroll.
+var (
+	ErrNoTasks   = errors.New("periodic task set is empty")
+	ErrBadPeriod = errors.New("periodic task needs a positive integer period")
+	ErrNilGraph  = errors.New("periodic task has no template graph")
+)
+
+// Hyperperiod returns the least common multiple of the task periods.
+func Hyperperiod(tasks []Task) (int, error) {
+	if len(tasks) == 0 {
+		return 0, ErrNoTasks
+	}
+	l := 1
+	for _, t := range tasks {
+		if t.Period <= 0 {
+			return 0, fmt.Errorf("task %q period %d: %w", t.Name, t.Period, ErrBadPeriod)
+		}
+		l = lcm(l, t.Period)
+	}
+	return l, nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+// Unroll expands the periodic task set over one hyperperiod [0, L) and
+// returns the combined non-periodic task graph together with L.
+func Unroll(tasks []Task) (*taskgraph.Graph, int, error) {
+	hyper, err := Hyperperiod(tasks)
+	if err != nil {
+		return nil, 0, err
+	}
+	b := taskgraph.NewBuilder()
+	for ti, t := range tasks {
+		if t.Graph == nil {
+			return nil, 0, fmt.Errorf("task %d: %w", ti, ErrNilGraph)
+		}
+		name := t.Name
+		if name == "" {
+			name = "task" + strconv.Itoa(ti)
+		}
+		deadline := t.Deadline
+		if deadline == 0 {
+			deadline = float64(t.Period)
+		}
+		instances := hyper / t.Period
+		for k := 0; k < instances; k++ {
+			offset := float64(k * t.Period)
+			ids := make(map[taskgraph.NodeID]taskgraph.NodeID, t.Graph.NumSubtasks())
+			for _, n := range t.Graph.Nodes() {
+				if n.Kind != taskgraph.KindSubtask {
+					continue
+				}
+				id := b.AddSubtask(fmt.Sprintf("%s.%d.%s", name, k, n.Name), n.Cost)
+				ids[n.ID] = id
+				if n.Pinned != taskgraph.Unpinned {
+					b.Pin(id, n.Pinned)
+				}
+				if len(t.Graph.Pred(n.ID)) == 0 {
+					b.SetRelease(id, offset+n.Release)
+				}
+				if len(t.Graph.Succ(n.ID)) == 0 {
+					d := deadline
+					if n.EndToEnd > 0 {
+						d = n.EndToEnd
+					}
+					b.SetEndToEnd(id, offset+d)
+				}
+			}
+			for _, n := range t.Graph.Nodes() {
+				if n.Kind != taskgraph.KindMessage {
+					continue
+				}
+				u := t.Graph.Pred(n.ID)[0]
+				v := t.Graph.Succ(n.ID)[0]
+				b.Connect(ids[u], ids[v], n.Size)
+			}
+		}
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		return nil, 0, fmt.Errorf("unroll periodic tasks: %w", err)
+	}
+	return g, hyper, nil
+}
+
+// Utilization returns the processor demand of the task set: the sum over
+// tasks of (template workload / period). A set with Utilization > N cannot
+// be feasible on N unit-speed processors.
+func Utilization(tasks []Task) (float64, error) {
+	if len(tasks) == 0 {
+		return 0, ErrNoTasks
+	}
+	u := 0.0
+	for _, t := range tasks {
+		if t.Period <= 0 {
+			return 0, fmt.Errorf("task %q period %d: %w", t.Name, t.Period, ErrBadPeriod)
+		}
+		if t.Graph == nil {
+			return 0, ErrNilGraph
+		}
+		u += t.Graph.TotalWork() / float64(t.Period)
+	}
+	return u, nil
+}

@@ -1,0 +1,109 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/experiment"
+	"deadlinedist/internal/generator"
+)
+
+func sampleTables(t *testing.T) map[string][]*experiment.Table {
+	t.Helper()
+	cfg := experiment.Default(generator.MDET)
+	cfg.Graphs = 4
+	cfg.Sizes = []int{2, 8}
+	table, err := cfg.Run("sample figure",
+		experiment.Slicing(core.PURE(), core.CCNE()),
+		experiment.Slicing(core.ADAPT(1.25), core.CCNE()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string][]*experiment.Table{"5": {table}}
+}
+
+func TestWriteBasicStructure(t *testing.T) {
+	var sb strings.Builder
+	err := Write(&sb, Options{Title: "Test report", Graphs: 4, Seed: 1997, Elapsed: time.Second},
+		[]string{"5"}, sampleTables(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# Test report",
+		"4 task graphs per point, seed 1997",
+		"## Figure 5",
+		"### sample figure [MDET]",
+		"| processors | PURE/CCNE | ADAPT/CCNE |",
+		"| 2 |",
+		"| 8 |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteWithClaims(t *testing.T) {
+	claims := []experiment.ClaimResult{
+		{Claim: experiment.Claim{ID: "C1", Statement: "a | statement"}, Passed: true, Detail: "ok"},
+		{Claim: experiment.Claim{ID: "C2", Statement: "another"}, Passed: false, Detail: "nope"},
+	}
+	var sb strings.Builder
+	if err := Write(&sb, Options{}, nil, nil, claims); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "## Claims: 1/2 reproduced") {
+		t.Errorf("claim summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| C1 | PASS |") || !strings.Contains(out, "| C2 | FAIL |") {
+		t.Errorf("claim rows missing:\n%s", out)
+	}
+	// Pipe in the statement must be escaped, not break the table.
+	if !strings.Contains(out, `a \| statement`) {
+		t.Errorf("markdown escaping failed:\n%s", out)
+	}
+}
+
+func TestWritePairedDifferences(t *testing.T) {
+	var sb strings.Builder
+	err := Write(&sb, Options{PairedPairs: [][2]string{
+		{"ADAPT/CCNE", "PURE/CCNE"},
+		{"NOPE", "PURE/CCNE"}, // silently skipped
+	}}, []string{"5"}, sampleTables(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Paired per-graph difference ADAPT/CCNE − PURE/CCNE") {
+		t.Errorf("paired section missing:\n%s", out)
+	}
+	if strings.Contains(out, "NOPE") {
+		t.Errorf("missing pair not skipped:\n%s", out)
+	}
+}
+
+func TestWriteSkipsUnknownFigures(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, Options{}, []string{"5", "zz"}, sampleTables(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "Figure zz") {
+		t.Error("unknown figure rendered")
+	}
+}
+
+func TestDefaultTitle(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, Options{}, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "# Reproduction report") {
+		t.Errorf("default title missing: %q", sb.String()[:40])
+	}
+}

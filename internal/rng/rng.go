@@ -1,0 +1,134 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator used by every stochastic component in this repository.
+//
+// Reproducibility is a hard requirement for the experiment harness: a run is
+// identified by a single root seed, and every task graph, execution time and
+// message size must be derivable from that seed alone, independent of
+// iteration order or parallel execution. The generator is based on
+// SplitMix64 (Steele, Lea & Flood, OOPSLA 2014), which supports cheap
+// splitting into statistically independent child streams.
+package rng
+
+import "math"
+
+// golden is the 64-bit golden-ratio increment used by SplitMix64.
+const golden = 0x9e3779b97f4a7c15
+
+// Source is a deterministic pseudo-random number source. The zero value is a
+// valid source seeded with 0; prefer New for explicit seeding.
+//
+// Source is NOT safe for concurrent use. Use Split to derive independent
+// child sources for concurrent workers.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed. Two sources created with the same
+// seed produce identical streams.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// mix64 is the SplitMix64 output function.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += golden
+	return mix64(s.state)
+}
+
+// Split derives a child source whose stream is statistically independent of
+// the parent's subsequent output. The label selects among children so that
+// Split(a) and Split(b) differ for a != b even when called at the same
+// parent state.
+func (s *Source) Split(label uint64) *Source {
+	// Advance the parent once so repeated Split calls with the same label
+	// at different points yield different children, then mix in the label.
+	next := s.Uint64()
+	return &Source{state: mix64(next ^ (label * golden))}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	// 53 high-quality bits -> [0,1) with full double precision.
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Float64In returns a uniform value in [lo, hi). It returns lo when hi <= lo.
+func (s *Source) Float64In(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + s.Float64()*(hi-lo)
+}
+
+// IntN returns a uniform integer in [0, n). It returns 0 when n <= 0.
+func (s *Source) IntN(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	// Multiplication-based bounded generation (Lemire); the slight modulo
+	// bias of the naive approach is avoided.
+	v := s.Uint64()
+	hi, _ := mul64(v, uint64(n))
+	return int(hi)
+}
+
+// IntIn returns a uniform integer in [lo, hi] inclusive. It returns lo when
+// hi <= lo.
+func (s *Source) IntIn(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + s.IntN(hi-lo+1)
+}
+
+// NormFloat64 returns a standard normally distributed value using the
+// Box-Muller transform. It is provided for extension workloads; the paper's
+// workloads are uniform.
+func (s *Source) NormFloat64() float64 {
+	// Box-Muller; guard against log(0).
+	u1 := s.Float64()
+	for u1 == 0 {
+		u1 = s.Float64()
+	}
+	u2 := s.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.IntN(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.IntN(i + 1)
+		swap(i, j)
+	}
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t&mask32 + x0*y1
+	hi = x1*y1 + t>>32 + w1>>32
+	lo = x * y
+	return hi, lo
+}

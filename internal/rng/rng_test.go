@@ -1,0 +1,282 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("step %d: sources diverged: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("children with different labels produced identical first output")
+	}
+}
+
+func TestSplitSameLabelDifferentPoint(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(5)
+	c2 := parent.Split(5) // parent state advanced by the first Split
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("same-label splits at different parent states should differ")
+	}
+}
+
+func TestSplitReproducible(t *testing.T) {
+	p1, p2 := New(9), New(9)
+	c1, c2 := p1.Split(3), p2.Split(3)
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("step %d: equal-history splits diverged", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64InRange(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64In(15, 25)
+		if v < 15 || v >= 25 {
+			t.Fatalf("Float64In out of [15,25): %v", v)
+		}
+	}
+}
+
+func TestFloat64InDegenerate(t *testing.T) {
+	s := New(13)
+	if v := s.Float64In(5, 5); v != 5 {
+		t.Fatalf("Float64In(5,5) = %v, want 5", v)
+	}
+	if v := s.Float64In(5, 3); v != 5 {
+		t.Fatalf("Float64In(5,3) = %v, want 5", v)
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(17)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of uniform [0,1) = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntNBounds(t *testing.T) {
+	s := New(19)
+	for i := 0; i < 10000; i++ {
+		v := s.IntN(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("IntN(7) out of range: %d", v)
+		}
+	}
+}
+
+func TestIntNDegenerate(t *testing.T) {
+	s := New(19)
+	if v := s.IntN(0); v != 0 {
+		t.Fatalf("IntN(0) = %d, want 0", v)
+	}
+	if v := s.IntN(-3); v != 0 {
+		t.Fatalf("IntN(-3) = %d, want 0", v)
+	}
+	if v := s.IntN(1); v != 0 {
+		t.Fatalf("IntN(1) = %d, want 0", v)
+	}
+}
+
+func TestIntNCoversAllValues(t *testing.T) {
+	s := New(23)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[s.IntN(5)] = true
+	}
+	for v := 0; v < 5; v++ {
+		if !seen[v] {
+			t.Fatalf("IntN(5) never produced %d in 1000 draws", v)
+		}
+	}
+}
+
+func TestIntInInclusive(t *testing.T) {
+	s := New(29)
+	seenLo, seenHi := false, false
+	for i := 0; i < 5000; i++ {
+		v := s.IntIn(3, 6)
+		if v < 3 || v > 6 {
+			t.Fatalf("IntIn(3,6) out of range: %d", v)
+		}
+		seenLo = seenLo || v == 3
+		seenHi = seenHi || v == 6
+	}
+	if !seenLo || !seenHi {
+		t.Fatalf("IntIn(3,6) did not cover endpoints: lo=%v hi=%v", seenLo, seenHi)
+	}
+}
+
+func TestIntInDegenerate(t *testing.T) {
+	s := New(29)
+	if v := s.IntIn(4, 4); v != 4 {
+		t.Fatalf("IntIn(4,4) = %d, want 4", v)
+	}
+	if v := s.IntIn(4, 2); v != 4 {
+		t.Fatalf("IntIn(4,2) = %d, want 4", v)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(31)
+	for n := 0; n <= 20; n++ {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	s := New(37)
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	got := 0
+	for _, v := range vals {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(41)
+	const n = 100000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %v, want ~1", variance)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Source
+	// Must not panic and must produce values in range.
+	for i := 0; i < 100; i++ {
+		if v := s.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("zero-value source Float64 out of range: %v", v)
+		}
+	}
+}
+
+// Property: IntN output is always within [0, n) for any positive n.
+func TestPropertyIntNInRange(t *testing.T) {
+	s := New(43)
+	f := func(seed uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		src := New(seed)
+		for i := 0; i < 10; i++ {
+			v := src.IntN(int(n))
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		_ = s
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: equal seeds imply equal streams, for arbitrary seeds.
+func TestPropertyDeterministicStreams(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		x, y   uint64
+		hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.x, c.y)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.x, c.y, hi, lo, c.hi, c.lo)
+		}
+	}
+}

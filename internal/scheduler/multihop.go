@@ -1,0 +1,325 @@
+package scheduler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"deadlinedist/internal/channel"
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/platform"
+	"deadlinedist/internal/taskgraph"
+)
+
+// Hop is one reserved link transfer of a message.
+type Hop struct {
+	Link       channel.LinkID
+	Start, End float64
+}
+
+// MultihopSchedule augments a Schedule with the per-message link
+// reservations of a multihop network run.
+type MultihopSchedule struct {
+	Schedule *Schedule
+	// Hops maps each cross-processor message to its reserved link
+	// transfers in route order (empty for co-located messages).
+	Hops map[taskgraph.NodeID][]Hop
+}
+
+// RunMultihop schedules g with messages travelling over the multihop
+// network net (reference [13]-style real-time channels): a message
+// traverses its fixed shortest route store-and-forward, every link
+// serializes its transfers, and each subtask's incoming messages reserve
+// links in message-deadline order — deadline-based channel scheduling made
+// possible by the deadline-distribution stage annotating communication
+// subtasks. Subtask placement follows the paper's list scheduler
+// (earliest-start-time processor among EDF-ready subtasks), evaluating
+// candidate processors against tentative link reservations.
+func RunMultihop(g *taskgraph.Graph, sys *platform.System, net *channel.Network,
+	res *core.Result, cfg Config) (*MultihopSchedule, error) {
+
+	if g == nil || sys == nil || res == nil || net == nil {
+		return nil, ErrNilInput
+	}
+	if net.NumProcs() != sys.NumProcs() {
+		return nil, fmt.Errorf("network spans %d processors, platform has %d: %w",
+			net.NumProcs(), sys.NumProcs(), ErrBadSize)
+	}
+	n := g.NumNodes()
+	if len(res.Absolute) != n || len(res.Release) != n {
+		return nil, fmt.Errorf("%d annotations for %d nodes: %w", len(res.Absolute), n, ErrBadSize)
+	}
+	keys, err := priorityKeys(g, res, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Schedule{
+		Start:  make([]float64, n),
+		Finish: make([]float64, n),
+		Proc:   make([]int, n),
+	}
+	for i := range s.Proc {
+		s.Proc[i] = -1
+	}
+	out := &MultihopSchedule{Schedule: s, Hops: make(map[taskgraph.NodeID][]Hop)}
+
+	procFree := make([]float64, sys.NumProcs())
+	linkFree := make([]float64, net.NumLinks())
+	scratch := make([]float64, net.NumLinks())
+
+	pendingPreds := make([]int, n)
+	subtasks := make([]taskgraph.NodeID, 0, n)
+	for _, node := range g.Nodes() {
+		if node.Kind != taskgraph.KindSubtask {
+			continue
+		}
+		subtasks = append(subtasks, node.ID)
+		pendingPreds[node.ID] = len(g.Pred(node.ID))
+	}
+	ready := make([]taskgraph.NodeID, 0, len(subtasks))
+	for _, id := range subtasks {
+		if pendingPreds[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+
+	for step := 0; step < len(subtasks); step++ {
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("internal: no schedulable subtask at step %d", step)
+		}
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			ki, kb := keys[ready[i]], keys[ready[best]]
+			if ki < kb || (ki == kb && ready[i] < ready[best]) {
+				best = i
+			}
+		}
+		v := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+
+		lo, hi := 0, sys.NumProcs()
+		if pin := g.Node(v).Pinned; pin != taskgraph.Unpinned {
+			if pin >= sys.NumProcs() {
+				return nil, fmt.Errorf("subtask %q pinned to processor %d on a %d-processor platform: %w",
+					g.Node(v).Name, pin, sys.NumProcs(), ErrBadPin)
+			}
+			lo, hi = pin, pin+1
+		}
+		bestProc, bestStart, bestFinish := -1, math.Inf(1), math.Inf(1)
+		for p := lo; p < hi; p++ {
+			start := procFree[p]
+			if cfg.RespectRelease && res.Release[v] > start {
+				start = res.Release[v]
+			}
+			copy(scratch, linkFree)
+			plan, err := reserveInbound(g, net, res, s, v, p, scratch)
+			if err != nil {
+				return nil, err
+			}
+			for _, msgHops := range plan {
+				if k := len(msgHops.hops); k > 0 {
+					if end := msgHops.hops[k-1].End; end > start {
+						start = end
+					}
+				} else if s.Finish[g.Pred(msgHops.msg)[0]] > start { // co-located
+					start = s.Finish[g.Pred(msgHops.msg)[0]]
+				}
+			}
+			finish := start + sys.ExecTime(g.Node(v).Cost, p)
+			if finish < bestFinish || (finish == bestFinish && start < bestStart) {
+				bestProc, bestStart, bestFinish = p, start, finish
+			}
+		}
+
+		// Commit the winning processor's reservations.
+		plan, err := reserveInbound(g, net, res, s, v, bestProc, linkFree)
+		if err != nil {
+			return nil, err
+		}
+		for _, msgHops := range plan {
+			m := msgHops.msg
+			u := g.Pred(m)[0]
+			if len(msgHops.hops) == 0 {
+				s.Start[m] = s.Finish[u]
+				s.Finish[m] = s.Finish[u]
+				continue
+			}
+			s.Start[m] = msgHops.hops[0].Start
+			s.Finish[m] = msgHops.hops[len(msgHops.hops)-1].End
+			out.Hops[m] = msgHops.hops
+		}
+
+		s.Proc[v] = bestProc
+		s.Start[v] = bestStart
+		s.Finish[v] = bestFinish
+		procFree[bestProc] = bestFinish
+		s.Order = append(s.Order, v)
+		if bestFinish > s.Makespan {
+			s.Makespan = bestFinish
+		}
+		for _, m := range g.Succ(v) {
+			for _, w := range g.Succ(m) {
+				pendingPreds[w]--
+				if pendingPreds[w] == 0 {
+					ready = append(ready, w)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// msgPlan is the reservation of one inbound message.
+type msgPlan struct {
+	msg  taskgraph.NodeID
+	hops []Hop
+}
+
+// reserveInbound reserves link time for every message feeding v on
+// processor p, in increasing message-deadline order, mutating linkFree.
+// Co-located messages get empty hop lists.
+func reserveInbound(g *taskgraph.Graph, net *channel.Network, res *core.Result,
+	s *Schedule, v taskgraph.NodeID, p int, linkFree []float64) ([]msgPlan, error) {
+
+	msgs := append([]taskgraph.NodeID(nil), g.Pred(v)...)
+	sort.Slice(msgs, func(i, j int) bool {
+		di, dj := res.Absolute[msgs[i]], res.Absolute[msgs[j]]
+		if di != dj {
+			return di < dj
+		}
+		return msgs[i] < msgs[j]
+	})
+	plans := make([]msgPlan, 0, len(msgs))
+	for _, m := range msgs {
+		u := g.Pred(m)[0]
+		if s.Proc[u] == p {
+			plans = append(plans, msgPlan{msg: m})
+			continue
+		}
+		route, err := net.Route(s.Proc[u], p)
+		if err != nil {
+			return nil, err
+		}
+		t := s.Finish[u]
+		hops := make([]Hop, 0, len(route))
+		for _, l := range route {
+			start := math.Max(t, linkFree[l])
+			end := start + net.Link(l).PerItem*g.Node(m).Size
+			linkFree[l] = end
+			hops = append(hops, Hop{Link: l, Start: start, End: end})
+			t = end
+		}
+		plans = append(plans, msgPlan{msg: m, hops: hops})
+	}
+	return plans, nil
+}
+
+// ValidateMultihop checks a multihop schedule:
+//
+//  1. the underlying subtask placement is sound (durations, pins,
+//     processor exclusivity, release times);
+//  2. every subtask starts no earlier than each inbound message's final
+//     hop (or the producer's finish when co-located);
+//  3. every message's hops follow its route contiguously in time, the
+//     first no earlier than the producer's finish;
+//  4. no link carries two overlapping transfers.
+func ValidateMultihop(g *taskgraph.Graph, sys *platform.System, net *channel.Network,
+	res *core.Result, ms *MultihopSchedule, cfg Config) error {
+
+	const eps = 1e-9
+	s := ms.Schedule
+
+	type iv struct {
+		id            taskgraph.NodeID
+		start, finish float64
+	}
+	perProc := make([][]iv, sys.NumProcs())
+	perLink := make([][]iv, net.NumLinks())
+
+	for _, node := range g.Nodes() {
+		id := node.ID
+		if node.Kind == taskgraph.KindSubtask {
+			p := s.Proc[id]
+			if p < 0 || p >= sys.NumProcs() {
+				return fmt.Errorf("subtask %v on invalid processor %d", id, p)
+			}
+			if node.Pinned != taskgraph.Unpinned && p != node.Pinned {
+				return fmt.Errorf("subtask %v pinned to %d but on %d", id, node.Pinned, p)
+			}
+			want := sys.ExecTime(node.Cost, p)
+			if d := s.Finish[id] - s.Start[id]; math.Abs(d-want) > eps {
+				return fmt.Errorf("subtask %v duration %v, want %v", id, d, want)
+			}
+			if cfg.RespectRelease && s.Start[id] < res.Release[id]-eps {
+				return fmt.Errorf("subtask %v starts before release", id)
+			}
+			for _, m := range g.Pred(id) {
+				if s.Start[id] < s.Finish[m]-eps {
+					return fmt.Errorf("subtask %v starts %v before message %v arrives %v",
+						id, s.Start[id], m, s.Finish[m])
+				}
+			}
+			perProc[p] = append(perProc[p], iv{id: id, start: s.Start[id], finish: s.Finish[id]})
+			continue
+		}
+		// Message.
+		u, w := g.Pred(id)[0], g.Succ(id)[0]
+		hops := ms.Hops[id]
+		if len(hops) == 0 {
+			if s.Proc[u] != s.Proc[w] {
+				return fmt.Errorf("cross-processor message %v has no hops", id)
+			}
+			continue
+		}
+		route, err := net.Route(s.Proc[u], s.Proc[w])
+		if err != nil {
+			return err
+		}
+		if len(route) != len(hops) {
+			return fmt.Errorf("message %v reserved %d hops, route has %d", id, len(hops), len(route))
+		}
+		if hops[0].Start < s.Finish[u]-eps {
+			return fmt.Errorf("message %v departs before its producer finishes", id)
+		}
+		prevEnd := hops[0].Start
+		for hi, h := range hops {
+			if h.Link != route[hi] {
+				return fmt.Errorf("message %v hop %d on link %d, route says %d", id, hi, h.Link, route[hi])
+			}
+			if h.Start < prevEnd-eps {
+				return fmt.Errorf("message %v hop %d starts before previous hop ends", id, hi)
+			}
+			want := net.Link(h.Link).PerItem * node.Size
+			if math.Abs((h.End-h.Start)-want) > eps {
+				return fmt.Errorf("message %v hop %d duration %v, want %v", id, hi, h.End-h.Start, want)
+			}
+			perLink[h.Link] = append(perLink[h.Link], iv{id: id, start: h.Start, finish: h.End})
+			prevEnd = h.End
+		}
+		if math.Abs(s.Finish[id]-prevEnd) > eps {
+			return fmt.Errorf("message %v finish %v != last hop end %v", id, s.Finish[id], prevEnd)
+		}
+	}
+
+	check := func(name string, ivs []iv) error {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].start < ivs[i-1].finish-eps {
+				return fmt.Errorf("%s: %v overlaps %v", name, ivs[i-1].id, ivs[i].id)
+			}
+		}
+		return nil
+	}
+	for p, ivs := range perProc {
+		if err := check(fmt.Sprintf("processor %d", p), ivs); err != nil {
+			return err
+		}
+	}
+	for l, ivs := range perLink {
+		if err := check(fmt.Sprintf("link %d", l), ivs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

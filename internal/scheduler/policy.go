@@ -1,0 +1,76 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/taskgraph"
+)
+
+// Policy selects the priority rule used to pick among schedulable subtasks
+// at each list-scheduling step. The paper's evaluation uses EDF; Section 8
+// calls for exploring AST under other scheduling policies, which these
+// implement.
+type Policy int
+
+const (
+	// PolicyEDF dispatches the earliest absolute deadline first (the
+	// paper's deadline-driven list scheduler; zero value).
+	PolicyEDF Policy = iota
+	// PolicyLLF dispatches the minimum-laxity subtask first (absolute
+	// deadline minus execution time).
+	PolicyLLF
+	// PolicyFIFO dispatches in graph order (the order subtasks were
+	// declared), ignoring deadlines — a deadline-oblivious baseline.
+	PolicyFIFO
+	// PolicyHLF dispatches the subtask with the longest remaining
+	// downstream execution first (highest level first, the classic
+	// critical-path list-scheduling rule).
+	PolicyHLF
+)
+
+// String returns the policy mnemonic.
+func (p Policy) String() string {
+	switch p {
+	case PolicyEDF:
+		return "EDF"
+	case PolicyLLF:
+		return "LLF"
+	case PolicyFIFO:
+		return "FIFO"
+	case PolicyHLF:
+		return "HLF"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Policies lists all dispatch policies.
+func Policies() []Policy { return []Policy{PolicyEDF, PolicyLLF, PolicyFIFO, PolicyHLF} }
+
+// priorityKeys returns, per node, the dispatch key under the policy
+// (smaller = dispatched first; ties broken by NodeID).
+func priorityKeys(g *taskgraph.Graph, res *core.Result, p Policy) ([]float64, error) {
+	n := g.NumNodes()
+	keys := make([]float64, n)
+	switch p {
+	case PolicyEDF:
+		copy(keys, res.Absolute)
+	case PolicyLLF:
+		for _, node := range g.Nodes() {
+			keys[node.ID] = res.Absolute[node.ID] - node.Cost
+		}
+	case PolicyFIFO:
+		for i := range keys {
+			keys[i] = float64(i)
+		}
+	case PolicyHLF:
+		from := g.LongestPathFrom(taskgraph.ExecCost)
+		for i := range keys {
+			keys[i] = -from[i]
+		}
+	default:
+		return nil, fmt.Errorf("unknown dispatch policy %d", int(p))
+	}
+	return keys, nil
+}

@@ -1,0 +1,159 @@
+package scheduler
+
+import (
+	"testing"
+
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/generator"
+	"deadlinedist/internal/rng"
+	"deadlinedist/internal/taskgraph"
+)
+
+func TestPolicyStrings(t *testing.T) {
+	want := map[Policy]string{
+		PolicyEDF:  "EDF",
+		PolicyLLF:  "LLF",
+		PolicyFIFO: "FIFO",
+		PolicyHLF:  "HLF",
+	}
+	for p, name := range want {
+		if p.String() != name {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), name)
+		}
+	}
+	if Policy(99).String() != "policy(99)" {
+		t.Errorf("unknown policy string = %q", Policy(99).String())
+	}
+	if len(Policies()) != 4 {
+		t.Errorf("Policies() = %v", Policies())
+	}
+}
+
+func TestUnknownPolicyRejected(t *testing.T) {
+	b := taskgraph.NewBuilder()
+	x := b.AddSubtask("x", 10)
+	b.SetEndToEnd(x, 100)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sys(t, 1)
+	res := distributed(t, g, s)
+	if _, err := Run(g, s, res, Config{Policy: Policy(42)}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestDefaultPolicyIsEDF(t *testing.T) {
+	var cfg Config
+	if cfg.Policy != PolicyEDF {
+		t.Fatalf("zero-value policy = %v, want EDF", cfg.Policy)
+	}
+}
+
+// twoIndependent builds two independent subtasks whose dispatch order
+// distinguishes the policies: "short" has the earlier deadline but the
+// longer downstream path belongs to "deep".
+func policyFixture(t *testing.T) (*taskgraph.Graph, taskgraph.NodeID, taskgraph.NodeID, *core.Result) {
+	t.Helper()
+	b := taskgraph.NewBuilder()
+	urgent := b.AddSubtask("urgent", 10) // deadline 50
+	deep := b.AddSubtask("deep", 10)     // deadline 300, but heads a long chain
+	tail := b.AddSubtask("tail", 80)
+	b.Connect(deep, tail, 1)
+	b.SetEndToEnd(urgent, 50)
+	b.SetEndToEnd(tail, 300)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := manualResult(g, map[taskgraph.NodeID]float64{urgent: 50, deep: 120, tail: 300})
+	return g, urgent, deep, res
+}
+
+func TestPolicyEDFOrder(t *testing.T) {
+	g, urgent, deep, res := policyFixture(t)
+	s := sys(t, 1)
+	sched, err := Run(g, s, res, Config{Policy: PolicyEDF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Order[0] != urgent {
+		t.Errorf("EDF dispatched %v first, want urgent", sched.Order[0])
+	}
+	_ = deep
+}
+
+func TestPolicyHLFOrder(t *testing.T) {
+	g, urgent, deep, res := policyFixture(t)
+	s := sys(t, 1)
+	sched, err := Run(g, s, res, Config{Policy: PolicyHLF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HLF prefers the head of the longest remaining chain (deep: 90 units
+	// downstream) over the urgent-but-shallow task (10 units).
+	if sched.Order[0] != deep {
+		t.Errorf("HLF dispatched %v first, want deep", sched.Order[0])
+	}
+	_ = urgent
+}
+
+func TestPolicyFIFOOrder(t *testing.T) {
+	g, urgent, deep, res := policyFixture(t)
+	s := sys(t, 1)
+	// Reverse the deadline advantage: FIFO must still follow declaration
+	// order (urgent was declared first).
+	res.Absolute[urgent] = 1000
+	sched, err := Run(g, s, res, Config{Policy: PolicyFIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Order[0] != urgent {
+		t.Errorf("FIFO dispatched %v first, want the first-declared subtask", sched.Order[0])
+	}
+	_ = deep
+}
+
+func TestPolicyLLFOrder(t *testing.T) {
+	// Equal deadlines, different costs: LLF prefers the longer task
+	// (smaller laxity), EDF ties to the lower NodeID.
+	b := taskgraph.NewBuilder()
+	short := b.AddSubtask("short", 5)
+	long := b.AddSubtask("long", 50)
+	b.SetEndToEnd(short, 100)
+	b.SetEndToEnd(long, 100)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sys(t, 1)
+	res := manualResult(g, map[taskgraph.NodeID]float64{short: 100, long: 100})
+	sched, err := Run(g, s, res, Config{Policy: PolicyLLF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Order[0] != long {
+		t.Errorf("LLF dispatched %v first, want the low-laxity long task", sched.Order[0])
+	}
+}
+
+func TestAllPoliciesProduceValidSchedules(t *testing.T) {
+	wcfg := generator.Default(generator.MDET)
+	g, err := generator.Random(wcfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sys(t, 4)
+	res := distributed(t, g, s)
+	for _, p := range Policies() {
+		cfg := Config{RespectRelease: true, Policy: p}
+		sched, err := Run(g, s, res, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if err := Validate(g, s, res, sched, cfg); err != nil {
+			t.Errorf("%v: %v", p, err)
+		}
+	}
+}

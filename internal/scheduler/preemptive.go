@@ -1,0 +1,301 @@
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/platform"
+	"deadlinedist/internal/taskgraph"
+)
+
+// Segment is one uninterrupted execution burst of a subtask on a
+// processor. Non-preemptive schedules have one segment per subtask;
+// preemptive schedules may split subtasks across several.
+type Segment struct {
+	Node       taskgraph.NodeID
+	Proc       int
+	Start, End float64
+}
+
+const simEps = 1e-9
+
+// RunPreemptive schedules g under a preemptive EDF run-time model, the
+// Section 8 alternative to the paper's non-preemptive time-driven model.
+//
+// The processor assignment is produced by the paper's non-preemptive list
+// scheduler (Run); execution is then re-simulated event-driven with
+// preemptive EDF dispatch on every processor: at any instant each
+// processor runs its ready subtask with the earliest absolute deadline,
+// preempting whenever a more urgent subtask becomes ready. Messages leave
+// when their producer completes and arrive after the platform
+// communication cost (contention-free, concurrent with computation). The
+// returned schedule carries the execution Segments; Start is the first
+// dispatch and Finish the completion of each subtask.
+func RunPreemptive(g *taskgraph.Graph, sys *platform.System, res *core.Result, cfg Config) (*Schedule, error) {
+	base, err := Run(g, sys, res, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	n := g.NumNodes()
+	out := &Schedule{
+		Start:  make([]float64, n),
+		Finish: make([]float64, n),
+		Proc:   base.Proc,
+	}
+	for i := range out.Start {
+		out.Start[i] = -1
+	}
+
+	var (
+		remaining   = make([]float64, n)
+		pendingMsgs = make([]int, n)
+		arrivedAt   = make([]float64, n)
+		numSubtasks int
+	)
+	for _, node := range g.Nodes() {
+		if node.Kind != taskgraph.KindSubtask {
+			continue
+		}
+		numSubtasks++
+		remaining[node.ID] = sys.ExecTime(node.Cost, base.Proc[node.ID])
+		pendingMsgs[node.ID] = len(g.Pred(node.ID))
+	}
+
+	// Pending ready events, one per not-yet-ready subtask. Workloads are
+	// small (hundreds of nodes), so linear scans keep this simple.
+	type readyEvent struct {
+		t float64
+		v taskgraph.NodeID
+	}
+	var events []readyEvent
+
+	readyTime := func(v taskgraph.NodeID, arrived float64) float64 {
+		if cfg.RespectRelease && res.Release[v] > arrived {
+			return res.Release[v]
+		}
+		return arrived
+	}
+	for _, node := range g.Nodes() {
+		if node.Kind == taskgraph.KindSubtask && pendingMsgs[node.ID] == 0 {
+			events = append(events, readyEvent{t: readyTime(node.ID, node.Release), v: node.ID})
+		}
+	}
+
+	ready := make([][]taskgraph.NodeID, sys.NumProcs())
+	pick := func(p int) taskgraph.NodeID {
+		best := taskgraph.None
+		for _, v := range ready[p] {
+			if best == taskgraph.None || res.Absolute[v] < res.Absolute[best] ||
+				(res.Absolute[v] == res.Absolute[best] && v < best) {
+				best = v
+			}
+		}
+		return best
+	}
+	removeReady := func(p int, v taskgraph.NodeID) {
+		for i, w := range ready[p] {
+			if w == v {
+				ready[p] = append(ready[p][:i], ready[p][i+1:]...)
+				return
+			}
+		}
+	}
+	lastSeg := make([]int, sys.NumProcs())
+	for i := range lastSeg {
+		lastSeg[i] = -1
+	}
+	addSegment := func(v taskgraph.NodeID, p int, start, end float64) {
+		if end < start {
+			end = start
+		}
+		if idx := lastSeg[p]; idx >= 0 {
+			last := &out.Segments[idx]
+			if last.Node == v && math.Abs(last.End-start) <= simEps {
+				last.End = end
+				return
+			}
+		}
+		out.Segments = append(out.Segments, Segment{Node: v, Proc: p, Start: start, End: end})
+		lastSeg[p] = len(out.Segments) - 1
+	}
+
+	complete := func(v taskgraph.NodeID, t float64) {
+		out.Finish[v] = t
+		out.Order = append(out.Order, v)
+		if t > out.Makespan {
+			out.Makespan = t
+		}
+		for _, m := range g.Succ(v) {
+			w := g.Succ(m)[0]
+			cost := sys.CommCost(base.Proc[v], base.Proc[w], g.Node(m).Size)
+			out.Start[m] = t
+			out.Finish[m] = t + cost
+			pendingMsgs[w]--
+			if out.Finish[m] > arrivedAt[w] {
+				arrivedAt[w] = out.Finish[m]
+			}
+			if pendingMsgs[w] == 0 {
+				events = append(events, readyEvent{t: readyTime(w, arrivedAt[w]), v: w})
+			}
+		}
+	}
+
+	completions := 0
+	t := 0.0
+	maxIter := 8*(n+1)*(n+1) + 64
+	for iter := 0; completions < numSubtasks; iter++ {
+		if iter > maxIter {
+			return nil, errors.New("internal: preemptive simulation did not converge")
+		}
+
+		// Admit every subtask that is ready by the current time.
+		kept := events[:0]
+		for _, e := range events {
+			if e.t <= t+simEps {
+				p := base.Proc[e.v]
+				ready[p] = append(ready[p], e.v)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		events = kept
+
+		// The running task on each processor is the EDF-minimum ready
+		// task; the horizon is the earliest completion or ready event.
+		next := math.Inf(1)
+		for p := range ready {
+			if v := pick(p); v != taskgraph.None {
+				if c := t + remaining[v]; c < next {
+					next = c
+				}
+			}
+		}
+		for _, e := range events {
+			if e.t < next {
+				next = e.t
+			}
+		}
+		if math.IsInf(next, 1) {
+			return nil, errors.New("internal: preemptive simulation stalled (no runnable subtask)")
+		}
+		if next < t {
+			next = t
+		}
+
+		// Advance every processor to the horizon.
+		for p := range ready {
+			v := pick(p)
+			if v == taskgraph.None {
+				continue
+			}
+			if out.Start[v] < 0 {
+				out.Start[v] = t
+			}
+			addSegment(v, p, t, next)
+			remaining[v] -= next - t
+			if remaining[v] <= simEps {
+				removeReady(p, v)
+				complete(v, next)
+				completions++
+			}
+		}
+		t = next
+	}
+
+	// Deterministic segment order for consumers.
+	sort.Slice(out.Segments, func(i, j int) bool {
+		if out.Segments[i].Start != out.Segments[j].Start {
+			return out.Segments[i].Start < out.Segments[j].Start
+		}
+		return out.Segments[i].Proc < out.Segments[j].Proc
+	})
+	return out, nil
+}
+
+// Preemptions returns how many times subtasks were preempted: the number
+// of execution segments beyond one per subtask. Zero for schedules without
+// segment information.
+func (s *Schedule) Preemptions(g *taskgraph.Graph) int {
+	if len(s.Segments) == 0 {
+		return 0
+	}
+	return len(s.Segments) - g.NumSubtasks()
+}
+
+// ValidatePreemptive checks the structural soundness of a preemptive
+// schedule:
+//
+//  1. per subtask, the segment durations sum to its execution time, the
+//     first segment matches Start and the last matches Finish;
+//  2. segments on the same processor never overlap;
+//  3. no segment begins before the subtask's inputs have arrived (or, with
+//     RespectRelease, before its release time);
+//  4. message transfers begin at their producer's completion;
+//  5. pinned subtasks run on their pinned processor.
+func ValidatePreemptive(g *taskgraph.Graph, sys *platform.System, res *core.Result, s *Schedule, cfg Config) error {
+	perTask := make(map[taskgraph.NodeID][]Segment)
+	perProc := make([][]Segment, sys.NumProcs())
+	for _, seg := range s.Segments {
+		if seg.Proc < 0 || seg.Proc >= sys.NumProcs() {
+			return fmt.Errorf("segment on invalid processor %d", seg.Proc)
+		}
+		perTask[seg.Node] = append(perTask[seg.Node], seg)
+		perProc[seg.Proc] = append(perProc[seg.Proc], seg)
+	}
+
+	for _, node := range g.Nodes() {
+		id := node.ID
+		if node.Kind != taskgraph.KindSubtask {
+			u := g.Pred(id)[0]
+			if s.Start[id] < s.Finish[u]-simEps {
+				return fmt.Errorf("message %v departs %v before producer finishes %v", id, s.Start[id], s.Finish[u])
+			}
+			continue
+		}
+		segs := perTask[id]
+		if len(segs) == 0 {
+			return fmt.Errorf("subtask %v has no execution segments", id)
+		}
+		sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+		total := 0.0
+		for _, seg := range segs {
+			total += seg.End - seg.Start
+			if node.Pinned != taskgraph.Unpinned && seg.Proc != node.Pinned {
+				return fmt.Errorf("subtask %v pinned to %d but ran on %d", id, node.Pinned, seg.Proc)
+			}
+		}
+		want := sys.ExecTime(node.Cost, s.Proc[id])
+		if math.Abs(total-want) > 1e-6 {
+			return fmt.Errorf("subtask %v executed %v, want %v", id, total, want)
+		}
+		if math.Abs(segs[0].Start-s.Start[id]) > 1e-6 {
+			return fmt.Errorf("subtask %v first segment %v != Start %v", id, segs[0].Start, s.Start[id])
+		}
+		if math.Abs(segs[len(segs)-1].End-s.Finish[id]) > 1e-6 {
+			return fmt.Errorf("subtask %v last segment %v != Finish %v", id, segs[len(segs)-1].End, s.Finish[id])
+		}
+		for _, m := range g.Pred(id) {
+			if segs[0].Start < s.Finish[m]-simEps {
+				return fmt.Errorf("subtask %v starts %v before message %v arrives %v",
+					id, segs[0].Start, m, s.Finish[m])
+			}
+		}
+		if cfg.RespectRelease && segs[0].Start < res.Release[id]-simEps {
+			return fmt.Errorf("subtask %v starts %v before release %v", id, segs[0].Start, res.Release[id])
+		}
+	}
+
+	for p, segs := range perProc {
+		sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+		for i := 1; i < len(segs); i++ {
+			if segs[i].Start < segs[i-1].End-simEps {
+				return fmt.Errorf("processor %d: segment overlap at %v", p, segs[i].Start)
+			}
+		}
+	}
+	return nil
+}

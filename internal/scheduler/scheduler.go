@@ -1,0 +1,344 @@
+// Package scheduler implements the task-assignment-and-scheduling stage of
+// the paper's evaluation pipeline (Section 5.3): a deadline-driven list
+// scheduler. At each scheduling step the subtask with the earliest absolute
+// deadline among all schedulable subtasks (those whose predecessors have
+// been scheduled) is selected and placed, non-preemptively, on the
+// processor that yields the earliest start time. Interprocessor messages
+// are charged the platform's communication cost; in the paper's base model
+// they travel concurrently with computation and without contention, while
+// the optional contended-bus mode serializes them on a single shared bus in
+// deadline order (deadline-based message scheduling, made possible because
+// the distribution stage assigns deadlines to communication subtasks too).
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/platform"
+	"deadlinedist/internal/taskgraph"
+)
+
+// Config tunes the list scheduler.
+type Config struct {
+	// RespectRelease makes the scheduler treat the distributed release
+	// times as dispatch constraints (start >= r_i), modelling the paper's
+	// time-driven run-time model in which slices occupy static positions
+	// in time (experiment.Default enables this). When false the scheduler
+	// dispatches as soon as inputs arrive, using the windows only for EDF
+	// priorities — a work-conserving ablation.
+	RespectRelease bool
+
+	// Policy is the dispatch priority rule (default PolicyEDF, the
+	// paper's deadline-driven scheduler).
+	Policy Policy
+}
+
+// Schedule is the outcome of one list-scheduling run. All slices are
+// indexed by taskgraph.NodeID. Message nodes record their transfer interval
+// (zero-length when co-located) and Proc = -1.
+type Schedule struct {
+	Start  []float64
+	Finish []float64
+	// Proc is the processor each subtask executes on; -1 for messages.
+	Proc []int
+	// Makespan is the latest subtask finish time.
+	Makespan float64
+	// Order records the subtasks in the order the list scheduler placed
+	// them (the dispatch order; completion order for preemptive runs).
+	Order []taskgraph.NodeID
+	// Segments holds per-burst execution intervals. Nil for
+	// non-preemptive schedules (one implicit segment per subtask); filled
+	// by RunPreemptive.
+	Segments []Segment
+}
+
+// Errors returned by Run.
+var (
+	ErrNilInput = errors.New("scheduler needs a graph, a platform and a distribution result")
+	ErrBadSize  = errors.New("distribution result does not match the graph")
+	ErrBadPin   = errors.New("strict locality constraint exceeds platform size")
+)
+
+// Run schedules g on sys using the deadline annotations in res.
+func Run(g *taskgraph.Graph, sys *platform.System, res *core.Result, cfg Config) (*Schedule, error) {
+	if g == nil || sys == nil || res == nil {
+		return nil, ErrNilInput
+	}
+	n := g.NumNodes()
+	if len(res.Absolute) != n || len(res.Release) != n {
+		return nil, fmt.Errorf("%d annotations for %d nodes: %w", len(res.Absolute), n, ErrBadSize)
+	}
+	keys, err := priorityKeys(g, res, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Schedule{
+		Start:  make([]float64, n),
+		Finish: make([]float64, n),
+		Proc:   make([]int, n),
+	}
+	for i := range s.Proc {
+		s.Proc[i] = -1
+	}
+
+	procFree := make([]float64, sys.NumProcs())
+	busFree := 0.0
+
+	// pendingPreds counts unscheduled ordinary-subtask predecessors
+	// (messages are transparent for readiness: a subtask is schedulable
+	// once its producing subtasks are placed).
+	pendingPreds := make([]int, n)
+	subtasks := make([]taskgraph.NodeID, 0, n)
+	for _, node := range g.Nodes() {
+		if node.Kind != taskgraph.KindSubtask {
+			continue
+		}
+		subtasks = append(subtasks, node.ID)
+		for _, m := range g.Pred(node.ID) {
+			pendingPreds[node.ID] += len(g.Pred(m)) // each message has one producer
+		}
+	}
+
+	ready := make([]taskgraph.NodeID, 0, len(subtasks))
+	for _, id := range subtasks {
+		if pendingPreds[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+
+	for step := 0; step < len(subtasks); step++ {
+		if len(ready) == 0 {
+			return nil, errors.New("internal: no schedulable subtask (cycle?)")
+		}
+		// Dispatch the highest-priority ready subtask (EDF: earliest
+		// absolute deadline); ties by NodeID for determinism.
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			di, db := keys[ready[i]], keys[ready[best]]
+			if di < db || (di == db && ready[i] < ready[best]) {
+				best = i
+			}
+		}
+		v := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+
+		// Choose the processor yielding the earliest start time. Subtasks
+		// with strict locality constraints only consider their pinned
+		// processor.
+		lo, hi := 0, sys.NumProcs()
+		if pin := g.Node(v).Pinned; pin != taskgraph.Unpinned {
+			if pin >= sys.NumProcs() {
+				return nil, fmt.Errorf("subtask %q pinned to processor %d on a %d-processor platform: %w",
+					g.Node(v).Name, pin, sys.NumProcs(), ErrBadPin)
+			}
+			lo, hi = pin, pin+1
+		}
+		bestProc, bestStart, bestFinish := -1, math.Inf(1), math.Inf(1)
+		for p := lo; p < hi; p++ {
+			start := st(g, sys, res, s, cfg, v, p, procFree[p], busFree)
+			finish := start + sys.ExecTime(g.Node(v).Cost, p)
+			// Earliest finish breaks start-time ties on heterogeneous
+			// platforms; on homogeneous ones it equals earliest start.
+			if finish < bestFinish || (finish == bestFinish && start < bestStart) {
+				bestProc, bestStart, bestFinish = p, start, finish
+			}
+		}
+
+		// Commit: reserve the bus for incoming cross-processor messages
+		// (deadline order) and record message transfer intervals.
+		busFree = commitMessages(g, sys, res, s, v, bestProc, busFree)
+
+		s.Proc[v] = bestProc
+		s.Start[v] = bestStart
+		s.Finish[v] = bestFinish
+		procFree[bestProc] = bestFinish
+
+		s.Order = append(s.Order, v)
+		if bestFinish > s.Makespan {
+			s.Makespan = bestFinish
+		}
+
+		for _, m := range g.Succ(v) {
+			for _, w := range g.Succ(m) {
+				pendingPreds[w]--
+				if pendingPreds[w] == 0 {
+					ready = append(ready, w)
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// st computes the earliest start time of subtask v on processor p given the
+// current partial schedule, without committing bus reservations.
+func st(g *taskgraph.Graph, sys *platform.System, res *core.Result, s *Schedule,
+	cfg Config, v taskgraph.NodeID, p int, procFree, busFree float64) float64 {
+
+	start := procFree
+	if cfg.RespectRelease && res.Release[v] > start {
+		start = res.Release[v]
+	}
+	if !sys.BusContention() {
+		for _, m := range g.Pred(v) {
+			u := g.Pred(m)[0]
+			arrival := s.Finish[u] + sys.CommCost(s.Proc[u], p, g.Node(m).Size)
+			if arrival > start {
+				start = arrival
+			}
+		}
+		return start
+	}
+	// Contended bus: tentatively serialize this subtask's cross-processor
+	// messages in deadline order after busFree.
+	for _, iv := range busPlan(g, sys, res, s, v, p, busFree) {
+		if iv.finish > start {
+			start = iv.finish
+		}
+	}
+	for _, m := range g.Pred(v) {
+		u := g.Pred(m)[0]
+		if s.Proc[u] == p { // co-located: arrival at producer finish
+			if s.Finish[u] > start {
+				start = s.Finish[u]
+			}
+		}
+	}
+	return start
+}
+
+// busInterval is one planned bus reservation.
+type busInterval struct {
+	msg           taskgraph.NodeID
+	start, finish float64
+}
+
+// busPlan serializes the cross-processor messages feeding v (placed on p)
+// on the shared bus, in increasing message-deadline order, starting no
+// earlier than busFree and each message's producer finish.
+func busPlan(g *taskgraph.Graph, sys *platform.System, res *core.Result, s *Schedule,
+	v taskgraph.NodeID, p int, busFree float64) []busInterval {
+
+	var msgs []taskgraph.NodeID
+	for _, m := range g.Pred(v) {
+		u := g.Pred(m)[0]
+		if s.Proc[u] != p {
+			msgs = append(msgs, m)
+		}
+	}
+	sort.Slice(msgs, func(i, j int) bool {
+		di, dj := res.Absolute[msgs[i]], res.Absolute[msgs[j]]
+		if di != dj {
+			return di < dj
+		}
+		return msgs[i] < msgs[j]
+	})
+	plan := make([]busInterval, 0, len(msgs))
+	t := busFree
+	for _, m := range msgs {
+		u := g.Pred(m)[0]
+		start := math.Max(t, s.Finish[u])
+		finish := start + sys.CommCost(s.Proc[u], p, g.Node(m).Size)
+		plan = append(plan, busInterval{msg: m, start: start, finish: finish})
+		t = finish
+	}
+	return plan
+}
+
+// commitMessages records transfer intervals for all messages feeding v and
+// returns the updated bus-free time.
+func commitMessages(g *taskgraph.Graph, sys *platform.System, res *core.Result, s *Schedule,
+	v taskgraph.NodeID, p int, busFree float64) float64 {
+
+	if sys.BusContention() {
+		plan := busPlan(g, sys, res, s, v, p, busFree)
+		for _, iv := range plan {
+			s.Start[iv.msg] = iv.start
+			s.Finish[iv.msg] = iv.finish
+			if iv.finish > busFree {
+				busFree = iv.finish
+			}
+		}
+		for _, m := range g.Pred(v) {
+			u := g.Pred(m)[0]
+			if s.Proc[u] == p {
+				s.Start[m] = s.Finish[u]
+				s.Finish[m] = s.Finish[u]
+			}
+		}
+		return busFree
+	}
+	for _, m := range g.Pred(v) {
+		u := g.Pred(m)[0]
+		s.Start[m] = s.Finish[u]
+		s.Finish[m] = s.Finish[u] + sys.CommCost(s.Proc[u], p, g.Node(m).Size)
+	}
+	return busFree
+}
+
+// Lateness returns the lateness of subtask id: finish time minus absolute
+// deadline (non-positive in valid schedules).
+func (s *Schedule) Lateness(res *core.Result, id taskgraph.NodeID) float64 {
+	return s.Finish[id] - res.Absolute[id]
+}
+
+// MaxLateness returns the maximum lateness over all ordinary subtasks: the
+// paper's quality measure (more negative = better; an indicator of how far
+// from infeasibility the schedule is).
+func (s *Schedule) MaxLateness(g *taskgraph.Graph, res *core.Result) float64 {
+	max := math.Inf(-1)
+	for _, n := range g.Nodes() {
+		if n.Kind != taskgraph.KindSubtask {
+			continue
+		}
+		if l := s.Lateness(res, n.ID); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// MissedDeadlines counts ordinary subtasks finishing after their absolute
+// deadline.
+func (s *Schedule) MissedDeadlines(g *taskgraph.Graph, res *core.Result) int {
+	missed := 0
+	for _, n := range g.Nodes() {
+		if n.Kind == taskgraph.KindSubtask && s.Lateness(res, n.ID) > 1e-9 {
+			missed++
+		}
+	}
+	return missed
+}
+
+// EndToEndLateness returns the maximum lateness of output subtasks against
+// their end-to-end deadlines (independent of the distribution's internal
+// windows).
+func (s *Schedule) EndToEndLateness(g *taskgraph.Graph) float64 {
+	max := math.Inf(-1)
+	for _, out := range g.Outputs() {
+		if l := s.Finish[out] - g.Node(out).EndToEnd; l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Utilization returns the fraction of processor time spent computing
+// between time 0 and the makespan, averaged over processors.
+func (s *Schedule) Utilization(g *taskgraph.Graph, sys *platform.System) float64 {
+	if s.Makespan <= 0 {
+		return 0
+	}
+	busy := 0.0
+	for _, n := range g.Nodes() {
+		if n.Kind == taskgraph.KindSubtask {
+			busy += s.Finish[n.ID] - s.Start[n.ID]
+		}
+	}
+	return busy / (s.Makespan * float64(sys.NumProcs()))
+}

@@ -1,0 +1,146 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/platform"
+	"deadlinedist/internal/taskgraph"
+)
+
+// Validate checks that a schedule is structurally sound:
+//
+//  1. every ordinary subtask is placed on a valid processor and runs for
+//     exactly its platform execution time;
+//  2. no two subtasks overlap on the same processor;
+//  3. every subtask starts no earlier than the arrival of each of its
+//     input messages (producer finish + communication cost, or the
+//     message's recorded transfer finish under bus contention);
+//  4. if cfg.RespectRelease, no subtask starts before its release time;
+//  5. under bus contention, cross-processor message transfers do not
+//     overlap on the bus.
+func Validate(g *taskgraph.Graph, sys *platform.System, res *core.Result, s *Schedule, cfg Config) error {
+	const eps = 1e-9
+
+	type iv struct {
+		id            taskgraph.NodeID
+		start, finish float64
+	}
+	perProc := make([][]iv, sys.NumProcs())
+	var busIvs []iv
+
+	for _, n := range g.Nodes() {
+		id := n.ID
+		if n.Kind == taskgraph.KindSubtask {
+			p := s.Proc[id]
+			if p < 0 || p >= sys.NumProcs() {
+				return fmt.Errorf("subtask %v on invalid processor %d", id, p)
+			}
+			if n.Pinned != taskgraph.Unpinned && p != n.Pinned {
+				return fmt.Errorf("subtask %v pinned to processor %d but scheduled on %d", id, n.Pinned, p)
+			}
+			want := sys.ExecTime(n.Cost, p)
+			if d := s.Finish[id] - s.Start[id]; d < want-eps || d > want+eps {
+				return fmt.Errorf("subtask %v duration %v, want %v", id, d, want)
+			}
+			if cfg.RespectRelease && s.Start[id] < res.Release[id]-eps {
+				return fmt.Errorf("subtask %v starts %v before release %v", id, s.Start[id], res.Release[id])
+			}
+			for _, m := range g.Pred(id) {
+				u := g.Pred(m)[0]
+				var arrival float64
+				if sys.BusContention() {
+					arrival = s.Finish[m]
+				} else {
+					arrival = s.Finish[u] + sys.CommCost(s.Proc[u], p, g.Node(m).Size)
+				}
+				if s.Start[id] < arrival-eps {
+					return fmt.Errorf("subtask %v starts %v before message %v arrives %v",
+						id, s.Start[id], m, arrival)
+				}
+			}
+			perProc[p] = append(perProc[p], iv{id: id, start: s.Start[id], finish: s.Finish[id]})
+			continue
+		}
+		// Message: transfer cannot begin before the producer finishes.
+		u := g.Pred(id)[0]
+		if s.Start[id] < s.Finish[u]-eps {
+			return fmt.Errorf("message %v starts %v before producer finishes %v", id, s.Start[id], s.Finish[u])
+		}
+		if sys.BusContention() && s.Finish[id] > s.Start[id]+eps {
+			busIvs = append(busIvs, iv{id: id, start: s.Start[id], finish: s.Finish[id]})
+		}
+	}
+
+	checkOverlap := func(name string, ivs []iv) error {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].start < ivs[i-1].finish-eps {
+				return fmt.Errorf("%s: %v [%v,%v) overlaps %v [%v,%v)", name,
+					ivs[i-1].id, ivs[i-1].start, ivs[i-1].finish,
+					ivs[i].id, ivs[i].start, ivs[i].finish)
+			}
+		}
+		return nil
+	}
+	for p, ivs := range perProc {
+		if err := checkOverlap(fmt.Sprintf("processor %d", p), ivs); err != nil {
+			return err
+		}
+	}
+	if sys.BusContention() {
+		if err := checkOverlap("bus", busIvs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gantt renders a per-processor ASCII Gantt chart of the schedule, scaled
+// to the given character width.
+func Gantt(g *taskgraph.Graph, sys *platform.System, s *Schedule, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if s.Makespan <= 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / s.Makespan
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "makespan %.2f, 1 char = %.2f time units\n", s.Makespan, s.Makespan/float64(width))
+	rows := make([][]byte, sys.NumProcs())
+	for p := range rows {
+		rows[p] = make([]byte, width)
+		for i := range rows[p] {
+			rows[p][i] = '.'
+		}
+	}
+	draw := func(p int, node taskgraph.NodeID, start, finish float64) {
+		lo := int(start * scale)
+		hi := int(finish * scale)
+		if hi >= width {
+			hi = width - 1
+		}
+		mark := byte('a' + int(node)%26)
+		for i := lo; i <= hi; i++ {
+			rows[p][i] = mark
+		}
+	}
+	if len(s.Segments) > 0 {
+		for _, seg := range s.Segments {
+			draw(seg.Proc, seg.Node, seg.Start, seg.End)
+		}
+	} else {
+		for _, n := range g.Nodes() {
+			if n.Kind == taskgraph.KindSubtask && s.Proc[n.ID] >= 0 {
+				draw(s.Proc[n.ID], n.ID, s.Start[n.ID], s.Finish[n.ID])
+			}
+		}
+	}
+	for p, row := range rows {
+		fmt.Fprintf(&sb, "P%-2d |%s|\n", p, row)
+	}
+	return sb.String()
+}

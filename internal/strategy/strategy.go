@@ -1,0 +1,219 @@
+// Package strategy implements classical one-pass deadline-assignment
+// baselines from the related work the paper compares against conceptually:
+// the subtask-deadline-assignment strategies of Kao & Garcia-Molina
+// (ICDCS'93/'94), generalized from sequential chains to task graphs.
+//
+//   - UD  (Ultimate Deadline):  every subtask inherits the end-to-end
+//     deadline of its nearest downstream output.
+//   - ED  (Effective Deadline): the end-to-end deadline minus the remaining
+//     downstream work.
+//   - EQS (Equal Slack):        path slack is divided equally over the
+//     subtasks of the longest path through each node.
+//   - EQF (Equal Flexibility):  path slack is divided in proportion to
+//     execution time.
+//
+// On a sequential chain these reduce exactly to the published formulas. On
+// DAGs the longest execution-time path through each node (and the minimum
+// end-to-end deadline over reachable outputs) generalizes the chain
+// quantities. Unlike the slicing techniques in internal/core, these
+// strategies are single-pass and ignore communication costs; they serve as
+// the baseline comparison of the extension experiments (DESIGN.md X1).
+package strategy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/taskgraph"
+)
+
+// Strategy assigns release times and deadlines in a single pass over the
+// task graph.
+type Strategy interface {
+	// Name returns the strategy mnemonic (UD, ED, EQS, EQF).
+	Name() string
+	// Assign annotates the graph. It never modifies g.
+	Assign(g *taskgraph.Graph) (*core.Result, error)
+}
+
+// ErrNoDeadline mirrors core.ErrNoDeadline for outputs without end-to-end
+// deadlines.
+var ErrNoDeadline = errors.New("output subtask has no end-to-end deadline")
+
+// kind selects the slack-division rule.
+type kind int
+
+const (
+	kindUD kind = iota + 1
+	kindED
+	kindEQS
+	kindEQF
+)
+
+type strategyImpl struct {
+	k    kind
+	name string
+}
+
+var _ Strategy = strategyImpl{}
+
+// UD returns the Ultimate Deadline strategy.
+func UD() Strategy { return strategyImpl{k: kindUD, name: "UD"} }
+
+// ED returns the Effective Deadline strategy.
+func ED() Strategy { return strategyImpl{k: kindED, name: "ED"} }
+
+// EQS returns the Equal Slack strategy.
+func EQS() Strategy { return strategyImpl{k: kindEQS, name: "EQS"} }
+
+// EQF returns the Equal Flexibility strategy.
+func EQF() Strategy { return strategyImpl{k: kindEQF, name: "EQF"} }
+
+// All returns every baseline strategy.
+func All() []Strategy { return []Strategy{UD(), ED(), EQS(), EQF()} }
+
+func (s strategyImpl) Name() string { return s.name }
+
+// Assign implements Strategy.
+func (s strategyImpl) Assign(g *taskgraph.Graph) (*core.Result, error) {
+	for _, out := range g.Outputs() {
+		if g.Node(out).EndToEnd <= 0 {
+			return nil, fmt.Errorf("subtask %q: %w", g.Node(out).Name, ErrNoDeadline)
+		}
+	}
+
+	n := g.NumNodes()
+	head := g.LongestPathTo(taskgraph.ExecCost)   // path work up to & incl node
+	tail := g.LongestPathFrom(taskgraph.ExecCost) // path work from node incl
+	cntHead := countsTo(g)                        // subtasks up to & incl node
+	cntTail := countsFrom(g)                      // subtasks from node incl
+	ud := ultimateDeadlines(g)                    // min reachable end-to-end D
+
+	res := &core.Result{
+		Release:       make([]float64, n),
+		Relative:      make([]float64, n),
+		Absolute:      make([]float64, n),
+		Windowed:      make([]bool, n),
+		EstimatedComm: make([]float64, n),
+		Metric:        s.name,
+		Estimator:     "CCNE",
+	}
+
+	for _, node := range g.Nodes() {
+		if node.Kind != taskgraph.KindSubtask {
+			continue
+		}
+		id := node.ID
+		release := head[id] - node.Cost // longest path strictly before the node
+		slack := ud[id] - (head[id] + tail[id] - node.Cost)
+		var abs float64
+		switch s.k {
+		case kindUD:
+			abs = ud[id]
+		case kindED:
+			abs = ud[id] - (tail[id] - node.Cost)
+		case kindEQS:
+			total := cntHead[id] + cntTail[id] - 1
+			abs = head[id] + slack*float64(cntHead[id])/float64(total)
+		case kindEQF:
+			pathwork := head[id] + tail[id] - node.Cost
+			if pathwork <= 0 {
+				abs = ud[id]
+			} else {
+				abs = head[id] + slack*head[id]/pathwork
+			}
+		}
+		res.Release[id] = release
+		res.Absolute[id] = abs
+		res.Relative[id] = math.Max(0, abs-release)
+		res.Windowed[id] = true
+	}
+
+	// Messages: window from the producer's deadline to the consumer's
+	// latest start (a heuristic annotation so deadline-based message
+	// scheduling has priorities to work with).
+	for _, node := range g.Nodes() {
+		if node.Kind != taskgraph.KindMessage {
+			continue
+		}
+		id := node.ID
+		prod := g.Pred(id)[0]
+		cons := g.Succ(id)[0]
+		consNode := g.Node(cons)
+		res.Release[id] = res.Absolute[prod]
+		res.Absolute[id] = math.Max(res.Release[id], res.Absolute[cons]-consNode.Cost)
+		res.Relative[id] = res.Absolute[id] - res.Release[id]
+	}
+
+	// Record a trivial per-node "path" set so Result consumers relying on
+	// coverage (diagnostics) still work: baselines do not slice paths.
+	for _, node := range g.Nodes() {
+		res.Paths = append(res.Paths, []taskgraph.NodeID{node.ID})
+	}
+	return res, nil
+}
+
+// countsTo returns, per node, the maximum number of ordinary subtasks on
+// any path from an input up to and including the node.
+func countsTo(g *taskgraph.Graph) []int {
+	cnt := make([]int, g.NumNodes())
+	for _, id := range g.TopoOrder() {
+		c := 0
+		for _, p := range g.Pred(id) {
+			if cnt[p] > c {
+				c = cnt[p]
+			}
+		}
+		if g.Node(id).Kind == taskgraph.KindSubtask {
+			c++
+		}
+		cnt[id] = c
+	}
+	return cnt
+}
+
+// countsFrom returns, per node, the maximum number of ordinary subtasks on
+// any path from the node (inclusive) to an output.
+func countsFrom(g *taskgraph.Graph) []int {
+	cnt := make([]int, g.NumNodes())
+	topo := g.TopoOrder()
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		c := 0
+		for _, s := range g.Succ(id) {
+			if cnt[s] > c {
+				c = cnt[s]
+			}
+		}
+		if g.Node(id).Kind == taskgraph.KindSubtask {
+			c++
+		}
+		cnt[id] = c
+	}
+	return cnt
+}
+
+// ultimateDeadlines returns, per node, the minimum end-to-end deadline over
+// all outputs reachable from the node.
+func ultimateDeadlines(g *taskgraph.Graph) []float64 {
+	ud := make([]float64, g.NumNodes())
+	topo := g.TopoOrder()
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		node := g.Node(id)
+		if len(g.Succ(id)) == 0 {
+			ud[id] = node.EndToEnd
+			continue
+		}
+		min := math.Inf(1)
+		for _, s := range g.Succ(id) {
+			if ud[s] < min {
+				min = ud[s]
+			}
+		}
+		ud[id] = min
+	}
+	return ud
+}

@@ -1,0 +1,256 @@
+package strategy
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"deadlinedist/internal/generator"
+	"deadlinedist/internal/rng"
+	"deadlinedist/internal/taskgraph"
+)
+
+// chain4 builds t1(10) -> t2(20) -> t3(30) -> t4(40), D = 150 (slack 50).
+func chain4(t *testing.T) (*taskgraph.Graph, []taskgraph.NodeID) {
+	t.Helper()
+	b := taskgraph.NewBuilder()
+	ids := make([]taskgraph.NodeID, 4)
+	costs := []float64{10, 20, 30, 40}
+	for i, c := range costs {
+		ids[i] = b.AddSubtask("", c)
+		if i > 0 {
+			b.Connect(ids[i-1], ids[i], 1)
+		}
+	}
+	b.SetEndToEnd(ids[3], 150)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ids
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestUDChain(t *testing.T) {
+	g, ids := chain4(t)
+	res, err := UD().Assign(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if !approx(res.Absolute[id], 150) {
+			t.Errorf("UD absolute[%v] = %v, want 150", id, res.Absolute[id])
+		}
+	}
+}
+
+func TestEDChain(t *testing.T) {
+	g, ids := chain4(t)
+	res, err := ED().Assign(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D minus remaining downstream work: 150-90, 150-70, 150-40, 150.
+	want := []float64{60, 80, 110, 150}
+	for i, id := range ids {
+		if !approx(res.Absolute[id], want[i]) {
+			t.Errorf("ED absolute[%d] = %v, want %v", i, res.Absolute[id], want[i])
+		}
+	}
+}
+
+func TestEQSChain(t *testing.T) {
+	g, ids := chain4(t)
+	res, err := EQS().Assign(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// slack 50 over 4 subtasks: D_i = Σ_{j<=i} c_j + 50·i/4.
+	want := []float64{10 + 12.5, 30 + 25, 60 + 37.5, 100 + 50}
+	for i, id := range ids {
+		if !approx(res.Absolute[id], want[i]) {
+			t.Errorf("EQS absolute[%d] = %v, want %v", i, res.Absolute[id], want[i])
+		}
+	}
+}
+
+func TestEQFChain(t *testing.T) {
+	g, ids := chain4(t)
+	res, err := EQF().Assign(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D_i = Σ_{j<=i} c_j × (1 + slack/Σc) = cumulative × 1.5.
+	want := []float64{15, 45, 90, 150}
+	for i, id := range ids {
+		if !approx(res.Absolute[id], want[i]) {
+			t.Errorf("EQF absolute[%d] = %v, want %v", i, res.Absolute[id], want[i])
+		}
+	}
+}
+
+func TestReleasesAreLongestPathIn(t *testing.T) {
+	g, ids := chain4(t)
+	for _, s := range All() {
+		res, err := s.Assign(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []float64{0, 10, 30, 60}
+		for i, id := range ids {
+			if !approx(res.Release[id], want[i]) {
+				t.Errorf("%s release[%d] = %v, want %v", s.Name(), i, res.Release[id], want[i])
+			}
+		}
+	}
+}
+
+func TestDeadlinesMonotoneAlongChain(t *testing.T) {
+	g, ids := chain4(t)
+	for _, s := range All() {
+		res, err := s.Assign(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(ids); i++ {
+			if res.Absolute[ids[i]] < res.Absolute[ids[i-1]]-1e-9 {
+				t.Errorf("%s: deadlines not monotone: %v then %v",
+					s.Name(), res.Absolute[ids[i-1]], res.Absolute[ids[i]])
+			}
+		}
+	}
+}
+
+func TestOutputsMeetEndToEnd(t *testing.T) {
+	cfg := generator.Default(generator.MDET)
+	g, err := generator.Random(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range All() {
+		res, err := s.Assign(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, out := range g.Outputs() {
+			if res.Absolute[out] > g.Node(out).EndToEnd+1e-9 {
+				t.Errorf("%s: output %v absolute %v > D %v",
+					s.Name(), out, res.Absolute[out], g.Node(out).EndToEnd)
+			}
+		}
+	}
+}
+
+func TestUDAlwaysLoosestEDAlwaysTightest(t *testing.T) {
+	cfg := generator.Default(generator.HDET)
+	g, err := generator.Random(cfg, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, _ := UD().Assign(g)
+	ed, _ := ED().Assign(g)
+	eqs, _ := EQS().Assign(g)
+	eqf, _ := EQF().Assign(g)
+	for _, n := range g.Nodes() {
+		if n.Kind != taskgraph.KindSubtask {
+			continue
+		}
+		id := n.ID
+		for name, r := range map[string][]float64{"EQS": eqs.Absolute, "EQF": eqf.Absolute, "ED": ed.Absolute} {
+			if r[id] > ud.Absolute[id]+1e-9 {
+				t.Errorf("%s absolute[%v] = %v exceeds UD %v", name, id, r[id], ud.Absolute[id])
+			}
+		}
+		if ed.Absolute[id] > eqs.Absolute[id]+1e-6 && len(g.Succ(id)) != 0 {
+			// ED gives the tightest deadline to upstream nodes on the
+			// critical path; allow equality elsewhere.
+			continue
+		}
+	}
+}
+
+func TestMissingDeadlineError(t *testing.T) {
+	b := taskgraph.NewBuilder()
+	b.AddSubtask("x", 5)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range All() {
+		if _, err := s.Assign(g); !errors.Is(err, ErrNoDeadline) {
+			t.Errorf("%s: got %v, want ErrNoDeadline", s.Name(), err)
+		}
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	want := []string{"UD", "ED", "EQS", "EQF"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d strategies", len(all))
+	}
+	for i, s := range all {
+		if s.Name() != want[i] {
+			t.Errorf("strategy %d name = %q, want %q", i, s.Name(), want[i])
+		}
+	}
+}
+
+func TestAssignDoesNotModifyGraph(t *testing.T) {
+	g, _ := chain4(t)
+	before, _ := g.MarshalJSON()
+	if _, err := EQF().Assign(g); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := g.MarshalJSON()
+	if string(before) != string(after) {
+		t.Fatal("Assign modified the graph")
+	}
+}
+
+func TestDiamondUltimateDeadline(t *testing.T) {
+	// Two outputs with different deadlines: upstream nodes must inherit
+	// the minimum.
+	b := taskgraph.NewBuilder()
+	a := b.AddSubtask("a", 10)
+	x := b.AddSubtask("x", 10)
+	y := b.AddSubtask("y", 10)
+	b.Connect(a, x, 1)
+	b.Connect(a, y, 1)
+	b.SetEndToEnd(x, 40)
+	b.SetEndToEnd(y, 200)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := UD().Assign(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.Absolute[a], 40) {
+		t.Errorf("UD absolute[a] = %v, want 40 (min over reachable outputs)", res.Absolute[a])
+	}
+	if !approx(res.Absolute[y], 200) {
+		t.Errorf("UD absolute[y] = %v, want 200", res.Absolute[y])
+	}
+}
+
+func TestMessagesGetAnnotations(t *testing.T) {
+	g, _ := chain4(t)
+	res, err := EQS().Assign(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Nodes() {
+		if n.Kind != taskgraph.KindMessage {
+			continue
+		}
+		if res.Relative[n.ID] < 0 {
+			t.Errorf("message %v has negative window %v", n.ID, res.Relative[n.ID])
+		}
+		if res.Absolute[n.ID] < res.Release[n.ID]-1e-9 {
+			t.Errorf("message %v absolute %v before release %v", n.ID, res.Absolute[n.ID], res.Release[n.ID])
+		}
+	}
+}

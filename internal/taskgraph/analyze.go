@@ -1,0 +1,208 @@
+package taskgraph
+
+// This file contains structural analyses used both by the workload
+// generators (depth, parallelism) and by the deadline-distribution
+// algorithms (longest paths, end-to-end deadline derivation).
+
+// CostFunc maps a node to the cost it contributes to a path. Typical
+// instances charge Node.Cost for subtasks and either zero (communication
+// cost non-existing) or Size-proportional cost (communication cost always
+// assumed) for messages.
+type CostFunc func(Node) float64
+
+// ExecCost charges only ordinary subtask execution time; messages are free.
+// This is the paper's CCNE view of path length.
+func ExecCost(n Node) float64 {
+	if n.Kind == KindSubtask {
+		return n.Cost
+	}
+	return 0
+}
+
+// Depth returns the number of subtask levels in the graph: the maximum
+// number of ordinary subtasks on any path. Messages do not count toward
+// depth. An empty graph has depth 0.
+func (g *Graph) Depth() int {
+	depth := make([]int, len(g.nodes))
+	maxDepth := 0
+	for _, id := range g.topo {
+		d := depth[id]
+		if g.nodes[id].Kind == KindSubtask {
+			d++
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+		for _, s := range g.succ[id] {
+			if d > depth[s] {
+				depth[s] = d
+			}
+		}
+		depth[id] = d
+	}
+	return maxDepth
+}
+
+// Level returns, for every node, its subtask level: the maximum number of
+// ordinary subtasks on any path ending at (and including, for subtasks) the
+// node. Input subtasks are level 1; messages share the level of their
+// producer.
+func (g *Graph) Level() []int {
+	level := make([]int, len(g.nodes))
+	for _, id := range g.topo {
+		l := 0
+		for _, p := range g.pred[id] {
+			if level[p] > l {
+				l = level[p]
+			}
+		}
+		if g.nodes[id].Kind == KindSubtask {
+			l++
+		}
+		level[id] = l
+	}
+	return level
+}
+
+// TotalWork returns the accumulated execution time of all ordinary subtasks
+// (the "task graph workload" of the paper).
+func (g *Graph) TotalWork() float64 {
+	sum := 0.0
+	for i := range g.nodes {
+		if g.nodes[i].Kind == KindSubtask {
+			sum += g.nodes[i].Cost
+		}
+	}
+	return sum
+}
+
+// LongestPath returns the maximum accumulated cost over all paths in the
+// graph under the given cost function.
+func (g *Graph) LongestPath(cost CostFunc) float64 {
+	best := 0.0
+	acc := make([]float64, len(g.nodes))
+	for _, id := range g.topo {
+		v := acc[id] + cost(g.nodes[id])
+		if v > best {
+			best = v
+		}
+		for _, s := range g.succ[id] {
+			if v > acc[s] {
+				acc[s] = v
+			}
+		}
+		acc[id] = v
+	}
+	return best
+}
+
+// LongestPathTo returns, for every node, the maximum accumulated cost over
+// all paths from any input up to and including the node, under the given
+// cost function. Input release times offset the start of each path.
+func (g *Graph) LongestPathTo(cost CostFunc) []float64 {
+	acc := make([]float64, len(g.nodes))
+	for i := range g.nodes {
+		if len(g.pred[i]) == 0 {
+			acc[i] = g.nodes[i].Release
+		}
+	}
+	for _, id := range g.topo {
+		v := acc[id] + cost(g.nodes[id])
+		for _, s := range g.succ[id] {
+			if v > acc[s] {
+				acc[s] = v
+			}
+		}
+		acc[id] = v
+	}
+	return acc
+}
+
+// LongestPathFrom returns, for every node, the maximum accumulated cost over
+// all paths from the node (inclusive) to any output, under the given cost
+// function.
+func (g *Graph) LongestPathFrom(cost CostFunc) []float64 {
+	acc := make([]float64, len(g.nodes))
+	for i := len(g.topo) - 1; i >= 0; i-- {
+		id := g.topo[i]
+		best := 0.0
+		for _, s := range g.succ[id] {
+			if acc[s] > best {
+				best = acc[s]
+			}
+		}
+		acc[id] = best + cost(g.nodes[id])
+	}
+	return acc
+}
+
+// AvgParallelism returns ξ, the average task graph parallelism: total
+// workload divided by the length (in execution time) of the longest path in
+// the graph. It is the adaptivity signal of the ADAPT metric. An empty or
+// zero-work graph has parallelism 0.
+func (g *Graph) AvgParallelism() float64 {
+	lp := g.LongestPath(ExecCost)
+	if lp <= 0 {
+		return 0
+	}
+	return g.TotalWork() / lp
+}
+
+// MeanSubtaskCost returns the mean execution time over ordinary subtasks
+// (the MET of the paper), or 0 for an empty graph.
+func (g *Graph) MeanSubtaskCost() float64 {
+	sum, n := 0.0, 0
+	for i := range g.nodes {
+		if g.nodes[i].Kind == KindSubtask {
+			sum += g.nodes[i].Cost
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MeanMessageSize returns the mean size over communication subtasks, or 0
+// if the graph has none.
+func (g *Graph) MeanMessageSize() float64 {
+	sum, n := 0.0, 0
+	for i := range g.nodes {
+		if g.nodes[i].Kind == KindMessage {
+			sum += g.nodes[i].Size
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AssignDeadlinesByOLR sets the end-to-end deadline of every output subtask
+// to olr × (longest execution-time path from any input subtask to that
+// output), reproducing the paper's overall-laxity-ratio workload rule
+// (OLR = 1.5 in all published experiments). Message costs are excluded:
+// with relaxed locality constraints, real communication costs are unknown
+// when deadlines are specified.
+func (g *Graph) AssignDeadlinesByOLR(olr float64) {
+	to := g.LongestPathTo(ExecCost)
+	for i := range g.nodes {
+		if g.nodes[i].Kind == KindSubtask && len(g.succ[i]) == 0 {
+			g.nodes[i].EndToEnd = olr * to[i]
+		}
+	}
+}
+
+// AssignDeadlinesByTotalWork sets every output's end-to-end deadline to
+// olr × total graph workload. This is the alternative (looser) reading of
+// the paper's OLR rule, provided for comparison; see DESIGN.md.
+func (g *Graph) AssignDeadlinesByTotalWork(olr float64) {
+	d := olr * g.TotalWork()
+	for i := range g.nodes {
+		if g.nodes[i].Kind == KindSubtask && len(g.succ[i]) == 0 {
+			g.nodes[i].EndToEnd = d
+		}
+	}
+}

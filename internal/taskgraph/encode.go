@@ -1,0 +1,150 @@
+package taskgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// JSON interchange format. Arcs are encoded between ordinary subtasks with
+// the message size attached, so the on-disk form mirrors how applications
+// are specified; communication subtasks are re-materialized on decode.
+
+type graphJSON struct {
+	Subtasks []subtaskJSON `json:"subtasks"`
+	Arcs     []arcJSON     `json:"arcs"`
+}
+
+type subtaskJSON struct {
+	Name     string  `json:"name"`
+	Cost     float64 `json:"cost"`
+	Release  float64 `json:"release,omitempty"`
+	EndToEnd float64 `json:"endToEnd,omitempty"`
+	Pinned   *int    `json:"pinned,omitempty"`
+}
+
+type arcJSON struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	Size float64 `json:"size"`
+}
+
+// MarshalJSON encodes the graph in the interchange format.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	var out graphJSON
+	for i := range g.nodes {
+		n := g.nodes[i]
+		if n.Kind != KindSubtask {
+			continue
+		}
+		st := subtaskJSON{
+			Name:     n.Name,
+			Cost:     n.Cost,
+			Release:  n.Release,
+			EndToEnd: n.EndToEnd,
+		}
+		if n.Pinned != Unpinned {
+			pinned := n.Pinned
+			st.Pinned = &pinned
+		}
+		out.Subtasks = append(out.Subtasks, st)
+	}
+	for i := range g.nodes {
+		m := g.nodes[i]
+		if m.Kind != KindMessage {
+			continue
+		}
+		from := g.nodes[g.pred[m.ID][0]]
+		to := g.nodes[g.succ[m.ID][0]]
+		out.Arcs = append(out.Arcs, arcJSON{From: from.Name, To: to.Name, Size: m.Size})
+	}
+	return json.Marshal(out)
+}
+
+// Decode builds a Graph from its JSON interchange form.
+func Decode(data []byte) (*Graph, error) {
+	var in graphJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("decode task graph: %w", err)
+	}
+	b := NewBuilder()
+	ids := make(map[string]NodeID, len(in.Subtasks))
+	for _, st := range in.Subtasks {
+		if _, dup := ids[st.Name]; dup {
+			return nil, fmt.Errorf("decode task graph: duplicate subtask name %q", st.Name)
+		}
+		id := b.AddSubtask(st.Name, st.Cost)
+		if st.Release != 0 {
+			b.SetRelease(id, st.Release)
+		}
+		if st.EndToEnd != 0 {
+			b.SetEndToEnd(id, st.EndToEnd)
+		}
+		if st.Pinned != nil {
+			b.Pin(id, *st.Pinned)
+		}
+		ids[st.Name] = id
+	}
+	for _, a := range in.Arcs {
+		u, ok := ids[a.From]
+		if !ok {
+			return nil, fmt.Errorf("decode task graph: arc from unknown subtask %q", a.From)
+		}
+		v, ok := ids[a.To]
+		if !ok {
+			return nil, fmt.Errorf("decode task graph: arc to unknown subtask %q", a.To)
+		}
+		b.Connect(u, v, a.Size)
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		return nil, fmt.Errorf("decode task graph: %w", err)
+	}
+	return g, nil
+}
+
+// DOT renders the graph in Graphviz DOT syntax. Ordinary subtasks are boxes
+// labelled with their execution times; arcs are labelled with message sizes.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph taskgraph {\n  rankdir=TB;\n  node [shape=box];\n")
+	for i := range g.nodes {
+		n := g.nodes[i]
+		if n.Kind != KindSubtask {
+			continue
+		}
+		extra := ""
+		if len(g.pred[n.ID]) == 0 && n.Release != 0 {
+			extra = fmt.Sprintf("\\nr=%.4g", n.Release)
+		}
+		if len(g.succ[n.ID]) == 0 && n.EndToEnd != 0 {
+			extra += fmt.Sprintf("\\nD=%.4g", n.EndToEnd)
+		}
+		fmt.Fprintf(&sb, "  %q [label=\"%s\\nc=%.4g%s\"];\n", n.Name, n.Name, n.Cost, extra)
+	}
+	type edge struct{ from, to, label string }
+	var edges []edge
+	for i := range g.nodes {
+		m := g.nodes[i]
+		if m.Kind != KindMessage {
+			continue
+		}
+		edges = append(edges, edge{
+			from:  g.nodes[g.pred[m.ID][0]].Name,
+			to:    g.nodes[g.succ[m.ID][0]].Name,
+			label: fmt.Sprintf("%.4g", m.Size),
+		})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "  %q -> %q [label=\"%s\"];\n", e.from, e.to, e.label)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

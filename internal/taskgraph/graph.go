@@ -1,0 +1,391 @@
+// Package taskgraph models real-time applications as directed acyclic task
+// graphs, following the task model of Jonsson & Shin (ICDCS 1997), Section 3.
+//
+// Nodes are either ordinary subtasks (computation, characterized by a
+// worst-case execution time) or communication subtasks (the message passed
+// along a precedence arc, characterized by a size in data items). Every
+// precedence arc between two ordinary subtasks is materialized as a
+// communication subtask so that deadline-distribution algorithms can assign
+// release times and deadlines to messages as well, enabling deadline-based
+// communication scheduling.
+//
+// A subtask with no predecessors is an input subtask; one with no successors
+// is an output subtask. Input subtasks carry application release times and
+// output subtasks carry end-to-end deadlines.
+package taskgraph
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// NodeID identifies a node within a single Graph. IDs are dense indices
+// assigned in creation order.
+type NodeID int
+
+// None is the invalid NodeID.
+const None NodeID = -1
+
+// Kind distinguishes ordinary subtasks from communication subtasks.
+type Kind int
+
+const (
+	// KindSubtask is an ordinary computation subtask.
+	KindSubtask Kind = iota + 1
+	// KindMessage is a communication subtask materializing a precedence arc.
+	KindMessage
+)
+
+// String returns a short human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindSubtask:
+		return "subtask"
+	case KindMessage:
+		return "message"
+	default:
+		return "kind(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// Node is one vertex of the task graph. For KindSubtask, Cost is the
+// worst-case execution time c_i. For KindMessage, Size is the maximum
+// message size m_ij in data items; the real communication cost is derived
+// from Size by the platform once assignments are known.
+type Node struct {
+	ID   NodeID
+	Kind Kind
+	Name string
+
+	// Cost is the worst-case execution time of an ordinary subtask, in
+	// abstract time units. Zero for messages.
+	Cost float64
+
+	// Size is the message size in data items. Zero for ordinary subtasks.
+	Size float64
+
+	// Release is the application release time. Meaningful only for input
+	// subtasks (it is the earliest time the application may start).
+	Release float64
+
+	// EndToEnd is the end-to-end deadline D measured from the release of
+	// the corresponding input subtasks. Meaningful only for output
+	// subtasks; zero means "not set".
+	EndToEnd float64
+
+	// Pinned is the processor this subtask is strictly assigned to, or
+	// Unpinned. Pinned subtasks model the paper's strict locality
+	// constraints ("tasks constrained by demands of resources in their
+	// physical proximity such as sensors and actuators"); the rest of the
+	// graph is placed freely by the scheduler.
+	Pinned int
+}
+
+// Unpinned marks a subtask without a strict locality constraint.
+const Unpinned = -1
+
+// Graph is an immutable-after-build directed acyclic task graph. Build one
+// with a Builder. The zero value is an empty graph.
+type Graph struct {
+	nodes []Node
+	succ  [][]NodeID
+	pred  [][]NodeID
+
+	topo []NodeID // cached topological order, set by finalize
+}
+
+// Errors returned by Builder.Finalize and graph validation.
+var (
+	ErrCycle        = errors.New("task graph contains a cycle")
+	ErrEmpty        = errors.New("task graph has no subtasks")
+	ErrBadND        = errors.New("node does not exist")
+	ErrSelfArc      = errors.New("arc connects a subtask to itself")
+	ErrDupArc       = errors.New("duplicate arc between subtasks")
+	ErrNotSubtask   = errors.New("arc endpoint is not an ordinary subtask")
+	ErrNegativeCost = errors.New("negative execution time or message size")
+)
+
+// Builder incrementally constructs a Graph. It is not safe for concurrent
+// use. After Finalize succeeds the builder must not be reused.
+type Builder struct {
+	g    Graph
+	arcs map[[2]NodeID]bool
+	err  error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{arcs: make(map[[2]NodeID]bool)}
+}
+
+// AddSubtask adds an ordinary subtask with the given name and worst-case
+// execution time, returning its NodeID. An empty name is replaced by a
+// generated one. Errors are deferred to Finalize.
+func (b *Builder) AddSubtask(name string, cost float64) NodeID {
+	id := NodeID(len(b.g.nodes))
+	if name == "" {
+		name = "t" + strconv.Itoa(int(id))
+	}
+	if cost < 0 && b.err == nil {
+		b.err = fmt.Errorf("subtask %q: cost %v: %w", name, cost, ErrNegativeCost)
+	}
+	b.g.nodes = append(b.g.nodes, Node{ID: id, Kind: KindSubtask, Name: name, Cost: cost, Pinned: Unpinned})
+	b.g.succ = append(b.g.succ, nil)
+	b.g.pred = append(b.g.pred, nil)
+	return id
+}
+
+// Connect adds a precedence arc from subtask u to subtask v carrying a
+// message of size data items, materialized as a communication subtask. It
+// returns the NodeID of the communication subtask. Errors are deferred to
+// Finalize.
+func (b *Builder) Connect(u, v NodeID, size float64) NodeID {
+	if b.err == nil {
+		switch {
+		case !b.valid(u) || !b.valid(v):
+			b.err = fmt.Errorf("connect %d -> %d: %w", u, v, ErrBadND)
+		case u == v:
+			b.err = fmt.Errorf("connect %d -> %d: %w", u, v, ErrSelfArc)
+		case b.g.nodes[u].Kind != KindSubtask || b.g.nodes[v].Kind != KindSubtask:
+			b.err = fmt.Errorf("connect %d -> %d: %w", u, v, ErrNotSubtask)
+		case b.arcs[[2]NodeID{u, v}]:
+			b.err = fmt.Errorf("connect %d -> %d: %w", u, v, ErrDupArc)
+		case size < 0:
+			b.err = fmt.Errorf("connect %d -> %d: size %v: %w", u, v, size, ErrNegativeCost)
+		}
+	}
+	if b.err != nil {
+		return None
+	}
+	b.arcs[[2]NodeID{u, v}] = true
+
+	m := NodeID(len(b.g.nodes))
+	name := "m" + strconv.Itoa(int(u)) + "_" + strconv.Itoa(int(v))
+	b.g.nodes = append(b.g.nodes, Node{ID: m, Kind: KindMessage, Name: name, Size: size, Pinned: Unpinned})
+	b.g.succ = append(b.g.succ, nil)
+	b.g.pred = append(b.g.pred, nil)
+
+	b.g.succ[u] = append(b.g.succ[u], m)
+	b.g.pred[m] = append(b.g.pred[m], u)
+	b.g.succ[m] = append(b.g.succ[m], v)
+	b.g.pred[v] = append(b.g.pred[v], m)
+	return m
+}
+
+// SetRelease sets the application release time of subtask id. It is only
+// meaningful for input subtasks; Finalize rejects it on non-inputs.
+func (b *Builder) SetRelease(id NodeID, release float64) {
+	if b.err == nil && !b.valid(id) {
+		b.err = fmt.Errorf("set release %d: %w", id, ErrBadND)
+		return
+	}
+	if b.err == nil {
+		b.g.nodes[id].Release = release
+	}
+}
+
+// Pin strictly assigns subtask id to the given processor (a strict
+// locality constraint). Processor indices are validated by the scheduler
+// against the concrete platform; Finalize only rejects negative values
+// other than Unpinned and pins on communication subtasks.
+func (b *Builder) Pin(id NodeID, proc int) {
+	if b.err == nil && !b.valid(id) {
+		b.err = fmt.Errorf("pin %d: %w", id, ErrBadND)
+		return
+	}
+	if b.err != nil {
+		return
+	}
+	switch {
+	case b.g.nodes[id].Kind != KindSubtask:
+		b.err = fmt.Errorf("pin %d: %w", id, ErrNotSubtask)
+	case proc < 0:
+		b.err = fmt.Errorf("pin %d to processor %d: negative processor", id, proc)
+	default:
+		b.g.nodes[id].Pinned = proc
+	}
+}
+
+// SetEndToEnd sets the end-to-end deadline on output subtask id.
+func (b *Builder) SetEndToEnd(id NodeID, deadline float64) {
+	if b.err == nil && !b.valid(id) {
+		b.err = fmt.Errorf("set end-to-end %d: %w", id, ErrBadND)
+		return
+	}
+	if b.err == nil {
+		b.g.nodes[id].EndToEnd = deadline
+	}
+}
+
+func (b *Builder) valid(id NodeID) bool {
+	return id >= 0 && int(id) < len(b.g.nodes)
+}
+
+// Finalize validates the constructed graph and returns it. The returned
+// Graph must not be modified.
+func (b *Builder) Finalize() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := &b.g
+	if g.NumSubtasks() == 0 {
+		return nil, ErrEmpty
+	}
+	topo, err := g.computeTopo()
+	if err != nil {
+		return nil, err
+	}
+	g.topo = topo
+	for _, n := range g.nodes {
+		if n.Kind == KindSubtask && n.Release != 0 && len(g.pred[n.ID]) != 0 {
+			return nil, fmt.Errorf("subtask %q has a release time but is not an input subtask", n.Name)
+		}
+		if n.EndToEnd != 0 && len(g.succ[n.ID]) != 0 {
+			return nil, fmt.Errorf("subtask %q has an end-to-end deadline but is not an output subtask", n.Name)
+		}
+	}
+	return g, nil
+}
+
+// NumNodes returns the total node count (subtasks + messages).
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumSubtasks returns the number of ordinary subtasks.
+func (g *Graph) NumSubtasks() int {
+	n := 0
+	for i := range g.nodes {
+		if g.nodes[i].Kind == KindSubtask {
+			n++
+		}
+	}
+	return n
+}
+
+// NumMessages returns the number of communication subtasks.
+func (g *Graph) NumMessages() int { return len(g.nodes) - g.NumSubtasks() }
+
+// Node returns the node with the given ID. The returned value is a copy.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Nodes returns a copy of all nodes in ID order.
+func (g *Graph) Nodes() []Node {
+	out := make([]Node, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// Succ returns the successor IDs of id. The returned slice must not be
+// modified.
+func (g *Graph) Succ(id NodeID) []NodeID { return g.succ[id] }
+
+// Pred returns the predecessor IDs of id. The returned slice must not be
+// modified.
+func (g *Graph) Pred(id NodeID) []NodeID { return g.pred[id] }
+
+// Inputs returns the IDs of all input subtasks (ordinary subtasks with no
+// predecessors), in ID order.
+func (g *Graph) Inputs() []NodeID {
+	var out []NodeID
+	for i := range g.nodes {
+		if g.nodes[i].Kind == KindSubtask && len(g.pred[i]) == 0 {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// Outputs returns the IDs of all output subtasks (ordinary subtasks with no
+// successors), in ID order.
+func (g *Graph) Outputs() []NodeID {
+	var out []NodeID
+	for i := range g.nodes {
+		if g.nodes[i].Kind == KindSubtask && len(g.succ[i]) == 0 {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// TopoOrder returns a topological order over all nodes. The returned slice
+// must not be modified.
+func (g *Graph) TopoOrder() []NodeID { return g.topo }
+
+// computeTopo runs Kahn's algorithm, returning ErrCycle on failure.
+func (g *Graph) computeTopo() ([]NodeID, error) {
+	n := len(g.nodes)
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.pred[i])
+	}
+	queue := make([]NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, NodeID(i))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Clone returns a deep copy of the graph. The copy may be annotated (e.g.
+// end-to-end deadlines overwritten) without affecting the original.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes: make([]Node, len(g.nodes)),
+		succ:  make([][]NodeID, len(g.succ)),
+		pred:  make([][]NodeID, len(g.pred)),
+		topo:  make([]NodeID, len(g.topo)),
+	}
+	copy(c.nodes, g.nodes)
+	copy(c.topo, g.topo)
+	for i := range g.succ {
+		c.succ[i] = append([]NodeID(nil), g.succ[i]...)
+		c.pred[i] = append([]NodeID(nil), g.pred[i]...)
+	}
+	return c
+}
+
+// SetPinned overwrites the strict locality constraint of subtask id
+// (Unpinned clears it). Intended for annotating clones, e.g. when applying
+// a computed task assignment.
+func (g *Graph) SetPinned(id NodeID, proc int) error {
+	if id < 0 || int(id) >= len(g.nodes) {
+		return fmt.Errorf("set pinned %d: %w", id, ErrBadND)
+	}
+	if g.nodes[id].Kind != KindSubtask {
+		return fmt.Errorf("set pinned %d: %w", id, ErrNotSubtask)
+	}
+	if proc < Unpinned {
+		return fmt.Errorf("set pinned %d: invalid processor %d", id, proc)
+	}
+	g.nodes[id].Pinned = proc
+	return nil
+}
+
+// SetEndToEnd overwrites the end-to-end deadline of output subtask id.
+// It returns an error if id is not an output subtask.
+func (g *Graph) SetEndToEnd(id NodeID, deadline float64) error {
+	if id < 0 || int(id) >= len(g.nodes) {
+		return fmt.Errorf("set end-to-end %d: %w", id, ErrBadND)
+	}
+	if g.nodes[id].Kind != KindSubtask || len(g.succ[id]) != 0 {
+		return fmt.Errorf("set end-to-end %d: not an output subtask", id)
+	}
+	g.nodes[id].EndToEnd = deadline
+	return nil
+}

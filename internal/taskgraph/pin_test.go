@@ -1,0 +1,183 @@
+package taskgraph
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestPinDefaultsToUnpinned(t *testing.T) {
+	g, ids := diamond(t)
+	for _, id := range ids {
+		if g.Node(id).Pinned != Unpinned {
+			t.Errorf("node %v pinned to %d by default", id, g.Node(id).Pinned)
+		}
+	}
+	for _, n := range g.Nodes() {
+		if n.Kind == KindMessage && n.Pinned != Unpinned {
+			t.Errorf("message %v pinned by default", n.ID)
+		}
+	}
+}
+
+func TestPinRecorded(t *testing.T) {
+	b := NewBuilder()
+	x := b.AddSubtask("x", 1)
+	y := b.AddSubtask("y", 1)
+	b.Connect(x, y, 1)
+	b.Pin(x, 0)
+	b.Pin(y, 3)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Node(x).Pinned != 0 || g.Node(y).Pinned != 3 {
+		t.Fatalf("pins = %d, %d, want 0, 3", g.Node(x).Pinned, g.Node(y).Pinned)
+	}
+}
+
+func TestPinErrors(t *testing.T) {
+	t.Run("unknown node", func(t *testing.T) {
+		b := NewBuilder()
+		b.AddSubtask("x", 1)
+		b.Pin(NodeID(42), 0)
+		if _, err := b.Finalize(); !errors.Is(err, ErrBadND) {
+			t.Fatalf("got %v, want ErrBadND", err)
+		}
+	})
+	t.Run("message", func(t *testing.T) {
+		b := NewBuilder()
+		x := b.AddSubtask("x", 1)
+		y := b.AddSubtask("y", 1)
+		m := b.Connect(x, y, 1)
+		b.Pin(m, 0)
+		if _, err := b.Finalize(); !errors.Is(err, ErrNotSubtask) {
+			t.Fatalf("got %v, want ErrNotSubtask", err)
+		}
+	})
+	t.Run("negative processor", func(t *testing.T) {
+		b := NewBuilder()
+		x := b.AddSubtask("x", 1)
+		b.Pin(x, -2)
+		if _, err := b.Finalize(); err == nil {
+			t.Fatal("negative processor accepted")
+		}
+	})
+}
+
+func TestPinJSONRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	x := b.AddSubtask("x", 5)
+	y := b.AddSubtask("y", 5)
+	b.Connect(x, y, 1)
+	b.Pin(x, 2)
+	b.SetEndToEnd(y, 50)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"pinned":2`) {
+		t.Fatalf("pin missing from JSON: %s", data)
+	}
+	g2, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foundX, foundY bool
+	for _, n := range g2.Nodes() {
+		switch n.Name {
+		case "x":
+			foundX = true
+			if n.Pinned != 2 {
+				t.Errorf("x pinned = %d after round trip, want 2", n.Pinned)
+			}
+		case "y":
+			foundY = true
+			if n.Pinned != Unpinned {
+				t.Errorf("y pinned = %d after round trip, want Unpinned", n.Pinned)
+			}
+		}
+	}
+	if !foundX || !foundY {
+		t.Fatal("round trip lost subtasks")
+	}
+}
+
+func TestPinZeroOmittedOnlyWhenUnpinned(t *testing.T) {
+	// Pinning to processor 0 must survive the round trip (the sentinel is
+	// Unpinned, not zero).
+	b := NewBuilder()
+	x := b.AddSubtask("x", 5)
+	b.Pin(x, 0)
+	b.SetEndToEnd(x, 50)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := g.MarshalJSON()
+	g2, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Node(0).Pinned != 0 {
+		t.Fatalf("pin to processor 0 lost in round trip: %d", g2.Node(0).Pinned)
+	}
+}
+
+func TestPinSurvivesClone(t *testing.T) {
+	b := NewBuilder()
+	x := b.AddSubtask("x", 5)
+	b.Pin(x, 1)
+	b.SetEndToEnd(x, 50)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Clone().Node(x).Pinned != 1 {
+		t.Fatal("clone lost pin")
+	}
+}
+
+func TestSetPinnedOnGraph(t *testing.T) {
+	b := NewBuilder()
+	x := b.AddSubtask("x", 5)
+	y := b.AddSubtask("y", 5)
+	b.Connect(x, y, 1)
+	b.SetEndToEnd(y, 50)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	if err := c.SetPinned(x, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Node(x).Pinned != 2 {
+		t.Fatalf("pinned = %d, want 2", c.Node(x).Pinned)
+	}
+	if err := c.SetPinned(x, Unpinned); err != nil {
+		t.Fatal(err)
+	}
+	if c.Node(x).Pinned != Unpinned {
+		t.Fatal("Unpinned did not clear the pin")
+	}
+	if err := c.SetPinned(NodeID(99), 0); !errors.Is(err, ErrBadND) {
+		t.Errorf("bad node: %v", err)
+	}
+	var msg NodeID
+	for _, n := range c.Nodes() {
+		if n.Kind == KindMessage {
+			msg = n.ID
+		}
+	}
+	if err := c.SetPinned(msg, 0); !errors.Is(err, ErrNotSubtask) {
+		t.Errorf("message pin: %v", err)
+	}
+	if err := c.SetPinned(x, -7); err == nil {
+		t.Error("invalid processor accepted")
+	}
+}

@@ -1,0 +1,83 @@
+// Package textplot renders small multi-series line charts as ASCII text,
+// used by the experiment tools to show the paper's figures in a terminal.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (X, Y) points. X and Y must have equal
+// length.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the series on a width × height character grid with a left
+// Y-axis scale, bottom X-axis scale and a legend. Degenerate input (no
+// points) yields a short placeholder.
+func Render(title string, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			points++
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, mark byte) {
+		col := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		row := int(math.Round((maxY - y) / (maxY - minY) * float64(height-1)))
+		grid[row][col] = mark
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			plot(s.X[i], s.Y[i], mark)
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	for r, row := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&sb, "%10.2f |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(&sb, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%10s  %-*.4g%*.4g\n", "", width/2, minX, width-width/2, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return sb.String()
+}

@@ -1,0 +1,59 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderContainsTitleAndLegend(t *testing.T) {
+	out := Render("Figure X", []Series{
+		{Name: "PURE", X: []float64{2, 4, 8}, Y: []float64{10, -5, -20}},
+		{Name: "ADAPT", X: []float64{2, 4, 8}, Y: []float64{0, -15, -25}},
+	}, 40, 10)
+	for _, want := range []string{"Figure X", "PURE", "ADAPT", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render("empty", nil, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	out := Render("one", []Series{{Name: "s", X: []float64{5}, Y: []float64{7}}}, 30, 6)
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestRenderClampsTinyDimensions(t *testing.T) {
+	out := Render("tiny", []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{1, 2}}}, 1, 1)
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Errorf("dimensions not clamped:\n%s", out)
+	}
+}
+
+func TestRenderRowCount(t *testing.T) {
+	out := Render("rows", []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}}, 30, 8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 8 grid rows + axis + scale + 1 legend = 12.
+	if len(lines) != 12 {
+		t.Errorf("got %d lines, want 12:\n%s", len(lines), out)
+	}
+}
+
+func TestMarkersCycle(t *testing.T) {
+	series := make([]Series, len(markers)+1)
+	for i := range series {
+		series[i] = Series{Name: "s", X: []float64{float64(i)}, Y: []float64{float64(i)}}
+	}
+	out := Render("cycle", series, 40, 10)
+	if !strings.Contains(out, string(markers[0])) {
+		t.Errorf("marker cycling broken:\n%s", out)
+	}
+}

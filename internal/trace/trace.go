@@ -1,0 +1,124 @@
+// Package trace exports schedules as Chrome trace-event JSON (the format
+// consumed by chrome://tracing and https://ui.perfetto.dev), with one row
+// per processor, one per communication resource, and deadline markers —
+// a practical way to inspect why a particular subtask went late.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/scheduler"
+	"deadlinedist/internal/taskgraph"
+)
+
+// event is one Chrome trace event ("X" = complete slice, "I" = instant).
+type event struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// meta names a process/thread row in the trace viewer.
+func metaEvent(pid, tid int, kind, name string) event {
+	return event{
+		Name:  kind,
+		Phase: "M",
+		PID:   pid,
+		TID:   tid,
+		Args:  map[string]any{"name": name},
+	}
+}
+
+const (
+	pidProcessors = 1
+	pidComm       = 2
+)
+
+// Write renders the schedule as a JSON array of trace events. Subtasks
+// appear on their processor's row; non-degenerate message transfers appear
+// on a communication row; each subtask's absolute deadline is an instant
+// marker carrying its lateness.
+func Write(w io.Writer, g *taskgraph.Graph, res *core.Result, s *scheduler.Schedule) error {
+	var events []event
+	events = append(events, metaEvent(pidProcessors, 0, "process_name", "processors"))
+	events = append(events, metaEvent(pidComm, 0, "process_name", "communication"))
+
+	procs := map[int]bool{}
+	for _, n := range g.Nodes() {
+		if n.Kind == taskgraph.KindSubtask && s.Proc[n.ID] >= 0 {
+			procs[s.Proc[n.ID]] = true
+		}
+	}
+	ordered := make([]int, 0, len(procs))
+	for p := range procs {
+		ordered = append(ordered, p)
+	}
+	sort.Ints(ordered)
+	for _, p := range ordered {
+		events = append(events, metaEvent(pidProcessors, p, "thread_name", fmt.Sprintf("P%d", p)))
+	}
+	events = append(events, metaEvent(pidComm, 0, "thread_name", "links/bus"))
+
+	slice := func(name string, pid, tid int, start, end float64, args map[string]any) {
+		events = append(events, event{
+			Name: name, Phase: "X", TS: start, Dur: end - start,
+			PID: pid, TID: tid, Args: args,
+		})
+	}
+
+	if len(s.Segments) > 0 {
+		for _, seg := range s.Segments {
+			n := g.Node(seg.Node)
+			slice(n.Name, pidProcessors, seg.Proc, seg.Start, seg.End, map[string]any{
+				"cost": n.Cost, "deadline": res.Absolute[seg.Node],
+			})
+		}
+	} else {
+		for _, n := range g.Nodes() {
+			if n.Kind != taskgraph.KindSubtask || s.Proc[n.ID] < 0 {
+				continue
+			}
+			slice(n.Name, pidProcessors, s.Proc[n.ID], s.Start[n.ID], s.Finish[n.ID], map[string]any{
+				"cost": n.Cost, "deadline": res.Absolute[n.ID],
+				"lateness": s.Finish[n.ID] - res.Absolute[n.ID],
+			})
+		}
+	}
+
+	for _, n := range g.Nodes() {
+		if n.Kind != taskgraph.KindMessage || s.Finish[n.ID] <= s.Start[n.ID] {
+			continue
+		}
+		slice(n.Name, pidComm, 0, s.Start[n.ID], s.Finish[n.ID], map[string]any{
+			"items": n.Size,
+		})
+	}
+
+	// Deadline markers with lateness, on the owning processor's row.
+	for _, n := range g.Nodes() {
+		if n.Kind != taskgraph.KindSubtask || s.Proc[n.ID] < 0 {
+			continue
+		}
+		events = append(events, event{
+			Name:  "D(" + n.Name + ")",
+			Phase: "I",
+			TS:    res.Absolute[n.ID],
+			PID:   pidProcessors,
+			TID:   s.Proc[n.ID],
+			Scope: "t",
+			Args:  map[string]any{"lateness": s.Finish[n.ID] - res.Absolute[n.ID]},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
