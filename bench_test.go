@@ -12,6 +12,7 @@ import (
 	"deadlinedist/internal/core"
 	"deadlinedist/internal/experiment"
 	"deadlinedist/internal/generator"
+	"deadlinedist/internal/metrics"
 	"deadlinedist/internal/platform"
 	"deadlinedist/internal/rng"
 	"deadlinedist/internal/scheduler"
@@ -218,3 +219,37 @@ func BenchmarkAblationOLRBasis(b *testing.B) { benchFigure(b, experiment.OLRBasi
 
 // BenchmarkAblationDispatch regenerates the dispatch-model ablation.
 func BenchmarkAblationDispatch(b *testing.B) { benchFigure(b, experiment.DispatchAblation) }
+
+// uncachedAssigner defeats the fingerprint cache by declaring its
+// fingerprint unknown, which forces a fresh Assign at every system size.
+type uncachedAssigner struct{ experiment.Assigner }
+
+func (u uncachedAssigner) Fingerprint(*Graph, *System) ([]float64, bool) {
+	return nil, false
+}
+
+// BenchmarkEngineFingerprintCache runs the same sweep twice: once with the
+// cache effective (a platform-independent fingerprint means one Assign per
+// graph) and once defeated (one Assign per graph and size). The hit
+// variant must be measurably cheaper; each run also reports its measured
+// cache hit rate.
+func BenchmarkEngineFingerprintCache(b *testing.B) {
+	asg := experiment.Slicing(core.PURE(), core.CCNE())
+	run := func(b *testing.B, a experiment.Assigner) {
+		b.Helper()
+		rec := metrics.New()
+		cfg := benchBase()
+		cfg.Metrics = rec
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cfg.Run("bench", a); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(rec.Snapshot().CacheHitRate(), "hit-rate")
+	}
+	b.Run("hit", func(b *testing.B) { run(b, asg) })
+	b.Run("miss", func(b *testing.B) { run(b, uncachedAssigner{asg}) })
+}

@@ -9,6 +9,8 @@
 //	dlexp -figure 2 -plot           # include ASCII charts
 //	dlexp -figure 2 -csv out/       # also write CSV files
 //	dlexp -verify -report R.md      # machine-check the paper's claims
+//	dlexp -stats -bench-json        # per-stage timings + BENCH_experiment.json
+//	dlexp -cpuprofile cpu.out -pprof localhost:6060
 //
 // Figure keys (DESIGN.md §4): 2 3 4 5 (paper figures), ccr met par topo
 // shapes apps policy preempt hetero (Section 8), baselines bus locality
@@ -27,6 +29,8 @@ import (
 
 	"deadlinedist/internal/experiment"
 	"deadlinedist/internal/generator"
+	"deadlinedist/internal/metrics"
+	"deadlinedist/internal/profiling"
 	"deadlinedist/internal/report"
 )
 
@@ -48,9 +52,26 @@ func run(args []string, out io.Writer) error {
 		csvDir     = fs.String("csv", "", "directory to write per-table CSV files (optional)")
 		verify     = fs.Bool("verify", false, "evaluate the paper's claims against the reproduced tables")
 		reportPath = fs.String("report", "", "write a Markdown reproduction report to this file")
+		stats      = fs.Bool("stats", false, "print per-stage engine timings and fingerprint-cache traffic")
+		benchJSON  = fs.Bool("bench-json", false, "write an engine performance snapshot (see -bench-out)")
+		benchOut   = fs.String("bench-out", "BENCH_experiment.json", "path of the -bench-json snapshot")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	prof, err := profiling.Start(profiling.Options{
+		CPUProfile: *cpuProfile, MemProfile: *memProfile, PprofAddr: *pprofAddr,
+	})
+	if err != nil {
+		return err
+	}
+	defer prof.Stop()
+	if addr := prof.Addr(); addr != "" {
+		fmt.Fprintf(out, "pprof server on http://%s/debug/pprof/\n", addr)
 	}
 
 	sweep, err := parseSizes(*sizes)
@@ -62,8 +83,42 @@ func run(args []string, out io.Writer) error {
 	base.Seed = *seed
 	base.Sizes = sweep
 
+	var rec *metrics.Recorder
+	if *stats || *benchJSON {
+		rec = metrics.New()
+		base.Metrics = rec
+	}
+	finish := func(wall time.Duration) error {
+		if rec == nil {
+			return prof.Stop()
+		}
+		snap := rec.Snapshot()
+		if *stats {
+			fmt.Fprintf(out, "\n%s\n", snap.String())
+		}
+		if *benchJSON {
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				return err
+			}
+			if err := metrics.NewBench("experiment", snap, wall).WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "benchmark snapshot written to %s\n", *benchOut)
+		}
+		return prof.Stop()
+	}
+
 	if *verify {
-		return runVerify(base, out, *reportPath)
+		start := time.Now()
+		if err := runVerify(base, out, *reportPath); err != nil {
+			return err
+		}
+		return finish(time.Since(start))
 	}
 
 	keys := experiment.FigureOrder()
@@ -108,7 +163,7 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "report written to %s\n", *reportPath)
 	}
-	return nil
+	return finish(time.Since(runStart))
 }
 
 func runVerify(base experiment.Config, out io.Writer, reportPath string) error {

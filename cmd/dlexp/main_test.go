@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+
+	"deadlinedist/internal/metrics"
 )
 
 func TestParseSizesRange(t *testing.T) {
@@ -151,5 +154,56 @@ func TestRunVerifyMode(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "## Claims:") {
 		t.Error("report missing claims section")
+	}
+}
+
+func TestRunStatsAndBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "BENCH_experiment.json")
+	var buf bytes.Buffer
+	err := run([]string{"-figure", "2", "-graphs", "2", "-sizes", "2,4",
+		"-stats", "-bench-json", "-bench-out", benchPath}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"stage", "assign", "schedule", "fingerprint cache", "hit rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-stats output missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatalf("bench snapshot not written: %v", err)
+	}
+	var bench metrics.Bench
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatalf("bench snapshot not valid JSON: %v", err)
+	}
+	if bench.Name != "experiment" || bench.Graphs == 0 || bench.GraphsPerSec <= 0 {
+		t.Errorf("bench snapshot incomplete: %+v", bench)
+	}
+	if bench.CacheHits+bench.CacheMisses == 0 {
+		t.Error("bench snapshot has no cache traffic")
+	}
+}
+
+func TestRunProfilesAndPprof(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var buf bytes.Buffer
+	err := run([]string{"-figure", "2", "-graphs", "2", "-sizes", "2",
+		"-cpuprofile", cpu, "-memprofile", mem, "-pprof", "127.0.0.1:0"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", path, err)
+		}
+	}
+	if !strings.Contains(buf.String(), "pprof server on http://127.0.0.1:") {
+		t.Errorf("pprof address not announced:\n%s", buf.String())
 	}
 }

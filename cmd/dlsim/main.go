@@ -15,9 +15,12 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"deadlinedist/internal/core"
+	"deadlinedist/internal/metrics"
 	"deadlinedist/internal/platform"
+	"deadlinedist/internal/profiling"
 	"deadlinedist/internal/scheduler"
 	"deadlinedist/internal/taskgraph"
 	"deadlinedist/internal/trace"
@@ -33,22 +36,41 @@ func main() {
 func run(args []string, stdin io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("dlsim", flag.ContinueOnError)
 	var (
-		in        = fs.String("in", "-", "task graph JSON file ('-' for stdin)")
-		procs     = fs.Int("procs", 4, "number of processors")
-		metric    = fs.String("metric", "ADAPT", "deadline metric: NORM, PURE, THRES or ADAPT")
-		estimator = fs.String("estimator", "CCNE", "communication estimator: CCNE, CCAA or CCEXP")
-		delta     = fs.Float64("delta", 1.0, "THRES surplus factor")
-		thres     = fs.Float64("cthres", 1.25, "THRES/ADAPT threshold as a multiple of MET")
-		respect   = fs.Bool("respect", true, "time-driven dispatch (respect release times)")
-		policy    = fs.String("policy", "EDF", "dispatch policy: EDF, LLF, FIFO or HLF")
-		preempt   = fs.Bool("preempt", false, "re-simulate under preemptive EDF")
-		contended = fs.Bool("contended", false, "serialize messages on a contended bus")
-		gantt     = fs.Bool("gantt", true, "print an ASCII Gantt chart")
-		tracePath = fs.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing)")
-		windows   = fs.Bool("windows", false, "print per-subtask windows")
+		in         = fs.String("in", "-", "task graph JSON file ('-' for stdin)")
+		procs      = fs.Int("procs", 4, "number of processors")
+		metric     = fs.String("metric", "ADAPT", "deadline metric: NORM, PURE, THRES or ADAPT")
+		estimator  = fs.String("estimator", "CCNE", "communication estimator: CCNE, CCAA or CCEXP")
+		delta      = fs.Float64("delta", 1.0, "THRES surplus factor")
+		thres      = fs.Float64("cthres", 1.25, "THRES/ADAPT threshold as a multiple of MET")
+		respect    = fs.Bool("respect", true, "time-driven dispatch (respect release times)")
+		policy     = fs.String("policy", "EDF", "dispatch policy: EDF, LLF, FIFO or HLF")
+		preempt    = fs.Bool("preempt", false, "re-simulate under preemptive EDF")
+		contended  = fs.Bool("contended", false, "serialize messages on a contended bus")
+		gantt      = fs.Bool("gantt", true, "print an ASCII Gantt chart")
+		tracePath  = fs.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing)")
+		windows    = fs.Bool("windows", false, "print per-subtask windows")
+		stats      = fs.Bool("stats", false, "print per-stage pipeline timings")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	prof, err := profiling.Start(profiling.Options{
+		CPUProfile: *cpuProfile, MemProfile: *memProfile, PprofAddr: *pprofAddr,
+	})
+	if err != nil {
+		return err
+	}
+	defer prof.Stop()
+	if addr := prof.Addr(); addr != "" {
+		fmt.Fprintf(out, "pprof server on http://%s/debug/pprof/\n", addr)
+	}
+	rec := (*metrics.Recorder)(nil)
+	if *stats {
+		rec = metrics.New()
 	}
 
 	data, err := readInput(*in, stdin)
@@ -78,15 +100,18 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		return err
 	}
 
+	assignStart := time.Now()
 	res, err := core.Distributor{Metric: m, Estimator: e}.Distribute(g, sys)
 	if err != nil {
 		return err
 	}
+	rec.Observe(metrics.StageAssign, time.Since(assignStart))
 	pol, err := parsePolicy(*policy)
 	if err != nil {
 		return err
 	}
 	cfg := scheduler.Config{RespectRelease: *respect, Policy: pol}
+	schedStart := time.Now()
 	var sched *scheduler.Schedule
 	if *preempt {
 		if sched, err = scheduler.RunPreemptive(g, sys, res, cfg); err != nil {
@@ -103,6 +128,7 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 			return fmt.Errorf("schedule validation: %w", err)
 		}
 	}
+	rec.Observe(metrics.StageSchedule, time.Since(schedStart))
 
 	fmt.Fprintf(out, "graph: %d subtasks, %d messages, depth %d, parallelism %.2f, workload %.1f\n",
 		g.NumSubtasks(), g.NumMessages(), g.Depth(), g.AvgParallelism(), g.TotalWork())
@@ -129,8 +155,11 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		fmt.Fprintf(out, ", %d preemptions", sched.Preemptions(g))
 	}
 	fmt.Fprintln(out)
+	measureStart := time.Now()
+	maxLate, missed, e2eLate := sched.MaxLateness(g, res), sched.MissedDeadlines(g, res), sched.EndToEndLateness(g)
+	rec.Observe(metrics.StageMeasure, time.Since(measureStart))
 	fmt.Fprintf(out, "max lateness %.2f, missed windows %d, end-to-end lateness %.2f\n",
-		sched.MaxLateness(g, res), sched.MissedDeadlines(g, res), sched.EndToEndLateness(g))
+		maxLate, missed, e2eLate)
 	if *gantt {
 		fmt.Fprintln(out)
 		io.WriteString(out, scheduler.Gantt(g, sys, sched, 72))
@@ -146,7 +175,10 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "\ntrace written to %s\n", *tracePath)
 	}
-	return nil
+	if *stats {
+		fmt.Fprintf(out, "\n%s\n", rec.Snapshot().String())
+	}
+	return prof.Stop()
 }
 
 func readInput(path string, stdin io.Reader) ([]byte, error) {

@@ -147,3 +147,35 @@ func TestRunWritesTrace(t *testing.T) {
 		t.Error("trace path not reported")
 	}
 }
+
+func TestRunStats(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-procs", "2", "-stats", "-gantt=false"}, strings.NewReader(sampleGraph), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"stage", "assign", "schedule", "measure"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-stats output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCPUProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.out")
+	var out bytes.Buffer
+	err := run([]string{"-procs", "2", "-gantt=false", "-cpuprofile", path}, strings.NewReader(sampleGraph), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Errorf("cpu profile missing or empty (err=%v)", err)
+	}
+}
+
+func TestRunBadPprofAddr(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-pprof", "not-an-addr"}, strings.NewReader(sampleGraph), &out); err == nil {
+		t.Fatal("bad pprof address accepted")
+	}
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -133,6 +134,72 @@ func TestPropertyMomentBounds(t *testing.T) {
 		return ok
 	}
 	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging any partition of an observation stream — arbitrary
+// number of chunks at arbitrary cut points, merged left to right — agrees
+// with sequentially Add-ing every observation, for all published moments.
+func TestPropertyMergeArbitrarySplits(t *testing.T) {
+	f := func(seed uint64, rawN uint16, rawChunks uint8) bool {
+		src := rng.New(seed)
+		n := 1 + int(rawN)%400
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = src.NormFloat64() * 100
+		}
+
+		var seq Stats
+		for _, v := range vals {
+			seq.Add(v)
+		}
+
+		// Cut the stream into 1..16 chunks at random points (empty chunks
+		// allowed), accumulate each separately, then fold left to right.
+		chunks := 1 + int(rawChunks)%16
+		cuts := make([]int, 0, chunks+1)
+		cuts = append(cuts, 0)
+		for i := 1; i < chunks; i++ {
+			cuts = append(cuts, src.IntN(n+1))
+		}
+		cuts = append(cuts, n)
+		sort.Ints(cuts)
+
+		var merged Stats
+		for i := 0; i+1 < len(cuts); i++ {
+			var part Stats
+			for _, v := range vals[cuts[i]:cuts[i+1]] {
+				part.Add(v)
+			}
+			merged.Merge(part)
+		}
+
+		if merged.N() != seq.N() {
+			t.Logf("seed %d: N = %d, want %d", seed, merged.N(), seq.N())
+			return false
+		}
+		tol := 1e-9 * (1 + math.Abs(seq.Mean()))
+		checks := []struct {
+			name      string
+			got, want float64
+		}{
+			{"mean", merged.Mean(), seq.Mean()},
+			{"variance", merged.Variance(), seq.Variance()},
+			{"min", merged.Min(), seq.Min()},
+			{"max", merged.Max(), seq.Max()},
+			{"ci95", merged.CI95(), seq.CI95()},
+		}
+		for _, c := range checks {
+			if math.Abs(c.got-c.want) > tol*(1+math.Abs(c.want)) {
+				t.Logf("seed %d (%d obs, %d chunks): %s = %v, want %v",
+					seed, n, chunks, c.name, c.got, c.want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -104,6 +104,10 @@ type distState struct {
 	dp      [][]float64
 	par     [][]taskgraph.NodeID
 	touched []taskgraph.NodeID
+
+	// winbuf is slice's scratch buffer for the chosen path's raw windows,
+	// reused across iterations.
+	winbuf []float64
 }
 
 func (st *distState) alloc() {
@@ -325,17 +329,25 @@ func (st *distState) backtrack(end taskgraph.NodeID, k int) []taskgraph.NodeID {
 
 // slice distributes the critical path's end-to-end deadline over the
 // path's nodes as consecutive, non-overlapping windows. Windowed nodes get
-// Metric.Window(c', R) (clamped at zero under overload); negligible nodes
-// get zero-width windows at the running position. When the metric sizes
-// windows with different costs than it ranks paths (WindowCoster), the
-// ratio is recomputed over the chosen path with the window costs so the
-// windows still sum exactly to the path's end-to-end deadline.
+// Metric.Window(c', R); negligible nodes get zero-width windows at the
+// running position. When the metric sizes windows with different costs than
+// it ranks paths (WindowCoster), the ratio is recomputed over the chosen
+// path with the window costs.
+//
+// Under overload a metric may emit negative windows. Those are clamped at
+// zero, and the surviving positive windows are then renormalized so that the
+// windows still sum exactly to the path's available span (deadline anchor
+// minus release anchor) — otherwise later anchors would inherit absolute
+// deadlines inflated past the path's end-to-end deadline. When the span
+// itself is non-positive (the anchors already leave no room), every window
+// collapses to zero and all absolute deadlines sit at the release anchor.
 func (st *distState) slice(path []taskgraph.NodeID, ratio float64) {
 	t, _ := st.releaseAnchor(path[0])
+	dl, _ := st.deadlineAnchor(path[len(path)-1])
+	span := dl - t
 	vc := st.vc
 	if &st.vcWin[0] != &st.vc[0] {
 		vc = st.vcWin
-		dl, _ := st.deadlineAnchor(path[len(path)-1])
 		sum, count := 0.0, 0
 		for _, id := range path {
 			if vc[id] > 0 {
@@ -343,18 +355,69 @@ func (st *distState) slice(path []taskgraph.NodeID, ratio float64) {
 				count++
 			}
 		}
-		ratio = st.metric.Ratio(dl-t, sum, count)
+		ratio = st.metric.Ratio(span, sum, count)
 	}
+
+	// First pass: raw windows, clamping negative (or undefined) ones at
+	// zero into a scratch buffer.
+	win := st.winbuf[:0]
+	clamped := false
+	wsum := 0.0
 	for _, id := range path {
+		w := 0.0
+		if vc[id] > 0 {
+			w = st.metric.Window(vc[id], ratio)
+			if w < 0 || math.IsInf(ratio, 1) || math.IsNaN(w) {
+				w = 0
+				clamped = true
+			}
+			wsum += w
+		}
+		win = append(win, w)
+	}
+	st.winbuf = win
+
+	// Clamping removed the negative contributions, so the positive windows
+	// now overshoot the span; restore the sum-to-span invariant. Feasible
+	// paths (no clamping) are left bit-for-bit unchanged.
+	if clamped {
+		switch {
+		case span <= 0:
+			for i := range win {
+				win[i] = 0
+			}
+		case wsum > 0:
+			scale := span / wsum
+			for i, id := range path {
+				if vc[id] > 0 {
+					win[i] *= scale
+				}
+			}
+		default:
+			// Every window was clamped but room remains: fall back to a
+			// split proportional to the window-sizing costs.
+			vsum := 0.0
+			for _, id := range path {
+				if vc[id] > 0 {
+					vsum += vc[id]
+				}
+			}
+			if vsum > 0 {
+				for i, id := range path {
+					if vc[id] > 0 {
+						win[i] = span * vc[id] / vsum
+					}
+				}
+			}
+		}
+	}
+
+	for i, id := range path {
 		st.res.Release[id] = t
 		if vc[id] > 0 {
-			w := st.metric.Window(vc[id], ratio)
-			if w < 0 || math.IsInf(ratio, 1) {
-				w = 0
-			}
-			st.res.Relative[id] = w
+			st.res.Relative[id] = win[i]
 			st.res.Windowed[id] = true
-			t += w
+			t += win[i]
 		} else {
 			st.res.Relative[id] = 0
 		}

@@ -387,6 +387,94 @@ func TestDistributeOverloadClampsWindows(t *testing.T) {
 	}
 }
 
+// TestDistributeOverloadRenormalizesWindows: clamping a negative window at
+// zero removes its (negative) contribution to the path sum, so without a
+// second pass the surviving windows overshoot the end-to-end deadline and
+// every later anchor inherits the inflated absolute deadline. The fix
+// rescales the surviving windows back onto the available span.
+func TestDistributeOverloadRenormalizesWindows(t *testing.T) {
+	b := taskgraph.NewBuilder()
+	a := b.AddSubtask("a", 1)
+	mid := b.AddSubtask("b", 1)
+	c := b.AddSubtask("c", 100)
+	b.Connect(a, mid, 1)
+	b.Connect(mid, c, 1)
+	b.SetEndToEnd(c, 30)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PURE: R = (30-102)/3 = -24, raw windows -23, -23, 76. The negatives
+	// clamp to zero; the old code then left c at 76, putting its absolute
+	// deadline 46 time units past D = 30.
+	res := distribute(t, g, PURE(), CCNE(), 2)
+	if res.Relative[a] != 0 || res.Relative[mid] != 0 {
+		t.Errorf("clamped windows = %v, %v, want 0, 0", res.Relative[a], res.Relative[mid])
+	}
+	if !approx(res.Relative[c], 30) {
+		t.Errorf("surviving window = %v, want renormalized 30", res.Relative[c])
+	}
+	if !approx(res.Absolute[c], 30) {
+		t.Errorf("absolute[c] = %v, want the end-to-end deadline 30", res.Absolute[c])
+	}
+}
+
+// Property: under arbitrary overload (deadline a small fraction of the
+// chain's workload) windows stay non-negative, sum to the end-to-end
+// deadline, and no absolute deadline escapes past it — for every metric.
+func TestPropertyOverloadWindowsSumToDeadline(t *testing.T) {
+	metrics := []Metric{PURE(), NORM(), THRES(1, 1.25), ADAPT(1.25)}
+	s := sys(t, 4)
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		b := taskgraph.NewBuilder()
+		n := r.IntIn(2, 10)
+		ids := make([]taskgraph.NodeID, n)
+		total := 0.0
+		for i := range ids {
+			cost := r.Float64In(1, 100)
+			total += cost
+			ids[i] = b.AddSubtask("t", cost)
+			if i > 0 {
+				b.Connect(ids[i-1], ids[i], 1)
+			}
+		}
+		deadline := total * r.Float64In(0.05, 0.5)
+		b.SetEndToEnd(ids[n-1], deadline)
+		g, err := b.Finalize()
+		if err != nil {
+			return false
+		}
+		for _, m := range metrics {
+			res, err := Distributor{Metric: m, Estimator: CCNE()}.Distribute(g, s)
+			if err != nil {
+				t.Logf("seed %d %s: %v", seed, m.Name(), err)
+				return false
+			}
+			sum := 0.0
+			for _, id := range ids {
+				if res.Relative[id] < 0 {
+					t.Logf("seed %d %s: negative window %v", seed, m.Name(), res.Relative[id])
+					return false
+				}
+				if res.Absolute[id] > deadline+1e-6 {
+					t.Logf("seed %d %s: absolute %v past deadline %v", seed, m.Name(), res.Absolute[id], deadline)
+					return false
+				}
+				sum += res.Relative[id]
+			}
+			if math.Abs(sum-deadline) > 1e-6*deadline {
+				t.Logf("seed %d %s: windows sum to %v, want %v", seed, m.Name(), sum, deadline)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 32}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestDistributeRespectsInputRelease(t *testing.T) {
 	b := taskgraph.NewBuilder()
 	a := b.AddSubtask("a", 10)

@@ -65,8 +65,13 @@ func (r *Result) MinLaxity(g *taskgraph.Graph) float64 {
 //     (windows of a path never overlap);
 //  3. for every output subtask, Absolute <= its end-to-end deadline + eps.
 //
-// Under overload (negative path slack) invariants 2 and 3 may be violated
-// by design; callers should only Validate feasible workloads.
+// Under overload (negative path slack) negative windows are clamped at zero
+// and the surviving windows renormalized onto the available span, so
+// invariant 3 holds even then; invariant 2 may still be violated when a
+// sliced segment's anchors leave a non-positive span (every absolute
+// deadline of the segment collapses onto its release anchor, which can sit
+// past an already-assigned successor's release). Callers should only
+// Validate feasible workloads.
 func (r *Result) Validate(g *taskgraph.Graph, eps float64) error {
 	n := g.NumNodes()
 	if len(r.Release) != n || len(r.Relative) != n || len(r.Absolute) != n {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"deadlinedist/internal/analysis"
 	"deadlinedist/internal/assign"
@@ -19,6 +20,7 @@ import (
 	"deadlinedist/internal/core"
 	"deadlinedist/internal/generator"
 	"deadlinedist/internal/improve"
+	"deadlinedist/internal/metrics"
 	"deadlinedist/internal/platform"
 	"deadlinedist/internal/rng"
 	"deadlinedist/internal/scheduler"
@@ -35,8 +37,13 @@ type Assigner interface {
 	// Fingerprint returns a value that fully determines the assignment's
 	// dependence on the platform for a given graph: two platforms with
 	// equal fingerprints yield identical assignments, so results can be
-	// cached across the system-size sweep. nil means platform-independent.
-	Fingerprint(g *taskgraph.Graph, sys *platform.System) []float64
+	// cached across the system-size sweep. A nil fingerprint with ok=true
+	// means the assignment is platform-independent (always cacheable).
+	// ok=false means the dependence could not be determined (e.g. a
+	// platform-dependent estimator failed to build); unknown fingerprints
+	// are never cached and never match, so Assign runs afresh and surfaces
+	// the underlying error.
+	Fingerprint(g *taskgraph.Graph, sys *platform.System) (fp []float64, ok bool)
 	// Assign produces the annotated graph.
 	Assign(g *taskgraph.Graph, sys *platform.System) (*core.Result, error)
 }
@@ -57,7 +64,7 @@ func (a slicingAssigner) Label() string {
 	return a.dist.Metric.Name() + "/" + a.dist.Estimator.Name()
 }
 
-func (a slicingAssigner) Fingerprint(g *taskgraph.Graph, sys *platform.System) []float64 {
+func (a slicingAssigner) Fingerprint(g *taskgraph.Graph, sys *platform.System) ([]float64, bool) {
 	est := a.dist.Estimator.Estimate(g, sys)
 	fp := a.dist.Metric.VirtualCosts(g, sys, est)
 	// Metrics sizing windows with separate costs depend on the platform
@@ -65,7 +72,7 @@ func (a slicingAssigner) Fingerprint(g *taskgraph.Graph, sys *platform.System) [
 	if wc, ok := a.dist.Metric.(core.WindowCoster); ok {
 		fp = append(append([]float64(nil), fp...), wc.WindowCosts(g, sys, est)...)
 	}
-	return fp
+	return fp, true
 }
 
 func (a slicingAssigner) Assign(g *taskgraph.Graph, sys *platform.System) (*core.Result, error) {
@@ -91,12 +98,16 @@ func SlicingDyn(m core.Metric, label string,
 
 func (a dynSlicingAssigner) Label() string { return a.label }
 
-func (a dynSlicingAssigner) Fingerprint(g *taskgraph.Graph, sys *platform.System) []float64 {
+func (a dynSlicingAssigner) Fingerprint(g *taskgraph.Graph, sys *platform.System) ([]float64, bool) {
 	e, err := a.est(sys)
 	if err != nil {
-		return nil // force a fresh Assign, which will surface the error
+		// Unknown: never cached, never matched, so the engine always runs
+		// a fresh Assign, which surfaces the error. (A plain nil here would
+		// collide with the platform-independent sentinel and silently reuse
+		// a stale distribution cached at an earlier size.)
+		return nil, false
 	}
-	return a.metric.VirtualCosts(g, sys, e.Estimate(g, sys))
+	return a.metric.VirtualCosts(g, sys, e.Estimate(g, sys)), true
 }
 
 func (a dynSlicingAssigner) Assign(g *taskgraph.Graph, sys *platform.System) (*core.Result, error) {
@@ -119,7 +130,9 @@ func Baseline(s strategy.Strategy) Assigner { return baselineAssigner{s: s} }
 
 func (a baselineAssigner) Label() string { return a.s.Name() }
 
-func (a baselineAssigner) Fingerprint(*taskgraph.Graph, *platform.System) []float64 { return nil }
+func (a baselineAssigner) Fingerprint(*taskgraph.Graph, *platform.System) ([]float64, bool) {
+	return nil, true // platform-independent
+}
 
 func (a baselineAssigner) Assign(g *taskgraph.Graph, _ *platform.System) (*core.Result, error) {
 	return a.s.Assign(g)
@@ -151,9 +164,9 @@ func (a assignFirst) Transform(g *taskgraph.Graph, sys *platform.System) (*taskg
 	return assign.Apply(g, mapping)
 }
 
-func (a assignFirst) Fingerprint(g *taskgraph.Graph, sys *platform.System) []float64 {
+func (a assignFirst) Fingerprint(g *taskgraph.Graph, sys *platform.System) ([]float64, bool) {
 	est := core.CCKnown(nil).Estimate(g, sys)
-	return a.metric.VirtualCosts(g, sys, est)
+	return a.metric.VirtualCosts(g, sys, est), true
 }
 
 func (a assignFirst) Assign(g *taskgraph.Graph, sys *platform.System) (*core.Result, error) {
@@ -180,12 +193,12 @@ func (a improvedAssigner) Label() string {
 	return a.dist.Metric.Name() + "+improve"
 }
 
-func (a improvedAssigner) Fingerprint(g *taskgraph.Graph, sys *platform.System) []float64 {
+func (a improvedAssigner) Fingerprint(g *taskgraph.Graph, sys *platform.System) ([]float64, bool) {
 	// Improvement schedules on the concrete platform, so the outcome
 	// always depends on the processor count.
 	est := a.dist.Estimator.Estimate(g, sys)
 	fp := a.dist.Metric.VirtualCosts(g, sys, est)
-	return append(append([]float64(nil), fp...), float64(sys.NumProcs()))
+	return append(append([]float64(nil), fp...), float64(sys.NumProcs())), true
 }
 
 func (a improvedAssigner) Assign(g *taskgraph.Graph, sys *platform.System) (*core.Result, error) {
@@ -256,6 +269,14 @@ type Config struct {
 	// batch index with an independent random stream (used for the
 	// realistic benchmark applications). Takes precedence over Structured.
 	Custom func(src *rng.Source) (*taskgraph.Graph, error)
+	// Metrics, when non-nil, receives per-stage wall times and
+	// fingerprint-cache traffic for this run (see internal/metrics). The
+	// same recorder may be shared across runs to aggregate a whole sweep.
+	Metrics *metrics.Recorder
+	// MaxErrors caps how many distinct graph-pipeline errors Run reports
+	// before summarizing the rest (default 8). The first error cancels the
+	// remaining pipelines either way.
+	MaxErrors int
 }
 
 // GraphTransformer is an optional Assigner capability: strategies that
@@ -323,6 +344,10 @@ type Table struct {
 // ErrNoAssigners is returned when Run is called without strategies.
 var ErrNoAssigners = errors.New("experiment needs at least one assigner")
 
+// defaultMaxErrors bounds the number of distinct graph-pipeline errors one
+// Run reports when Config.MaxErrors is unset.
+const defaultMaxErrors = 8
+
 // Run executes the full pipeline for every assigner over the size sweep and
 // returns one table. Graph pipelines run concurrently; results are
 // aggregated in deterministic (graph-index) order so output is identical
@@ -350,7 +375,9 @@ func (cfg Config) Run(title string, assigners ...Assigner) (*Table, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	genStart := time.Now()
 	graphs, err := cfg.batch()
+	cfg.Metrics.Observe(metrics.StageGenerate, time.Since(genStart))
 	if err != nil {
 		return nil, fmt.Errorf("generate batch: %w", err)
 	}
@@ -376,34 +403,71 @@ func (cfg Config) Run(title string, assigners ...Assigner) (*Table, error) {
 		}
 	}
 
+	// Fail fast: the first error stops feeding the pool and makes the
+	// workers drain the remaining jobs without running them, instead of
+	// burning the rest of the batch. Every distinct error is collected (up
+	// to MaxErrors) so one bad strategy does not mask another.
+	maxErrors := cfg.MaxErrors
+	if maxErrors <= 0 {
+		maxErrors = defaultMaxErrors
+	}
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		errs    []error
+		omitted int
 	)
+	done := make(chan struct{})
+	var once sync.Once
+	cancel := func() { once.Do(func() { close(done) }) }
+	cancelled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	fail := func(gi int, err error) {
+		mu.Lock()
+		if len(errs) < maxErrors {
+			errs = append(errs, fmt.Errorf("graph %d: %w", gi, err))
+		} else {
+			omitted++
+		}
+		mu.Unlock()
+		cancel()
+	}
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for gi := range jobs {
+				if cancelled() {
+					continue // drain without running
+				}
 				if err := runGraph(cfg, graphs[gi], systems, nets, assigners, measure, gi, vals); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("graph %d: %w", gi, err)
-					}
-					mu.Unlock()
+					fail(gi, err)
 				}
 			}
 		}()
 	}
+feed:
 	for gi := 0; gi < cfg.Graphs; gi++ {
-		jobs <- gi
+		select {
+		case jobs <- gi:
+		case <-done:
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if len(errs) > 0 {
+		if omitted > 0 {
+			errs = append(errs, fmt.Errorf("%d further graph pipelines failed (omitted)", omitted))
+		}
+		return nil, errors.Join(errs...)
 	}
 
 	table := &Table{
@@ -428,36 +492,52 @@ func (cfg Config) Run(title string, assigners ...Assigner) (*Table, error) {
 }
 
 // runGraph runs one graph through every assigner and size, reusing the
-// distribution when its fingerprint is unchanged across sizes.
+// distribution when its fingerprint is known and unchanged across sizes.
 func runGraph(cfg Config, g *taskgraph.Graph, systems []*platform.System,
 	nets []*channel.Network, assigners []Assigner, measure Measure, gi int, vals [][][]float64) error {
 
+	rec := cfg.Metrics
 	for a, asg := range assigners {
 		var (
-			cachedFP  []float64
-			cachedRes *core.Result
+			cachedFP    []float64
+			cachedKnown bool
+			cachedRes   *core.Result
 		)
 		transformer, _ := asg.(GraphTransformer)
 		for si, sys := range systems {
 			gg := g
 			if transformer != nil {
 				var err error
-				if gg, err = transformer.Transform(g, sys); err != nil {
+				start := time.Now()
+				gg, err = transformer.Transform(g, sys)
+				rec.Observe(metrics.StageTransform, time.Since(start))
+				if err != nil {
 					return fmt.Errorf("%s: transform: %w", asg.Label(), err)
 				}
 			}
-			fp := asg.Fingerprint(gg, sys)
-			if cachedRes == nil || !equalFP(fp, cachedFP) {
+			start := time.Now()
+			fp, known := asg.Fingerprint(gg, sys)
+			rec.Observe(metrics.StageFingerprint, time.Since(start))
+			// Reuse only when both fingerprints are known: an unknown
+			// fingerprint (ok=false) never matches anything, so Assign runs
+			// afresh and surfaces whatever failed during fingerprinting.
+			if cachedRes != nil && cachedKnown && known && equalFP(fp, cachedFP) {
+				rec.CacheHit()
+			} else {
+				rec.CacheMiss()
+				start = time.Now()
 				res, err := asg.Assign(gg, sys)
+				rec.Observe(metrics.StageAssign, time.Since(start))
 				if err != nil {
 					return fmt.Errorf("%s: %w", asg.Label(), err)
 				}
-				cachedRes, cachedFP = res, fp
+				cachedRes, cachedFP, cachedKnown = res, fp, known
 			}
 			var (
 				sched *scheduler.Schedule
 				err   error
 			)
+			start = time.Now()
 			switch {
 			case nets[si] != nil:
 				var ms *scheduler.MultihopSchedule
@@ -469,10 +549,13 @@ func runGraph(cfg Config, g *taskgraph.Graph, systems []*platform.System,
 			default:
 				sched, err = scheduler.Run(gg, sys, cachedRes, cfg.Scheduler)
 			}
+			rec.Observe(metrics.StageSchedule, time.Since(start))
 			if err != nil {
 				return fmt.Errorf("%s: schedule: %w", asg.Label(), err)
 			}
+			start = time.Now()
 			vals[a][gi][si] = measure(gg, cachedRes, sched)
+			rec.Observe(metrics.StageMeasure, time.Since(start))
 		}
 	}
 	return nil
@@ -509,6 +592,10 @@ func (cfg Config) batch() ([]*taskgraph.Graph, error) {
 	return graphs, nil
 }
 
+// equalFP reports whether two known fingerprints are elementwise equal.
+// nil and empty are interchangeable (both mean "no platform dependence");
+// "unknown" is expressed by the ok=false return of Fingerprint, not by a
+// sentinel value, so equality here is plain and symmetric.
 func equalFP(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false
@@ -518,7 +605,7 @@ func equalFP(a, b []float64) bool {
 			return false
 		}
 	}
-	return a != nil || b == nil
+	return true
 }
 
 func scenarioName(w generator.Config) string {

@@ -2,14 +2,19 @@ package experiment
 
 import (
 	"errors"
+	"fmt"
+	"regexp"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"deadlinedist/internal/apps"
 	"deadlinedist/internal/channel"
 	"deadlinedist/internal/core"
 	"deadlinedist/internal/generator"
 	"deadlinedist/internal/improve"
+	"deadlinedist/internal/metrics"
 	"deadlinedist/internal/platform"
 	"deadlinedist/internal/rng"
 	"deadlinedist/internal/strategy"
@@ -468,5 +473,225 @@ func TestNetworkedRun(t *testing.T) {
 	cfg.Network = func(int) (*channel.Network, error) { return nil, errors.New("down") }
 	if _, err := cfg.Run("networked-bad", Slicing(core.PURE(), core.CCNE())); err == nil {
 		t.Fatal("network factory error not propagated")
+	}
+}
+
+func TestEqualFPSymmetric(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+		want bool
+	}{
+		{"nil-nil", nil, nil, true},
+		{"nil-empty", nil, []float64{}, true},
+		{"empty-nil", []float64{}, nil, true},
+		{"empty-empty", []float64{}, []float64{}, true},
+		{"equal", []float64{1, 2}, []float64{1, 2}, true},
+		{"diff-value", []float64{1, 2}, []float64{1, 3}, false},
+		{"diff-len", []float64{1}, []float64{1, 2}, false},
+		{"nil-nonempty", nil, []float64{1}, false},
+		{"nonempty-nil", []float64{1}, nil, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := equalFP(c.a, c.b); got != c.want {
+				t.Errorf("equalFP(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+			if fwd, rev := equalFP(c.a, c.b), equalFP(c.b, c.a); fwd != rev {
+				t.Errorf("equalFP asymmetric on (%v, %v): %v vs %v", c.a, c.b, fwd, rev)
+			}
+		})
+	}
+}
+
+// flakyEstFactory models a transiently failing platform-dependent
+// estimator (e.g. network construction): the first call for each platform
+// size errors, retries succeed. Not safe for concurrent use — run with
+// Workers = 1.
+func flakyEstFactory() func(sys *platform.System) (core.CommEstimator, error) {
+	failed := map[int]bool{}
+	return func(sys *platform.System) (core.CommEstimator, error) {
+		if n := sys.NumProcs(); !failed[n] {
+			failed[n] = true
+			return nil, errors.New("transient estimator failure")
+		}
+		return core.CCNE(), nil
+	}
+}
+
+// TestUnknownFingerprintNotReusedAcrossSizes is the regression test for the
+// nil-fingerprint cache collision: dynSlicingAssigner.Fingerprint used to
+// return a plain nil on estimator error, which compared equal to a nil
+// fingerprint cached at an earlier size, so the engine silently reused the
+// stale distribution. With the ok=false convention the engine must run a
+// fresh Assign at every size whose fingerprint is unknown, making the sweep
+// agree with a standalone run of the larger size.
+func TestUnknownFingerprintNotReusedAcrossSizes(t *testing.T) {
+	run := func(sizes []int) *Table {
+		cfg := tiny()
+		cfg.Sizes = sizes
+		cfg.Workers = 1 // the flaky factory below is stateful
+		table, err := cfg.Run("flaky", SlicingDyn(core.ADAPT(1.25), "ADAPT/flaky", flakyEstFactory()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return table
+	}
+	sweep := run([]int{2, 16})
+	alone := run([]int{16})
+	ms, _ := sweep.Mean("ADAPT/flaky", 16)
+	ma, _ := alone.Mean("ADAPT/flaky", 16)
+	if ms != ma {
+		t.Fatalf("sweep reused a stale distribution at size 16: mean %v, standalone %v", ms, ma)
+	}
+}
+
+// TestPersistentEstimatorFailureSurfaces: when the factory fails for a size
+// on every call, the error must abort the run instead of being swallowed by
+// a cache hit.
+func TestPersistentEstimatorFailureSurfaces(t *testing.T) {
+	cfg := tiny()
+	cfg.Sizes = []int{2, 16}
+	cfg.Workers = 1
+	factory := func(sys *platform.System) (core.CommEstimator, error) {
+		if sys.NumProcs() == 16 {
+			return nil, errors.New("no estimator for 16 processors")
+		}
+		return core.CCNE(), nil
+	}
+	_, err := cfg.Run("persistent", SlicingDyn(core.ADAPT(1.25), "ADAPT/dyn", factory))
+	if err == nil || !strings.Contains(err.Error(), "no estimator for 16 processors") {
+		t.Fatalf("estimator failure not surfaced: %v", err)
+	}
+}
+
+// countingAssigner delegates to a slicing strategy but reports a fixed
+// fingerprint state and counts Assign calls.
+type countingAssigner struct {
+	inner   Assigner
+	known   bool
+	assigns *atomic.Int64
+}
+
+func (c countingAssigner) Label() string { return c.inner.Label() }
+
+func (c countingAssigner) Fingerprint(*taskgraph.Graph, *platform.System) ([]float64, bool) {
+	return nil, c.known
+}
+
+func (c countingAssigner) Assign(g *taskgraph.Graph, sys *platform.System) (*core.Result, error) {
+	c.assigns.Add(1)
+	return c.inner.Assign(g, sys)
+}
+
+func TestFingerprintCacheTraffic(t *testing.T) {
+	// A known platform-independent fingerprint assigns once per graph; an
+	// unknown fingerprint assigns once per graph and size. The recorder
+	// sees exactly the complementary hit/miss counts.
+	for _, known := range []bool{true, false} {
+		cfg := tiny() // 6 graphs, 2 sizes
+		rec := metrics.New()
+		cfg.Metrics = rec
+		var assigns atomic.Int64
+		asg := countingAssigner{inner: Slicing(core.PURE(), core.CCNE()), known: known, assigns: &assigns}
+		if _, err := cfg.Run("traffic", asg); err != nil {
+			t.Fatal(err)
+		}
+		pipelines := int64(cfg.Graphs * len(cfg.Sizes))
+		wantAssigns := int64(cfg.Graphs)
+		if !known {
+			wantAssigns = pipelines
+		}
+		if got := assigns.Load(); got != wantAssigns {
+			t.Errorf("known=%v: %d Assign calls, want %d", known, got, wantAssigns)
+		}
+		snap := rec.Snapshot()
+		if snap.CacheHits+snap.CacheMisses != pipelines {
+			t.Errorf("known=%v: cache traffic %d, want %d", known, snap.CacheHits+snap.CacheMisses, pipelines)
+		}
+		if snap.CacheMisses != wantAssigns {
+			t.Errorf("known=%v: %d misses, want %d", known, snap.CacheMisses, wantAssigns)
+		}
+	}
+}
+
+// failingAssigner errors on every Assign after a short delay, counting
+// attempts; the delay gives the pool time to observe cancellation.
+type failingAssigner struct {
+	attempts *atomic.Int64
+}
+
+func (f failingAssigner) Label() string { return "failing" }
+
+func (f failingAssigner) Fingerprint(*taskgraph.Graph, *platform.System) ([]float64, bool) {
+	return nil, true
+}
+
+func (f failingAssigner) Assign(g *taskgraph.Graph, _ *platform.System) (*core.Result, error) {
+	n := f.attempts.Add(1)
+	time.Sleep(time.Millisecond)
+	return nil, fmt.Errorf("induced failure %d", n)
+}
+
+func TestRunFailsFastAndReportsAllErrors(t *testing.T) {
+	cfg := tiny()
+	cfg.Graphs = 64
+	cfg.Workers = 4
+	cfg.MaxErrors = 3
+	var attempts atomic.Int64
+	_, err := cfg.Run("fail-fast", failingAssigner{attempts: &attempts})
+	if err == nil {
+		t.Fatal("failing batch succeeded")
+	}
+	if got := attempts.Load(); got >= int64(cfg.Graphs) {
+		t.Errorf("no fail-fast: all %d graph pipelines ran", got)
+	}
+	reported := regexp.MustCompile(`graph \d+:`).FindAllString(err.Error(), -1)
+	if len(reported) == 0 {
+		t.Errorf("no per-graph errors reported: %v", err)
+	}
+	if len(reported) > cfg.MaxErrors {
+		t.Errorf("%d distinct graph errors reported, cap is %d:\n%v", len(reported), cfg.MaxErrors, err)
+	}
+	if seen := map[string]bool{}; true {
+		for _, r := range reported {
+			if seen[r] {
+				t.Errorf("duplicate error for %q", r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestRunRecordsStageTimings(t *testing.T) {
+	cfg := tiny()
+	rec := metrics.New()
+	cfg.Metrics = rec
+	if _, err := cfg.Run("timed", Slicing(core.ADAPT(1.25), core.CCNE())); err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Snapshot()
+	pipelines := int64(cfg.Graphs * len(cfg.Sizes))
+	want := map[metrics.Stage]int64{
+		metrics.StageGenerate:    1,
+		metrics.StageFingerprint: pipelines,
+		metrics.StageSchedule:    pipelines,
+		metrics.StageMeasure:     pipelines,
+	}
+	for stage, count := range want {
+		st := snap.Stages[stage]
+		if st.Count != count {
+			t.Errorf("stage %s: %d observations, want %d", stage, st.Count, count)
+		}
+		if st.Count > 0 && st.TotalNanos <= 0 {
+			t.Errorf("stage %s: no wall time recorded", stage)
+		}
+	}
+	// ADAPT depends on the platform: every pipeline is a miss.
+	if snap.CacheMisses != pipelines || snap.CacheHits != 0 {
+		t.Errorf("cache = %d/%d, want %d misses", snap.CacheHits, snap.CacheMisses, pipelines)
+	}
+	if snap.Stages[metrics.StageAssign].Count != pipelines {
+		t.Errorf("assign observations = %d, want %d", snap.Stages[metrics.StageAssign].Count, pipelines)
 	}
 }

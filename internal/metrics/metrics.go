@@ -1,0 +1,251 @@
+// Package metrics is the lightweight, concurrency-safe instrumentation
+// layer of the experiment engine: atomic per-stage counters, wall-time
+// histograms and fingerprint-cache traffic counts. A nil *Recorder is a
+// valid no-op sink, so instrumented code never branches on "metrics off";
+// the hot path pays one time.Now per stage and three atomic adds per
+// observation.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one pipeline stage of the experiment engine.
+type Stage int
+
+// The engine's pipeline stages, in execution order.
+const (
+	StageGenerate    Stage = iota // workload batch generation
+	StageFingerprint              // platform-dependence fingerprinting
+	StageTransform                // graph transformation (assign-first flows)
+	StageAssign                   // deadline distribution
+	StageSchedule                 // list scheduling
+	StageMeasure                  // measure extraction
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"generate", "fingerprint", "transform", "assign", "schedule", "measure",
+}
+
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+	return stageNames[s]
+}
+
+// numBuckets spans <1µs up to ≥1s in powers of two; the last bucket absorbs
+// everything larger.
+const numBuckets = 22
+
+// bucketIndex maps a duration to its histogram bucket: bucket 0 holds
+// observations below 1µs, bucket i holds [2^(i-1), 2^i) µs.
+func bucketIndex(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(us))
+	if i >= numBuckets {
+		return numBuckets - 1
+	}
+	return i
+}
+
+// bucketBound returns the exclusive upper bound of bucket i, or 0 for the
+// unbounded last bucket.
+func bucketBound(i int) time.Duration {
+	if i >= numBuckets-1 {
+		return 0
+	}
+	return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+}
+
+// stageRecorder accumulates one stage's counters.
+type stageRecorder struct {
+	count   atomic.Int64
+	nanos   atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// Recorder accumulates per-stage timings and cache traffic. All methods are
+// safe for concurrent use and no-ops on a nil receiver. The zero value is
+// ready to use.
+type Recorder struct {
+	stages      [NumStages]stageRecorder
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
+// New returns an empty Recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Observe records one wall-time observation for stage s.
+func (r *Recorder) Observe(s Stage, d time.Duration) {
+	if r == nil || s < 0 || s >= NumStages {
+		return
+	}
+	sr := &r.stages[s]
+	sr.count.Add(1)
+	sr.nanos.Add(int64(d))
+	sr.buckets[bucketIndex(d)].Add(1)
+}
+
+// CacheHit records a fingerprint-cache hit (a distribution reused across
+// the size sweep).
+func (r *Recorder) CacheHit() {
+	if r != nil {
+		r.cacheHits.Add(1)
+	}
+}
+
+// CacheMiss records a fingerprint-cache miss (a fresh Assign).
+func (r *Recorder) CacheMiss() {
+	if r != nil {
+		r.cacheMisses.Add(1)
+	}
+}
+
+// Bucket is one non-empty histogram bucket of a stage snapshot. UpTo is the
+// exclusive upper bound ("1ms"); the unbounded last bucket reports "inf".
+type Bucket struct {
+	UpTo  string `json:"upTo"`
+	Count int64  `json:"count"`
+}
+
+// StageStats is the frozen view of one stage.
+type StageStats struct {
+	Stage      string   `json:"stage"`
+	Count      int64    `json:"count"`
+	TotalNanos int64    `json:"totalNanos"`
+	Histogram  []Bucket `json:"histogram,omitempty"`
+}
+
+// Total returns the stage's accumulated wall time.
+func (s StageStats) Total() time.Duration { return time.Duration(s.TotalNanos) }
+
+// Mean returns the mean observation, or 0 without observations.
+func (s StageStats) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.TotalNanos / s.Count)
+}
+
+// Snapshot is a consistent-enough point-in-time copy of a Recorder (each
+// counter is read atomically; counters of an in-flight observation may be
+// split across two snapshots).
+type Snapshot struct {
+	Stages      []StageStats `json:"stages"`
+	CacheHits   int64        `json:"cacheHits"`
+	CacheMisses int64        `json:"cacheMisses"`
+}
+
+// Snapshot freezes the recorder's counters. A nil Recorder yields an empty
+// snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	snap.Stages = make([]StageStats, 0, NumStages)
+	for s := Stage(0); s < NumStages; s++ {
+		sr := &r.stages[s]
+		st := StageStats{
+			Stage:      s.String(),
+			Count:      sr.count.Load(),
+			TotalNanos: sr.nanos.Load(),
+		}
+		for i := 0; i < numBuckets; i++ {
+			n := sr.buckets[i].Load()
+			if n == 0 {
+				continue
+			}
+			upTo := "inf"
+			if b := bucketBound(i); b != 0 {
+				upTo = b.String()
+			}
+			st.Histogram = append(st.Histogram, Bucket{UpTo: upTo, Count: n})
+		}
+		snap.Stages = append(snap.Stages, st)
+	}
+	snap.CacheHits = r.cacheHits.Load()
+	snap.CacheMisses = r.cacheMisses.Load()
+	return snap
+}
+
+// CacheHitRate returns hits/(hits+misses), or 0 without cache traffic.
+func (s Snapshot) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// String renders the snapshot as the -stats table: one line per active
+// stage plus the cache summary.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %12s %12s\n", "stage", "count", "total", "mean")
+	for _, st := range s.Stages {
+		if st.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %10d %12s %12s\n",
+			st.Stage, st.Count, st.Total().Round(time.Microsecond), st.Mean().Round(time.Nanosecond))
+	}
+	fmt.Fprintf(&b, "fingerprint cache: %d hits, %d misses (%.1f%% hit rate)",
+		s.CacheHits, s.CacheMisses, 100*s.CacheHitRate())
+	return b.String()
+}
+
+// Bench is the BENCH_experiment.json schema: one engine run's performance
+// snapshot, comparable across commits. Graphs counts completed graph
+// pipelines (graph × assigner × size, i.e. measure-stage observations);
+// GraphsPerSec divides it by the run's wall time.
+type Bench struct {
+	Name         string       `json:"name"`
+	Graphs       int64        `json:"graphs"`
+	WallSeconds  float64      `json:"wallSeconds"`
+	GraphsPerSec float64      `json:"graphsPerSec"`
+	CacheHits    int64        `json:"cacheHits"`
+	CacheMisses  int64        `json:"cacheMisses"`
+	CacheHitRate float64      `json:"cacheHitRate"`
+	Stages       []StageStats `json:"stages"`
+}
+
+// NewBench assembles a Bench from a snapshot and the run's wall time.
+func NewBench(name string, snap Snapshot, wall time.Duration) Bench {
+	b := Bench{
+		Name:         name,
+		WallSeconds:  wall.Seconds(),
+		CacheHits:    snap.CacheHits,
+		CacheMisses:  snap.CacheMisses,
+		CacheHitRate: snap.CacheHitRate(),
+		Stages:       snap.Stages,
+	}
+	for _, st := range snap.Stages {
+		if st.Stage == StageMeasure.String() {
+			b.Graphs = st.Count
+		}
+	}
+	if b.WallSeconds > 0 {
+		b.GraphsPerSec = float64(b.Graphs) / b.WallSeconds
+	}
+	return b
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (b Bench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageNames(t *testing.T) {
+	want := []string{"generate", "fingerprint", "transform", "assign", "schedule", "measure"}
+	for s := Stage(0); s < NumStages; s++ {
+		if s.String() != want[s] {
+			t.Errorf("Stage(%d) = %q, want %q", s, s.String(), want[s])
+		}
+	}
+	if got := Stage(99).String(); got != "stage(99)" {
+		t.Errorf("out-of-range stage = %q", got)
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-time.Second, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 1},       // [1µs, 2µs)
+		{3 * time.Microsecond, 2},   // [2µs, 4µs)
+		{time.Millisecond, 10},      // 1000µs ∈ [512µs, 1024µs)
+		{time.Hour, numBuckets - 1}, // absorbed by the last bucket
+		{2 * time.Second, numBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestObserveAndSnapshot(t *testing.T) {
+	r := New()
+	r.Observe(StageAssign, 10*time.Microsecond)
+	r.Observe(StageAssign, 30*time.Microsecond)
+	r.Observe(StageSchedule, time.Millisecond)
+	r.CacheHit()
+	r.CacheHit()
+	r.CacheMiss()
+
+	snap := r.Snapshot()
+	if len(snap.Stages) != int(NumStages) {
+		t.Fatalf("snapshot has %d stages, want %d", len(snap.Stages), NumStages)
+	}
+	assign := snap.Stages[StageAssign]
+	if assign.Count != 2 || assign.Total() != 40*time.Microsecond {
+		t.Errorf("assign stage = %d obs / %v total, want 2 / 40µs", assign.Count, assign.Total())
+	}
+	if assign.Mean() != 20*time.Microsecond {
+		t.Errorf("assign mean = %v, want 20µs", assign.Mean())
+	}
+	if len(assign.Histogram) == 0 {
+		t.Error("assign histogram empty")
+	}
+	var histTotal int64
+	for _, b := range assign.Histogram {
+		histTotal += b.Count
+	}
+	if histTotal != assign.Count {
+		t.Errorf("histogram counts sum to %d, want %d", histTotal, assign.Count)
+	}
+	if snap.CacheHits != 2 || snap.CacheMisses != 1 {
+		t.Errorf("cache = %d/%d, want 2 hits, 1 miss", snap.CacheHits, snap.CacheMisses)
+	}
+	if got := snap.CacheHitRate(); got < 0.66 || got > 0.67 {
+		t.Errorf("hit rate = %v, want 2/3", got)
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Observe(StageAssign, time.Second) // must not panic
+	r.CacheHit()
+	r.CacheMiss()
+	snap := r.Snapshot()
+	if len(snap.Stages) != 0 || snap.CacheHits != 0 || snap.CacheMisses != 0 {
+		t.Errorf("nil recorder snapshot not empty: %+v", snap)
+	}
+	if snap.CacheHitRate() != 0 {
+		t.Error("nil recorder hit rate nonzero")
+	}
+}
+
+func TestObserveOutOfRangeStage(t *testing.T) {
+	r := New()
+	r.Observe(Stage(-1), time.Second)
+	r.Observe(NumStages, time.Second)
+	for _, st := range r.Snapshot().Stages {
+		if st.Count != 0 {
+			t.Errorf("stage %s recorded an out-of-range observation", st.Stage)
+		}
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	const workers, perWorker = 8, 1000
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Observe(StageSchedule, time.Microsecond)
+				if i%2 == 0 {
+					r.CacheHit()
+				} else {
+					r.CacheMiss()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	sched := snap.Stages[StageSchedule]
+	if sched.Count != workers*perWorker {
+		t.Errorf("schedule count = %d, want %d", sched.Count, workers*perWorker)
+	}
+	if sched.Total() != workers*perWorker*time.Microsecond {
+		t.Errorf("schedule total = %v", sched.Total())
+	}
+	if snap.CacheHits+snap.CacheMisses != workers*perWorker {
+		t.Errorf("cache traffic = %d, want %d", snap.CacheHits+snap.CacheMisses, workers*perWorker)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	r := New()
+	r.Observe(StageGenerate, 3*time.Millisecond)
+	r.CacheMiss()
+	out := r.Snapshot().String()
+	for _, want := range []string{"stage", "generate", "fingerprint cache", "hit rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+	// Idle stages are omitted from the table.
+	if strings.Contains(out, "transform") {
+		t.Errorf("idle stage rendered:\n%s", out)
+	}
+}
+
+func TestBenchJSON(t *testing.T) {
+	r := New()
+	for i := 0; i < 10; i++ {
+		r.Observe(StageMeasure, time.Microsecond)
+		r.Observe(StageAssign, 5*time.Microsecond)
+	}
+	r.CacheHit()
+	r.CacheMiss()
+	b := NewBench("experiment", r.Snapshot(), 2*time.Second)
+	if b.Graphs != 10 {
+		t.Errorf("Graphs = %d, want 10 (measure observations)", b.Graphs)
+	}
+	if b.GraphsPerSec != 5 {
+		t.Errorf("GraphsPerSec = %v, want 5", b.GraphsPerSec)
+	}
+	if b.CacheHitRate != 0.5 {
+		t.Errorf("CacheHitRate = %v, want 0.5", b.CacheHitRate)
+	}
+
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Bench
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, buf.String())
+	}
+	if back.Name != "experiment" || back.Graphs != 10 || back.WallSeconds != 2 {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+	if len(back.Stages) != int(NumStages) {
+		t.Errorf("round trip stages = %d, want %d", len(back.Stages), NumStages)
+	}
+}
+
+func TestBenchZeroWall(t *testing.T) {
+	b := NewBench("empty", Snapshot{}, 0)
+	if b.GraphsPerSec != 0 {
+		t.Errorf("GraphsPerSec = %v, want 0 for zero wall time", b.GraphsPerSec)
+	}
+}

@@ -1,0 +1,81 @@
+package profiling
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestZeroOptionsIsNoOp(t *testing.T) {
+	s, err := Start(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() != "" {
+		t.Errorf("no server requested, got addr %q", s.Addr())
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}
+
+func TestProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	s, err := Start(Options{CPUProfile: cpu, MemProfile: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bit of allocation so both profiles have something to record.
+	buf := make([][]byte, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		buf = append(buf, make([]byte, 1024))
+	}
+	_ = buf
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestPprofServer(t *testing.T) {
+	s, err := Start(Options{PprofAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if s.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", s.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof endpoint status %d", resp.StatusCode)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadAddrFailsFast(t *testing.T) {
+	if _, err := Start(Options{PprofAddr: "definitely-not-an-addr"}); err == nil {
+		t.Fatal("bad pprof address accepted")
+	}
+}
