@@ -108,21 +108,113 @@ func BenchmarkGenerateRandom(b *testing.B) {
 	}
 }
 
-// BenchmarkDistribute measures one deadline distribution per metric.
-func BenchmarkDistribute(b *testing.B) {
-	g := benchGraph(b)
-	sys := benchSystem(b, 4)
-	for _, m := range []core.Metric{core.NORM(), core.PURE(), core.THRES(1, 1.25), core.ADAPT(1.25)} {
-		b.Run(m.Name(), func(b *testing.B) {
-			d := core.Distributor{Metric: m, Estimator: core.CCNE()}
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := d.Distribute(g, sys); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+// benchShapeGraph builds one graph of the named shape at the given scale
+// (structured shapes use scale as depth with a proportional width).
+func benchShapeGraph(b *testing.B, shape string, scale int) *Graph {
+	b.Helper()
+	cfg := generator.Default(generator.MDET)
+	var (
+		g   *Graph
+		err error
+	)
+	switch shape {
+	case "random":
+		cfg.MinSubtasks, cfg.MaxSubtasks = 2*scale, 4*scale
+		g, err = generator.Random(cfg, rng.New(uint64(scale)))
+	case "chain":
+		g, err = generator.Structured(generator.StructuredConfig{
+			Workload: cfg, Shape: generator.ShapeChain, Depth: 4 * scale,
+		}, rng.New(uint64(scale)))
+	case "fork-join":
+		g, err = generator.Structured(generator.StructuredConfig{
+			Workload: cfg, Shape: generator.ShapeForkJoin, Depth: scale, Width: 4,
+		}, rng.New(uint64(scale)))
+	case "layered":
+		g, err = generator.Structured(generator.StructuredConfig{
+			Workload: cfg, Shape: generator.ShapeLayered, Depth: scale, Width: 4,
+		}, rng.New(uint64(scale)))
+	default:
+		b.Fatalf("unknown shape %q", shape)
 	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkDistribute measures one deadline distribution per graph shape ×
+// size × metric: the incremental critical-path search's hot path.
+func BenchmarkDistribute(b *testing.B) {
+	sys := benchSystem(b, 4)
+	for _, shape := range []string{"random", "chain", "fork-join", "layered"} {
+		for _, scale := range []int{4, 16} {
+			g := benchShapeGraph(b, shape, scale)
+			for _, m := range []core.Metric{core.NORM(), core.PURE(), core.THRES(1, 1.25), core.ADAPT(1.25)} {
+				name := shape + "/" + sizeLabel(scale) + "/" + m.Name()
+				b.Run(name, func(b *testing.B) {
+					d := core.Distributor{Metric: m, Estimator: core.CCNE()}
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := d.Distribute(g, sys); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func sizeLabel(scale int) string {
+	if scale <= 4 {
+		return "small"
+	}
+	return "large"
+}
+
+// BenchmarkSchedulerDispatch measures the dispatch loop on a wide layered
+// graph (many simultaneously-ready subtasks — the case the binary-heap
+// ready queue targets), with and without scratch-buffer reuse.
+func BenchmarkSchedulerDispatch(b *testing.B) {
+	g, err := generator.Structured(generator.StructuredConfig{
+		Workload: generator.Default(generator.MDET),
+		Shape:    generator.ShapeLayered, Depth: 6, Width: 32,
+	}, rng.New(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := benchSystem(b, 8)
+	res, err := core.Distributor{Metric: core.ADAPT(1.25), Estimator: core.CCNE()}.Distribute(g, sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := scheduler.Config{RespectRelease: true}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := scheduler.Run(g, sys, res, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		sc := scheduler.NewScratch()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sc.Run(g, sys, res, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scratch-preemptive", func(b *testing.B) {
+		sc := scheduler.NewScratch()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sc.RunPreemptive(g, sys, res, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSchedule measures one list-scheduling run per bus mode.

@@ -106,6 +106,7 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		return err
 	}
 	rec.Observe(metrics.StageAssign, time.Since(assignStart))
+	rec.AddSearch(res.Search.Iterations, res.Search.StartsExamined, res.Search.DPRuns, res.Search.CacheReuses)
 	pol, err := parsePolicy(*policy)
 	if err != nil {
 		return err

@@ -14,6 +14,14 @@ import (
 // minimizes the metric's laxity ratio, slice its end-to-end deadline into
 // execution windows, anchor the remaining subtasks to the sliced spine, and
 // repeat.
+//
+// The search is implemented incrementally: each per-start DP is pruned to
+// the nodes actually reachable from that start through unassigned nodes,
+// and every start's best candidate is memoized across slicing iterations —
+// a cached candidate stays valid until some node of its reachable set is
+// assigned (slicing elsewhere in the graph cannot change it; see
+// DESIGN.md §8). The output is bit-for-bit identical to the naive
+// full-graph search, which is retained as a test-only reference.
 type Distributor struct {
 	// Metric ranks candidate paths and sizes windows (NORM, PURE, THRES,
 	// ADAPT).
@@ -71,16 +79,36 @@ func (d Distributor) Distribute(g *taskgraph.Graph, sys *platform.System) (*Resu
 	}
 	st.alloc()
 
-	for remaining := n; remaining > 0; {
+	for st.unassigned > 0 {
 		path, ratio, err := st.findCriticalPath()
 		if err != nil {
 			return nil, err
 		}
 		st.slice(path, ratio)
-		remaining -= len(path)
 		res.Paths = append(res.Paths, path)
+		res.Search.Iterations++
 	}
 	return res, nil
+}
+
+// startCand memoizes one start's best critical-path candidate. It stays
+// valid across slicing iterations as long as every node of reach is still
+// unassigned: the DP from this start only sees nodes of reach (assignment
+// never adds nodes to a reachable set), the start's release anchor is
+// frozen (its predecessors are assigned, and assigned windows never move),
+// and every deadline anchor inside reach depends only on assigned
+// successors, whose status can only change by slicing a reach node.
+type startCand struct {
+	valid bool
+	// found reports whether any deadline-anchored candidate exists from
+	// this start.
+	found bool
+	end   taskgraph.NodeID
+	k     int
+	ratio float64
+	// reach is the start's reachable set (through unassigned nodes) at the
+	// time the candidate was computed, in topological order.
+	reach []taskgraph.NodeID
 }
 
 // distState is the per-distribution working set.
@@ -97,13 +125,36 @@ type distState struct {
 	assigned []bool
 	res      *Result
 
-	// DP buffers, reused across iterations. dp[id][k] is the maximum
-	// accumulated virtual cost over paths from the current start to id
-	// containing k windowed nodes; par[id][k] is the predecessor on that
-	// path. touched tracks which rows were written so reset is O(reached).
-	dp      [][]float64
-	par     [][]taskgraph.NodeID
+	// DP buffers, reused across runs. dp[id][k] is the maximum accumulated
+	// virtual cost over paths from the current start to id containing k
+	// windowed nodes; par[id][k] is the predecessor on that path. Rows are
+	// generation-stamped: a row with rowGen != gen is logically all -Inf
+	// and is cleared lazily on its first write, so starting a new DP run is
+	// O(1) instead of O(touched × width).
+	dp     [][]float64
+	par    [][]taskgraph.NodeID
+	rowGen []uint64
+	gen    uint64
+	// touched lists the rows written by the current DP run, in first-write
+	// order (the candidate enumeration order of the reference search).
 	touched []taskgraph.NodeID
+	// lastDP is the start whose tables currently populate dp/par, or None.
+	lastDP taskgraph.NodeID
+
+	// reach prunes each DP to the nodes reachable from its start.
+	reach *taskgraph.Reach
+
+	// cand memoizes per-start candidates across slicing iterations,
+	// indexed by NodeID.
+	cand []startCand
+
+	// Incremental start tracking: pending[id] counts unassigned
+	// predecessors; isStart marks unassigned nodes whose predecessors are
+	// all assigned. startbuf is the reused enumeration buffer.
+	pending    []int
+	isStart    []bool
+	startbuf   []taskgraph.NodeID
+	unassigned int
 
 	// winbuf is slice's scratch buffer for the chosen path's raw windows,
 	// reused across iterations.
@@ -119,27 +170,26 @@ func (st *distState) alloc() {
 	width := maxLen + 1
 	st.dp = make([][]float64, n)
 	st.par = make([][]taskgraph.NodeID, n)
+	// Rows are cleared lazily on first touch (rowGen starts behind gen),
+	// so the flat backing needs no -Inf initialization.
 	dpFlat := make([]float64, n*width)
 	parFlat := make([]taskgraph.NodeID, n*width)
-	for i := range dpFlat {
-		dpFlat[i] = math.Inf(-1)
-		parFlat[i] = taskgraph.None
-	}
 	for i := 0; i < n; i++ {
 		st.dp[i] = dpFlat[i*width : (i+1)*width]
 		st.par[i] = parFlat[i*width : (i+1)*width]
 	}
-}
+	st.rowGen = make([]uint64, n)
+	st.lastDP = taskgraph.None
+	st.reach = taskgraph.NewReach(st.g)
+	st.cand = make([]startCand, n)
 
-func (st *distState) resetDP() {
-	for _, id := range st.touched {
-		row, prow := st.dp[id], st.par[id]
-		for k := range row {
-			row[k] = math.Inf(-1)
-			prow[k] = taskgraph.None
-		}
+	st.pending = make([]int, n)
+	st.isStart = make([]bool, n)
+	st.unassigned = n
+	for id := 0; id < n; id++ {
+		st.pending[id] = len(st.g.Pred(taskgraph.NodeID(id)))
+		st.isStart[id] = st.pending[id] == 0
 	}
-	st.touched = st.touched[:0]
 }
 
 // releaseAnchor returns the path-start release time of node id, valid only
@@ -184,91 +234,111 @@ func (st *distState) deadlineAnchor(id taskgraph.NodeID) (float64, bool) {
 
 // findCriticalPath locates the unassigned path with the minimum metric
 // ratio among all (release-anchored, deadline-anchored) node pairs. Ties
-// are broken by discovery order (arbitrary, per the paper).
+// are broken by discovery order (arbitrary, per the paper): the first start
+// in ID order, then the first candidate in DP first-write order, reaching
+// the minimum — exactly the reference search's choice.
 func (st *distState) findCriticalPath() ([]taskgraph.NodeID, float64, error) {
-	type candidate struct {
-		start, end taskgraph.NodeID
-		k          int
-		ratio      float64
-	}
-	best := candidate{start: taskgraph.None, ratio: math.Inf(1)}
-	found := false
-
-	starts := st.startCandidates()
-	for _, s := range starts {
-		relAnchor, _ := st.releaseAnchor(s)
-		st.runDP(s)
-		for _, id := range st.touched {
-			dl, ok := st.deadlineAnchor(id)
-			if !ok {
-				continue
-			}
-			row := st.dp[id]
-			for k := range row {
-				if math.IsInf(row[k], -1) {
-					continue
-				}
-				r := st.metric.Ratio(dl-relAnchor, row[k], k)
-				if !found || r < best.ratio {
-					best = candidate{start: s, end: id, k: k, ratio: r}
-					found = true
-				}
-			}
+	var (
+		best      *startCand
+		bestStart = taskgraph.None
+	)
+	for _, s := range st.startCandidates() {
+		st.res.Search.StartsExamined++
+		c := &st.cand[s]
+		if c.valid && st.reachUnassigned(c.reach) {
+			st.res.Search.CacheReuses++
+		} else {
+			st.runDP(s)
+			st.evalStart(s, c)
 		}
-		st.resetDP()
+		if c.found && (best == nil || c.ratio < best.ratio) {
+			best, bestStart = c, s
+		}
 	}
-	if !found {
+	if best == nil {
 		return nil, 0, ErrNoCritical
 	}
 
-	// Re-run the DP for the winning start and backtrack the path.
-	st.runDP(best.start)
-	path := st.backtrack(best.end, best.k)
-	st.resetDP()
-	return path, best.ratio, nil
+	// Backtrack from the winning start's dp/par tables; they are still in
+	// place unless a later start's DP (or a cache miss) overwrote them.
+	if st.lastDP != bestStart {
+		st.runDP(bestStart)
+	}
+	return st.backtrack(best.end, best.k), best.ratio, nil
 }
 
-// startCandidates returns unassigned nodes whose predecessors are all
-// assigned, in ID order.
-func (st *distState) startCandidates() []taskgraph.NodeID {
-	var out []taskgraph.NodeID
-	for id := 0; id < st.g.NumNodes(); id++ {
-		nid := taskgraph.NodeID(id)
-		if st.assigned[nid] {
-			continue
-		}
-		if _, ok := st.releaseAnchor(nid); ok {
-			out = append(out, nid)
+// reachUnassigned reports whether every node of a cached reachable set is
+// still unassigned (the memoization validity condition).
+func (st *distState) reachUnassigned(reach []taskgraph.NodeID) bool {
+	for _, id := range reach {
+		if st.assigned[id] {
+			return false
 		}
 	}
+	return true
+}
+
+// evalStart scans the just-run DP for start s and memoizes the best
+// (deadline-anchored) candidate into c, together with the reachable set
+// that conditions its validity.
+func (st *distState) evalStart(s taskgraph.NodeID, c *startCand) {
+	relAnchor, _ := st.releaseAnchor(s)
+	c.valid = true
+	c.found = false
+	for _, id := range st.touched {
+		dl, ok := st.deadlineAnchor(id)
+		if !ok {
+			continue
+		}
+		row := st.dp[id]
+		for k := range row {
+			if math.IsInf(row[k], -1) {
+				continue
+			}
+			r := st.metric.Ratio(dl-relAnchor, row[k], k)
+			if !c.found || r < c.ratio {
+				c.end, c.k, c.ratio = id, k, r
+				c.found = true
+			}
+		}
+	}
+	c.reach = append(c.reach[:0], st.touched...)
+}
+
+// startCandidates fills the reused buffer with the unassigned nodes whose
+// predecessors are all assigned, in ID order. The set is maintained
+// incrementally by slice via pending-predecessor counts, so no per-node
+// anchor recomputation happens here.
+func (st *distState) startCandidates() []taskgraph.NodeID {
+	out := st.startbuf[:0]
+	for id, ok := range st.isStart {
+		if ok {
+			out = append(out, taskgraph.NodeID(id))
+		}
+	}
+	st.startbuf = out
 	return out
 }
 
 // runDP fills dp/par with the maximum accumulated virtual cost of every
 // path from s through unassigned nodes, bucketed by windowed-node count.
+// Only the nodes reachable from s (through unassigned nodes) are visited,
+// in topological order.
 func (st *distState) runDP(s taskgraph.NodeID) {
+	st.gen++
+	st.touched = st.touched[:0]
+	st.lastDP = s
+	st.res.Search.DPRuns++
+
 	ws := 0
 	if st.vc[s] > 0 {
 		ws = 1
 	}
+	st.clearRow(s)
 	st.dp[s][ws] = st.vc[s]
-	st.touched = append(st.touched, s)
 
-	for _, u := range st.g.TopoOrder() {
-		if st.assigned[u] {
-			continue
-		}
+	for _, u := range st.reach.From(s, st.skipAssigned) {
 		row := st.dp[u]
-		reached := false
-		for k := range row {
-			if !math.IsInf(row[k], -1) {
-				reached = true
-				break
-			}
-		}
-		if !reached {
-			continue
-		}
 		for _, v := range st.g.Succ(u) {
 			if st.assigned[v] {
 				continue
@@ -277,18 +347,16 @@ func (st *distState) runDP(s taskgraph.NodeID) {
 			if st.vc[v] > 0 {
 				wv = 1
 			}
+			if st.rowGen[v] != st.gen {
+				st.clearRow(v)
+			}
 			vrow, vpar := st.dp[v], st.par[v]
-			vTouched := false
 			for k := range row {
 				if math.IsInf(row[k], -1) {
 					continue
 				}
 				kv := k + wv
 				if cand := row[k] + st.vc[v]; cand > vrow[kv] {
-					if !vTouched && rowUntouched(vrow) {
-						st.touched = append(st.touched, v)
-					}
-					vTouched = true
 					vrow[kv] = cand
 					vpar[kv] = u
 				}
@@ -297,16 +365,19 @@ func (st *distState) runDP(s taskgraph.NodeID) {
 	}
 }
 
-// rowUntouched reports whether a dp row is still in its reset state. It is
-// only called before the first write to a row in the current DP run, where
-// scanning is cheap relative to the relaxation itself.
-func rowUntouched(row []float64) bool {
-	for _, v := range row {
-		if !math.IsInf(v, -1) {
-			return false
-		}
+// skipAssigned is the reachability predicate: paths only run through
+// unassigned nodes.
+func (st *distState) skipAssigned(id taskgraph.NodeID) bool { return st.assigned[id] }
+
+// clearRow lazily resets a generation-stale row and records it as touched.
+func (st *distState) clearRow(id taskgraph.NodeID) {
+	row, prow := st.dp[id], st.par[id]
+	for k := range row {
+		row[k] = math.Inf(-1)
+		prow[k] = taskgraph.None
 	}
-	return true
+	st.rowGen[id] = st.gen
+	st.touched = append(st.touched, id)
 }
 
 // backtrack reconstructs the path ending at (end, k) from the par table.
@@ -423,5 +494,18 @@ func (st *distState) slice(path []taskgraph.NodeID, ratio float64) {
 		}
 		st.res.Absolute[id] = t
 		st.assigned[id] = true
+		st.isStart[id] = false
+	}
+	st.unassigned -= len(path)
+
+	// Maintain the incremental start set: a successor with its last
+	// unassigned predecessor now sliced becomes a start candidate.
+	for _, id := range path {
+		for _, v := range st.g.Succ(id) {
+			st.pending[v]--
+			if st.pending[v] == 0 && !st.assigned[v] {
+				st.isStart[v] = true
+			}
+		}
 	}
 }

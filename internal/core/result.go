@@ -28,6 +28,36 @@ type Result struct {
 	Paths [][]taskgraph.NodeID
 	// Metric and Estimator name the strategy that produced the result.
 	Metric, Estimator string
+	// Search counts the critical-path search work behind this result. It
+	// is diagnostic only and not part of the distribution semantics.
+	Search SearchStats
+}
+
+// SearchStats counts the work done by the incremental critical-path search
+// of one distribution: how many start candidates were examined across all
+// slicing iterations, how many per-start DP sweeps actually ran, and how
+// many starts reused their memoized candidate instead. High CacheReuses
+// relative to StartsExamined is what makes the search incremental; DPRuns
+// also counts the occasional re-run needed to backtrack a winning path
+// whose tables were overwritten.
+type SearchStats struct {
+	// Iterations is the number of slicing iterations (= len(Paths)).
+	Iterations int
+	// StartsExamined is the total number of start candidates considered.
+	StartsExamined int
+	// DPRuns is the number of per-start DP sweeps executed.
+	DPRuns int
+	// CacheReuses is the number of starts whose memoized candidate was
+	// still valid and reused without a DP sweep.
+	CacheReuses int
+}
+
+// Add accumulates other into s.
+func (s *SearchStats) Add(other SearchStats) {
+	s.Iterations += other.Iterations
+	s.StartsExamined += other.StartsExamined
+	s.DPRuns += other.DPRuns
+	s.CacheReuses += other.CacheReuses
 }
 
 // Laxity returns the pre-scheduling laxity of node id: the window slack

@@ -443,11 +443,15 @@ func (cfg Config) Run(title string, assigners ...Assigner) (*Table, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One scheduler scratch per worker: queue and bookkeeping
+			// buffers are reused across every graph × assigner × size run
+			// this worker executes.
+			scratch := scheduler.NewScratch()
 			for gi := range jobs {
 				if cancelled() {
 					continue // drain without running
 				}
-				if err := runGraph(cfg, graphs[gi], systems, nets, assigners, measure, gi, vals); err != nil {
+				if err := runGraph(cfg, graphs[gi], systems, nets, assigners, measure, gi, vals, scratch); err != nil {
 					fail(gi, err)
 				}
 			}
@@ -494,7 +498,8 @@ feed:
 // runGraph runs one graph through every assigner and size, reusing the
 // distribution when its fingerprint is known and unchanged across sizes.
 func runGraph(cfg Config, g *taskgraph.Graph, systems []*platform.System,
-	nets []*channel.Network, assigners []Assigner, measure Measure, gi int, vals [][][]float64) error {
+	nets []*channel.Network, assigners []Assigner, measure Measure, gi int,
+	vals [][][]float64, scratch *scheduler.Scratch) error {
 
 	rec := cfg.Metrics
 	for a, asg := range assigners {
@@ -531,6 +536,8 @@ func runGraph(cfg Config, g *taskgraph.Graph, systems []*platform.System,
 				if err != nil {
 					return fmt.Errorf("%s: %w", asg.Label(), err)
 				}
+				st := res.Search
+				rec.AddSearch(st.Iterations, st.StartsExamined, st.DPRuns, st.CacheReuses)
 				cachedRes, cachedFP, cachedKnown = res, fp, known
 			}
 			var (
@@ -541,13 +548,13 @@ func runGraph(cfg Config, g *taskgraph.Graph, systems []*platform.System,
 			switch {
 			case nets[si] != nil:
 				var ms *scheduler.MultihopSchedule
-				if ms, err = scheduler.RunMultihop(gg, sys, nets[si], cachedRes, cfg.Scheduler); err == nil {
+				if ms, err = scratch.RunMultihop(gg, sys, nets[si], cachedRes, cfg.Scheduler); err == nil {
 					sched = ms.Schedule
 				}
 			case cfg.Preemptive:
-				sched, err = scheduler.RunPreemptive(gg, sys, cachedRes, cfg.Scheduler)
+				sched, err = scratch.RunPreemptive(gg, sys, cachedRes, cfg.Scheduler)
 			default:
-				sched, err = scheduler.Run(gg, sys, cachedRes, cfg.Scheduler)
+				sched, err = scratch.Run(gg, sys, cachedRes, cfg.Scheduler)
 			}
 			rec.Observe(metrics.StageSchedule, time.Since(start))
 			if err != nil {

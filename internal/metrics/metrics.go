@@ -82,6 +82,13 @@ type Recorder struct {
 	stages      [NumStages]stageRecorder
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// Critical-path search counters, accumulated from the distribution
+	// core's per-run SearchStats.
+	searchIterations atomic.Int64
+	searchStarts     atomic.Int64
+	searchDPRuns     atomic.Int64
+	searchReuses     atomic.Int64
 }
 
 // New returns an empty Recorder.
@@ -113,6 +120,20 @@ func (r *Recorder) CacheMiss() {
 	}
 }
 
+// AddSearch accumulates one distribution's critical-path search counters:
+// slicing iterations, start candidates examined, per-start DP sweeps run,
+// and memoized candidates reused without a sweep. (Plain ints so callers
+// need not depend on the distribution core's stats type.)
+func (r *Recorder) AddSearch(iterations, startsExamined, dpRuns, cacheReuses int) {
+	if r == nil {
+		return
+	}
+	r.searchIterations.Add(int64(iterations))
+	r.searchStarts.Add(int64(startsExamined))
+	r.searchDPRuns.Add(int64(dpRuns))
+	r.searchReuses.Add(int64(cacheReuses))
+}
+
 // Bucket is one non-empty histogram bucket of a stage snapshot. UpTo is the
 // exclusive upper bound ("1ms"); the unbounded last bucket reports "inf".
 type Bucket struct {
@@ -139,13 +160,33 @@ func (s StageStats) Mean() time.Duration {
 	return time.Duration(s.TotalNanos / s.Count)
 }
 
+// SearchCounters is the frozen view of the distribution core's
+// critical-path search work.
+type SearchCounters struct {
+	Iterations     int64 `json:"iterations"`
+	StartsExamined int64 `json:"startsExamined"`
+	DPRuns         int64 `json:"dpRuns"`
+	CacheReuses    int64 `json:"cacheReuses"`
+}
+
+// ReuseRate returns CacheReuses/StartsExamined, or 0 without search
+// traffic: the fraction of start candidates answered from the memo instead
+// of a DP sweep.
+func (s SearchCounters) ReuseRate() float64 {
+	if s.StartsExamined == 0 {
+		return 0
+	}
+	return float64(s.CacheReuses) / float64(s.StartsExamined)
+}
+
 // Snapshot is a consistent-enough point-in-time copy of a Recorder (each
 // counter is read atomically; counters of an in-flight observation may be
 // split across two snapshots).
 type Snapshot struct {
-	Stages      []StageStats `json:"stages"`
-	CacheHits   int64        `json:"cacheHits"`
-	CacheMisses int64        `json:"cacheMisses"`
+	Stages      []StageStats   `json:"stages"`
+	CacheHits   int64          `json:"cacheHits"`
+	CacheMisses int64          `json:"cacheMisses"`
+	Search      SearchCounters `json:"search"`
 }
 
 // Snapshot freezes the recorder's counters. A nil Recorder yields an empty
@@ -178,6 +219,12 @@ func (r *Recorder) Snapshot() Snapshot {
 	}
 	snap.CacheHits = r.cacheHits.Load()
 	snap.CacheMisses = r.cacheMisses.Load()
+	snap.Search = SearchCounters{
+		Iterations:     r.searchIterations.Load(),
+		StartsExamined: r.searchStarts.Load(),
+		DPRuns:         r.searchDPRuns.Load(),
+		CacheReuses:    r.searchReuses.Load(),
+	}
 	return snap
 }
 
@@ -204,6 +251,10 @@ func (s Snapshot) String() string {
 	}
 	fmt.Fprintf(&b, "fingerprint cache: %d hits, %d misses (%.1f%% hit rate)",
 		s.CacheHits, s.CacheMisses, 100*s.CacheHitRate())
+	if sc := s.Search; sc.StartsExamined > 0 {
+		fmt.Fprintf(&b, "\ncritical-path search: %d iterations, %d starts, %d DP runs, %d memo reuses (%.1f%% reuse)",
+			sc.Iterations, sc.StartsExamined, sc.DPRuns, sc.CacheReuses, 100*sc.ReuseRate())
+	}
 	return b.String()
 }
 
@@ -212,14 +263,15 @@ func (s Snapshot) String() string {
 // pipelines (graph × assigner × size, i.e. measure-stage observations);
 // GraphsPerSec divides it by the run's wall time.
 type Bench struct {
-	Name         string       `json:"name"`
-	Graphs       int64        `json:"graphs"`
-	WallSeconds  float64      `json:"wallSeconds"`
-	GraphsPerSec float64      `json:"graphsPerSec"`
-	CacheHits    int64        `json:"cacheHits"`
-	CacheMisses  int64        `json:"cacheMisses"`
-	CacheHitRate float64      `json:"cacheHitRate"`
-	Stages       []StageStats `json:"stages"`
+	Name         string         `json:"name"`
+	Graphs       int64          `json:"graphs"`
+	WallSeconds  float64        `json:"wallSeconds"`
+	GraphsPerSec float64        `json:"graphsPerSec"`
+	CacheHits    int64          `json:"cacheHits"`
+	CacheMisses  int64          `json:"cacheMisses"`
+	CacheHitRate float64        `json:"cacheHitRate"`
+	Search       SearchCounters `json:"search"`
+	Stages       []StageStats   `json:"stages"`
 }
 
 // NewBench assembles a Bench from a snapshot and the run's wall time.
@@ -230,6 +282,7 @@ func NewBench(name string, snap Snapshot, wall time.Duration) Bench {
 		CacheHits:    snap.CacheHits,
 		CacheMisses:  snap.CacheMisses,
 		CacheHitRate: snap.CacheHitRate(),
+		Search:       snap.Search,
 		Stages:       snap.Stages,
 	}
 	for _, st := range snap.Stages {

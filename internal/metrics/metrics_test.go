@@ -194,3 +194,50 @@ func TestBenchZeroWall(t *testing.T) {
 		t.Errorf("GraphsPerSec = %v, want 0 for zero wall time", b.GraphsPerSec)
 	}
 }
+
+func TestSearchCounters(t *testing.T) {
+	r := New()
+	r.AddSearch(3, 40, 10, 30)
+	r.AddSearch(2, 10, 10, 0)
+	snap := r.Snapshot()
+	want := SearchCounters{Iterations: 5, StartsExamined: 50, DPRuns: 20, CacheReuses: 30}
+	if snap.Search != want {
+		t.Errorf("Search = %+v, want %+v", snap.Search, want)
+	}
+	if rate := snap.Search.ReuseRate(); rate != 0.6 {
+		t.Errorf("ReuseRate = %v, want 0.6", rate)
+	}
+	if got := (SearchCounters{}).ReuseRate(); got != 0 {
+		t.Errorf("empty ReuseRate = %v, want 0", got)
+	}
+
+	// The -stats rendering surfaces the search line only when there was
+	// search traffic.
+	if s := snap.String(); !strings.Contains(s, "critical-path search: 5 iterations, 50 starts, 20 DP runs, 30 memo reuses (60.0% reuse)") {
+		t.Errorf("String() missing search line:\n%s", s)
+	}
+	if s := (Snapshot{}).String(); strings.Contains(s, "critical-path search") {
+		t.Errorf("empty snapshot should omit search line:\n%s", s)
+	}
+
+	// Nil recorders swallow search counters like everything else.
+	var nilRec *Recorder
+	nilRec.AddSearch(1, 1, 1, 1)
+	if nilRec.Snapshot().Search != (SearchCounters{}) {
+		t.Error("nil recorder accumulated search counters")
+	}
+
+	// Search counters survive the Bench JSON round trip.
+	b := NewBench("x", snap, time.Second)
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Bench
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Search != want {
+		t.Errorf("round-trip Search = %+v, want %+v", back.Search, want)
+	}
+}

@@ -1,0 +1,83 @@
+package scheduler
+
+import "deadlinedist/internal/taskgraph"
+
+// readyHeap is a deterministic binary min-heap of ready subtasks ordered by
+// (dispatch key, NodeID). Because the comparator is a strict total order,
+// pop always yields the unique minimum — the same subtask the previous
+// linear ready-queue scan selected — so heap-based dispatch is bit-for-bit
+// equivalent to the O(n) scan it replaces while costing O(log n) per
+// operation. Keys are indexed by NodeID and captured at reset; they must
+// not change while the heap is non-empty.
+type readyHeap struct {
+	keys []float64
+	ids  []taskgraph.NodeID
+}
+
+// reset empties the heap and installs the dispatch keys for the next run,
+// retaining the underlying storage.
+func (h *readyHeap) reset(keys []float64) {
+	h.keys = keys
+	h.ids = h.ids[:0]
+}
+
+func (h *readyHeap) len() int { return len(h.ids) }
+
+func (h *readyHeap) less(a, b taskgraph.NodeID) bool {
+	ka, kb := h.keys[a], h.keys[b]
+	return ka < kb || (ka == kb && a < b)
+}
+
+// push adds v and sifts it up to its position.
+func (h *readyHeap) push(v taskgraph.NodeID) {
+	h.ids = append(h.ids, v)
+	i := len(h.ids) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.ids[i], h.ids[parent]) {
+			break
+		}
+		h.ids[i], h.ids[parent] = h.ids[parent], h.ids[i]
+		i = parent
+	}
+}
+
+// peek returns the minimum without removing it, or taskgraph.None when
+// empty.
+func (h *readyHeap) peek() taskgraph.NodeID {
+	if len(h.ids) == 0 {
+		return taskgraph.None
+	}
+	return h.ids[0]
+}
+
+// pop removes and returns the minimum. The heap must be non-empty.
+func (h *readyHeap) pop() taskgraph.NodeID {
+	top := h.ids[0]
+	last := len(h.ids) - 1
+	h.ids[0] = h.ids[last]
+	h.ids = h.ids[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+func (h *readyHeap) siftDown(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(h.ids[l], h.ids[smallest]) {
+			smallest = l
+		}
+		if r < n && h.less(h.ids[r], h.ids[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.ids[i], h.ids[smallest] = h.ids[smallest], h.ids[i]
+		i = smallest
+	}
+}

@@ -37,6 +37,12 @@ type MultihopSchedule struct {
 // candidate processors against tentative link reservations.
 func RunMultihop(g *taskgraph.Graph, sys *platform.System, net *channel.Network,
 	res *core.Result, cfg Config) (*MultihopSchedule, error) {
+	return NewScratch().RunMultihop(g, sys, net, res, cfg)
+}
+
+// RunMultihop is the buffer-reusing form of the package-level RunMultihop.
+func (sc *Scratch) RunMultihop(g *taskgraph.Graph, sys *platform.System, net *channel.Network,
+	res *core.Result, cfg Config) (*MultihopSchedule, error) {
 
 	if g == nil || sys == nil || res == nil || net == nil {
 		return nil, ErrNilInput
@@ -49,8 +55,8 @@ func RunMultihop(g *taskgraph.Graph, sys *platform.System, net *channel.Network,
 	if len(res.Absolute) != n || len(res.Release) != n {
 		return nil, fmt.Errorf("%d annotations for %d nodes: %w", len(res.Absolute), n, ErrBadSize)
 	}
-	keys, err := priorityKeys(g, res, cfg.Policy)
-	if err != nil {
+	sc.keys = resize(sc.keys, n)
+	if err := priorityKeysInto(sc.keys, g, res, cfg.Policy); err != nil {
 		return nil, err
 	}
 
@@ -64,39 +70,37 @@ func RunMultihop(g *taskgraph.Graph, sys *platform.System, net *channel.Network,
 	}
 	out := &MultihopSchedule{Schedule: s, Hops: make(map[taskgraph.NodeID][]Hop)}
 
-	procFree := make([]float64, sys.NumProcs())
-	linkFree := make([]float64, net.NumLinks())
-	scratch := make([]float64, net.NumLinks())
+	sc.procFree = resize(sc.procFree, sys.NumProcs())
+	clear(sc.procFree)
+	procFree := sc.procFree
+	sc.linkFree = resize(sc.linkFree, net.NumLinks())
+	clear(sc.linkFree)
+	linkFree := sc.linkFree
+	sc.linkTmp = resize(sc.linkTmp, net.NumLinks())
+	scratch := sc.linkTmp
 
-	pendingPreds := make([]int, n)
-	subtasks := make([]taskgraph.NodeID, 0, n)
-	for _, node := range g.Nodes() {
-		if node.Kind != taskgraph.KindSubtask {
+	sc.pending = resize(sc.pending, n)
+	pendingPreds := sc.pending
+	sc.ready.reset(sc.keys)
+	numSubtasks := 0
+	for id := 0; id < n; id++ {
+		nid := taskgraph.NodeID(id)
+		pendingPreds[nid] = 0
+		if g.Node(nid).Kind != taskgraph.KindSubtask {
 			continue
 		}
-		subtasks = append(subtasks, node.ID)
-		pendingPreds[node.ID] = len(g.Pred(node.ID))
-	}
-	ready := make([]taskgraph.NodeID, 0, len(subtasks))
-	for _, id := range subtasks {
-		if pendingPreds[id] == 0 {
-			ready = append(ready, id)
+		numSubtasks++
+		pendingPreds[nid] = len(g.Pred(nid))
+		if pendingPreds[nid] == 0 {
+			sc.ready.push(nid)
 		}
 	}
 
-	for step := 0; step < len(subtasks); step++ {
-		if len(ready) == 0 {
+	for step := 0; step < numSubtasks; step++ {
+		if sc.ready.len() == 0 {
 			return nil, fmt.Errorf("internal: no schedulable subtask at step %d", step)
 		}
-		best := 0
-		for i := 1; i < len(ready); i++ {
-			ki, kb := keys[ready[i]], keys[ready[best]]
-			if ki < kb || (ki == kb && ready[i] < ready[best]) {
-				best = i
-			}
-		}
-		v := ready[best]
-		ready = append(ready[:best], ready[best+1:]...)
+		v := sc.ready.pop()
 
 		lo, hi := 0, sys.NumProcs()
 		if pin := g.Node(v).Pinned; pin != taskgraph.Unpinned {
@@ -162,7 +166,7 @@ func RunMultihop(g *taskgraph.Graph, sys *platform.System, net *channel.Network,
 			for _, w := range g.Succ(m) {
 				pendingPreds[w]--
 				if pendingPreds[w] == 0 {
-					ready = append(ready, w)
+					sc.ready.push(w)
 				}
 			}
 		}

@@ -48,17 +48,18 @@ func (p Policy) String() string {
 // Policies lists all dispatch policies.
 func Policies() []Policy { return []Policy{PolicyEDF, PolicyLLF, PolicyFIFO, PolicyHLF} }
 
-// priorityKeys returns, per node, the dispatch key under the policy
-// (smaller = dispatched first; ties broken by NodeID).
-func priorityKeys(g *taskgraph.Graph, res *core.Result, p Policy) ([]float64, error) {
-	n := g.NumNodes()
-	keys := make([]float64, n)
+// priorityKeysInto fills keys (sized to the graph) with the per-node
+// dispatch key under the policy (smaller = dispatched first; ties broken by
+// NodeID). The buffer form lets batch drivers reuse one allocation across
+// runs.
+func priorityKeysInto(keys []float64, g *taskgraph.Graph, res *core.Result, p Policy) error {
 	switch p {
 	case PolicyEDF:
 		copy(keys, res.Absolute)
 	case PolicyLLF:
-		for _, node := range g.Nodes() {
-			keys[node.ID] = res.Absolute[node.ID] - node.Cost
+		for i := range keys {
+			id := taskgraph.NodeID(i)
+			keys[i] = res.Absolute[id] - g.Node(id).Cost
 		}
 	case PolicyFIFO:
 		for i := range keys {
@@ -70,7 +71,7 @@ func priorityKeys(g *taskgraph.Graph, res *core.Result, p Policy) ([]float64, er
 			keys[i] = -from[i]
 		}
 	default:
-		return nil, fmt.Errorf("unknown dispatch policy %d", int(p))
+		return fmt.Errorf("unknown dispatch policy %d", int(p))
 	}
-	return keys, nil
+	return nil
 }

@@ -35,7 +35,13 @@ const simEps = 1e-9
 // returned schedule carries the execution Segments; Start is the first
 // dispatch and Finish the completion of each subtask.
 func RunPreemptive(g *taskgraph.Graph, sys *platform.System, res *core.Result, cfg Config) (*Schedule, error) {
-	base, err := Run(g, sys, res, cfg)
+	return NewScratch().RunPreemptive(g, sys, res, cfg)
+}
+
+// RunPreemptive is the buffer-reusing form of the package-level
+// RunPreemptive.
+func (sc *Scratch) RunPreemptive(g *taskgraph.Graph, sys *platform.System, res *core.Result, cfg Config) (*Schedule, error) {
+	base, err := sc.Run(g, sys, res, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -50,28 +56,30 @@ func RunPreemptive(g *taskgraph.Graph, sys *platform.System, res *core.Result, c
 		out.Start[i] = -1
 	}
 
-	var (
-		remaining   = make([]float64, n)
-		pendingMsgs = make([]int, n)
-		arrivedAt   = make([]float64, n)
-		numSubtasks int
-	)
-	for _, node := range g.Nodes() {
+	sc.remaining = resize(sc.remaining, n)
+	remaining := sc.remaining
+	sc.pendingMsgs = resize(sc.pendingMsgs, n)
+	pendingMsgs := sc.pendingMsgs
+	sc.arrivedAt = resize(sc.arrivedAt, n)
+	arrivedAt := sc.arrivedAt
+	clear(arrivedAt)
+	numSubtasks := 0
+	for id := 0; id < n; id++ {
+		nid := taskgraph.NodeID(id)
+		remaining[nid], pendingMsgs[nid] = 0, 0
+		node := g.Node(nid)
 		if node.Kind != taskgraph.KindSubtask {
 			continue
 		}
 		numSubtasks++
-		remaining[node.ID] = sys.ExecTime(node.Cost, base.Proc[node.ID])
-		pendingMsgs[node.ID] = len(g.Pred(node.ID))
+		remaining[nid] = sys.ExecTime(node.Cost, base.Proc[nid])
+		pendingMsgs[nid] = len(g.Pred(nid))
 	}
 
 	// Pending ready events, one per not-yet-ready subtask. Workloads are
 	// small (hundreds of nodes), so linear scans keep this simple.
-	type readyEvent struct {
-		t float64
-		v taskgraph.NodeID
-	}
-	var events []readyEvent
+	events := sc.events[:0]
+	defer func() { sc.events = events[:0] }()
 
 	readyTime := func(v taskgraph.NodeID, arrived float64) float64 {
 		if cfg.RespectRelease && res.Release[v] > arrived {
@@ -79,32 +87,25 @@ func RunPreemptive(g *taskgraph.Graph, sys *platform.System, res *core.Result, c
 		}
 		return arrived
 	}
-	for _, node := range g.Nodes() {
-		if node.Kind == taskgraph.KindSubtask && pendingMsgs[node.ID] == 0 {
-			events = append(events, readyEvent{t: readyTime(node.ID, node.Release), v: node.ID})
+	for id := 0; id < n; id++ {
+		nid := taskgraph.NodeID(id)
+		node := g.Node(nid)
+		if node.Kind == taskgraph.KindSubtask && pendingMsgs[nid] == 0 {
+			events = append(events, readyEvent{t: readyTime(nid, node.Release), v: nid})
 		}
 	}
 
-	ready := make([][]taskgraph.NodeID, sys.NumProcs())
-	pick := func(p int) taskgraph.NodeID {
-		best := taskgraph.None
-		for _, v := range ready[p] {
-			if best == taskgraph.None || res.Absolute[v] < res.Absolute[best] ||
-				(res.Absolute[v] == res.Absolute[best] && v < best) {
-				best = v
-			}
-		}
-		return best
+	// Per-processor EDF ready queues: deterministic (absolute deadline,
+	// NodeID) min-heaps. The running task is the heap minimum; it is only
+	// ever removed on completion, so removal is a pop.
+	sc.procReady = resize(sc.procReady, sys.NumProcs())
+	ready := sc.procReady
+	for p := range ready {
+		ready[p].reset(res.Absolute)
 	}
-	removeReady := func(p int, v taskgraph.NodeID) {
-		for i, w := range ready[p] {
-			if w == v {
-				ready[p] = append(ready[p][:i], ready[p][i+1:]...)
-				return
-			}
-		}
-	}
-	lastSeg := make([]int, sys.NumProcs())
+	pick := func(p int) taskgraph.NodeID { return ready[p].peek() }
+	sc.lastSeg = resize(sc.lastSeg, sys.NumProcs())
+	lastSeg := sc.lastSeg
 	for i := range lastSeg {
 		lastSeg[i] = -1
 	}
@@ -156,8 +157,7 @@ func RunPreemptive(g *taskgraph.Graph, sys *platform.System, res *core.Result, c
 		kept := events[:0]
 		for _, e := range events {
 			if e.t <= t+simEps {
-				p := base.Proc[e.v]
-				ready[p] = append(ready[p], e.v)
+				ready[base.Proc[e.v]].push(e.v)
 			} else {
 				kept = append(kept, e)
 			}
@@ -198,7 +198,7 @@ func RunPreemptive(g *taskgraph.Graph, sys *platform.System, res *core.Result, c
 			addSegment(v, p, t, next)
 			remaining[v] -= next - t
 			if remaining[v] <= simEps {
-				removeReady(p, v)
+				ready[p].pop() // v is the minimum (pick returned it)
 				complete(v, next)
 				completions++
 			}

@@ -63,8 +63,16 @@ var (
 	ErrBadPin   = errors.New("strict locality constraint exceeds platform size")
 )
 
-// Run schedules g on sys using the deadline annotations in res.
+// Run schedules g on sys using the deadline annotations in res. It is a
+// convenience wrapper over Scratch.Run with fresh buffers; batch drivers
+// should hold a Scratch per goroutine and call its method instead.
 func Run(g *taskgraph.Graph, sys *platform.System, res *core.Result, cfg Config) (*Schedule, error) {
+	return NewScratch().Run(g, sys, res, cfg)
+}
+
+// Run schedules g on sys using the deadline annotations in res, reusing the
+// Scratch's buffers.
+func (sc *Scratch) Run(g *taskgraph.Graph, sys *platform.System, res *core.Result, cfg Config) (*Schedule, error) {
 	if g == nil || sys == nil || res == nil {
 		return nil, ErrNilInput
 	}
@@ -72,8 +80,8 @@ func Run(g *taskgraph.Graph, sys *platform.System, res *core.Result, cfg Config)
 	if len(res.Absolute) != n || len(res.Release) != n {
 		return nil, fmt.Errorf("%d annotations for %d nodes: %w", len(res.Absolute), n, ErrBadSize)
 	}
-	keys, err := priorityKeys(g, res, cfg.Policy)
-	if err != nil {
+	sc.keys = resize(sc.keys, n)
+	if err := priorityKeysInto(sc.keys, g, res, cfg.Policy); err != nil {
 		return nil, err
 	}
 
@@ -86,46 +94,43 @@ func Run(g *taskgraph.Graph, sys *platform.System, res *core.Result, cfg Config)
 		s.Proc[i] = -1
 	}
 
-	procFree := make([]float64, sys.NumProcs())
+	sc.procFree = resize(sc.procFree, sys.NumProcs())
+	clear(sc.procFree)
+	procFree := sc.procFree
 	busFree := 0.0
 
 	// pendingPreds counts unscheduled ordinary-subtask predecessors
 	// (messages are transparent for readiness: a subtask is schedulable
-	// once its producing subtasks are placed).
-	pendingPreds := make([]int, n)
-	subtasks := make([]taskgraph.NodeID, 0, n)
-	for _, node := range g.Nodes() {
-		if node.Kind != taskgraph.KindSubtask {
+	// once its producing subtasks are placed). Initially-ready subtasks go
+	// straight onto the dispatch heap.
+	sc.pending = resize(sc.pending, n)
+	pendingPreds := sc.pending
+	sc.ready.reset(sc.keys)
+	numSubtasks := 0
+	for id := 0; id < n; id++ {
+		nid := taskgraph.NodeID(id)
+		pendingPreds[nid] = 0
+		if g.Node(nid).Kind != taskgraph.KindSubtask {
 			continue
 		}
-		subtasks = append(subtasks, node.ID)
-		for _, m := range g.Pred(node.ID) {
-			pendingPreds[node.ID] += len(g.Pred(m)) // each message has one producer
+		numSubtasks++
+		for _, m := range g.Pred(nid) {
+			pendingPreds[nid] += len(g.Pred(m)) // each message has one producer
+		}
+		if pendingPreds[nid] == 0 {
+			sc.ready.push(nid)
 		}
 	}
 
-	ready := make([]taskgraph.NodeID, 0, len(subtasks))
-	for _, id := range subtasks {
-		if pendingPreds[id] == 0 {
-			ready = append(ready, id)
-		}
-	}
-
-	for step := 0; step < len(subtasks); step++ {
-		if len(ready) == 0 {
+	for step := 0; step < numSubtasks; step++ {
+		if sc.ready.len() == 0 {
 			return nil, errors.New("internal: no schedulable subtask (cycle?)")
 		}
 		// Dispatch the highest-priority ready subtask (EDF: earliest
-		// absolute deadline); ties by NodeID for determinism.
-		best := 0
-		for i := 1; i < len(ready); i++ {
-			di, db := keys[ready[i]], keys[ready[best]]
-			if di < db || (di == db && ready[i] < ready[best]) {
-				best = i
-			}
-		}
-		v := ready[best]
-		ready = append(ready[:best], ready[best+1:]...)
+		// absolute deadline); ties by NodeID for determinism. The heap's
+		// (key, NodeID) order makes pop pick exactly the subtask the old
+		// linear scan selected.
+		v := sc.ready.pop()
 
 		// Choose the processor yielding the earliest start time. Subtasks
 		// with strict locality constraints only consider their pinned
@@ -167,7 +172,7 @@ func Run(g *taskgraph.Graph, sys *platform.System, res *core.Result, cfg Config)
 			for _, w := range g.Succ(m) {
 				pendingPreds[w]--
 				if pendingPreds[w] == 0 {
-					ready = append(ready, w)
+					sc.ready.push(w)
 				}
 			}
 		}

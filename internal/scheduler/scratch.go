@@ -1,0 +1,47 @@
+package scheduler
+
+import "deadlinedist/internal/taskgraph"
+
+// Scratch holds the reusable working buffers of the list scheduler. Batch
+// drivers (the experiment engine schedules graphs × assigners × sizes runs
+// per sweep) create one Scratch per worker goroutine and call its Run /
+// RunPreemptive / RunMultihop methods, amortizing all per-run queue and
+// bookkeeping allocations; only the returned Schedule is freshly allocated.
+// A Scratch is not safe for concurrent use.
+type Scratch struct {
+	keys     []float64
+	pending  []int
+	procFree []float64
+	ready    readyHeap
+
+	// Preemptive-simulation buffers (RunPreemptive).
+	procReady   []readyHeap
+	remaining   []float64
+	pendingMsgs []int
+	arrivedAt   []float64
+	lastSeg     []int
+	events      []readyEvent
+
+	// Multihop buffers (RunMultihop).
+	linkFree []float64
+	linkTmp  []float64
+}
+
+// NewScratch returns an empty Scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// readyEvent is a pending "subtask v becomes ready at time t" event of the
+// preemptive simulation.
+type readyEvent struct {
+	t float64
+	v taskgraph.NodeID
+}
+
+// resize returns buf with length n, reusing its storage when large enough.
+// Contents are unspecified; callers initialize what they read.
+func resize[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}

@@ -1,0 +1,62 @@
+package taskgraph
+
+import "slices"
+
+// Reach answers repeated reachability queries over one graph without
+// allocating per query. It is the pruning primitive of the deadline
+// distributor's critical-path search: each per-start DP only needs the
+// nodes actually reachable from that start through still-unassigned nodes,
+// which is typically a small fraction of the graph once slicing has begun.
+//
+// A Reach is not safe for concurrent use; create one per goroutine.
+type Reach struct {
+	g     *Graph
+	index []int // topological position per node
+	mark  []uint64
+	gen   uint64
+	buf   []NodeID
+	stack []NodeID
+}
+
+// NewReach returns a reusable reachability scratch for g.
+func NewReach(g *Graph) *Reach {
+	n := g.NumNodes()
+	r := &Reach{
+		g:     g,
+		index: make([]int, n),
+		mark:  make([]uint64, n),
+	}
+	for i, id := range g.TopoOrder() {
+		r.index[id] = i
+	}
+	return r
+}
+
+// TopoIndex returns the topological position of id (the index of id in
+// TopoOrder).
+func (r *Reach) TopoIndex(id NodeID) int { return r.index[id] }
+
+// From returns every node reachable from start (inclusive) through nodes
+// not excluded by skip, in topological order. Arcs into skipped nodes are
+// not followed; start itself is never skipped. The returned slice is
+// reused by the next call and must not be retained.
+func (r *Reach) From(start NodeID, skip func(NodeID) bool) []NodeID {
+	r.gen++
+	r.buf = r.buf[:0]
+	r.stack = append(r.stack[:0], start)
+	r.mark[start] = r.gen
+	for len(r.stack) > 0 {
+		u := r.stack[len(r.stack)-1]
+		r.stack = r.stack[:len(r.stack)-1]
+		r.buf = append(r.buf, u)
+		for _, v := range r.g.Succ(u) {
+			if r.mark[v] == r.gen || skip(v) {
+				continue
+			}
+			r.mark[v] = r.gen
+			r.stack = append(r.stack, v)
+		}
+	}
+	slices.SortFunc(r.buf, func(a, b NodeID) int { return r.index[a] - r.index[b] })
+	return r.buf
+}
