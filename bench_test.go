@@ -7,6 +7,7 @@ package deadlinedist
 // their output.
 
 import (
+	"sync"
 	"testing"
 
 	"deadlinedist/internal/core"
@@ -39,6 +40,41 @@ func benchFigure(b *testing.B, fn experiment.FigureFunc) {
 		}
 		if len(tables) == 0 {
 			b.Fatal("no tables")
+		}
+	}
+}
+
+// BenchmarkFigureAll regenerates every figure through one shared
+// orchestrator per iteration — the `dlexp -figure all` shape: all tables
+// run concurrently over one worker pool, sharing the content-addressed
+// batch cache and the cross-table assignment cache. This is the
+// regression guard for the cross-sweep orchestration layer; CI runs it
+// once per push (see .github/workflows/ci.yml).
+func BenchmarkFigureAll(b *testing.B) {
+	base := benchBase()
+	keys := experiment.FigureOrder()
+	registry := experiment.Figures()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		orc := experiment.NewOrchestrator(0)
+		cfg := base
+		cfg.Orchestrator = orc
+		var wg sync.WaitGroup
+		errs := make([]error, len(keys))
+		for ki, key := range keys {
+			wg.Add(1)
+			go func(ki int, fn experiment.FigureFunc) {
+				defer wg.Done()
+				_, errs[ki] = fn(cfg)
+			}(ki, registry[key])
+		}
+		wg.Wait()
+		orc.Close()
+		for ki, err := range errs {
+			if err != nil {
+				b.Fatalf("figure %s: %v", keys[ki], err)
+			}
 		}
 	}
 }

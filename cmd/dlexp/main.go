@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"deadlinedist/internal/experiment"
@@ -58,6 +59,7 @@ func run(args []string, out io.Writer) error {
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		workers    = fs.Int("workers", 0, "size of the worker pool shared by all figures (default GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +84,12 @@ func run(args []string, out io.Writer) error {
 	base.Graphs = *graphs
 	base.Seed = *seed
 	base.Sizes = sweep
+
+	// One orchestrator for the whole invocation: every figure's tables
+	// share its worker pool, batch cache and cross-table assignment cache.
+	orc := experiment.NewOrchestrator(*workers)
+	defer orc.Close()
+	base.Orchestrator = orc
 
 	var rec *metrics.Recorder
 	if *stats || *benchJSON {
@@ -127,20 +135,42 @@ func run(args []string, out io.Writer) error {
 	}
 	registry := experiment.Figures()
 
-	allTables := make(map[string][]*experiment.Table, len(keys))
-	runStart := time.Now()
 	for _, key := range keys {
-		fn, ok := registry[key]
-		if !ok {
+		if _, ok := registry[key]; !ok {
 			return fmt.Errorf("unknown figure %q (known: %s)", key, strings.Join(experiment.FigureOrder(), " "))
 		}
-		start := time.Now()
-		tables, err := fn(base)
-		if err != nil {
-			return fmt.Errorf("figure %s: %w", key, err)
+	}
+
+	// Run every figure concurrently over the shared pool — figure N+1's
+	// graphs start while figure N's stragglers finish — then print in the
+	// deterministic key order, so output bytes match a sequential run.
+	type figOut struct {
+		tables  []*experiment.Table
+		err     error
+		elapsed time.Duration
+	}
+	outs := make([]figOut, len(keys))
+	var figWG sync.WaitGroup
+	runStart := time.Now()
+	for i, key := range keys {
+		figWG.Add(1)
+		go func(i int, fn func(experiment.Config) ([]*experiment.Table, error)) {
+			defer figWG.Done()
+			start := time.Now()
+			tables, err := fn(base)
+			outs[i] = figOut{tables: tables, err: err, elapsed: time.Since(start)}
+		}(i, registry[key])
+	}
+	figWG.Wait()
+
+	allTables := make(map[string][]*experiment.Table, len(keys))
+	for ki, key := range keys {
+		if outs[ki].err != nil {
+			return fmt.Errorf("figure %s: %w", key, outs[ki].err)
 		}
+		tables := outs[ki].tables
 		allTables[key] = tables
-		fmt.Fprintf(out, "=== figure %s (%d graphs/point, %v) ===\n\n", key, *graphs, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(out, "=== figure %s (%d graphs/point, %v) ===\n\n", key, *graphs, outs[ki].elapsed.Round(time.Millisecond))
 		for i, t := range tables {
 			fmt.Fprintln(out, t.String())
 			if *plot {

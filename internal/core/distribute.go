@@ -41,6 +41,38 @@ var (
 // Distribute annotates every node of g with a release time and a relative
 // deadline. It never modifies g.
 func (d Distributor) Distribute(g *taskgraph.Graph, sys *platform.System) (*Result, error) {
+	return d.DistributeInto(g, sys, nil)
+}
+
+// DistributeInto is Distribute with Result recycling: when recycle is
+// non-nil, its annotation slices are reused for the new result (resized as
+// needed) instead of freshly allocated, and recycle itself is returned. The
+// recycled Result is overwritten completely — callers hand over results they
+// have finished consuming (batch drivers that measure a distribution and
+// then discard it). Passing nil is exactly Distribute.
+func (d Distributor) DistributeInto(g *taskgraph.Graph, sys *platform.System, recycle *Result) (*Result, error) {
+	return d.DistributeScratch(g, sys, recycle, nil)
+}
+
+// Scratch owns the distributor's working set (DP tables, reachability
+// marks, candidate memos) so that batch drivers can reuse it across
+// Distribute calls instead of reallocating ~O(n·width) state per run. A
+// Scratch may be carried across different graphs and strategies — every
+// buffer is resized and re-stamped per run, and the lazy row-clearing
+// generation is monotone for the Scratch's lifetime, so stale rows from an
+// earlier run are never read. Not safe for concurrent use; create one per
+// goroutine.
+type Scratch struct {
+	st distState
+}
+
+// NewScratch returns an empty distributor scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// DistributeScratch is DistributeInto with an optional reusable working
+// set. Passing nil sc allocates a fresh working set, exactly as
+// DistributeInto. The output is bit-for-bit independent of scratch reuse.
+func (d Distributor) DistributeScratch(g *taskgraph.Graph, sys *platform.System, recycle *Result, sc *Scratch) (*Result, error) {
 	if d.Metric == nil || d.Estimator == nil {
 		return nil, ErrNilStrategy
 	}
@@ -58,36 +90,48 @@ func (d Distributor) Distribute(g *taskgraph.Graph, sys *platform.System) (*Resu
 	}
 
 	n := g.NumNodes()
-	res := &Result{
-		Release:       make([]float64, n),
-		Relative:      make([]float64, n),
-		Absolute:      make([]float64, n),
-		Windowed:      make([]bool, n),
-		EstimatedComm: est,
-		Metric:        d.Metric.Name(),
-		Estimator:     d.Estimator.Name(),
+	res := recycle
+	if res == nil {
+		res = &Result{
+			Release:  make([]float64, n),
+			Relative: make([]float64, n),
+			Absolute: make([]float64, n),
+			Windowed: make([]bool, n),
+		}
+	} else {
+		res.Release = resizeSlice(res.Release, n)
+		res.Relative = resizeSlice(res.Relative, n)
+		res.Absolute = resizeSlice(res.Absolute, n)
+		res.Windowed = resizeSlice(res.Windowed, n)
+		clear(res.Release)
+		clear(res.Relative)
+		clear(res.Absolute)
+		clear(res.Windowed)
+		res.Paths = res.Paths[:0]
+		res.Search = SearchStats{}
 	}
+	res.EstimatedComm = est
+	res.Metric = d.Metric.Name()
+	res.Estimator = d.Estimator.Name()
 
-	st := &distState{
-		g:        g,
-		sys:      sys,
-		metric:   d.Metric,
-		vc:       vc,
-		vcWin:    vcWin,
-		assigned: make([]bool, n),
-		res:      res,
+	st := &distState{}
+	if sc != nil {
+		st = &sc.st
 	}
-	st.alloc()
+	st.g, st.sys, st.metric, st.vc, st.vcWin, st.res = g, sys, d.Metric, vc, vcWin, res
+	st.prepare()
 
 	for st.unassigned > 0 {
 		path, ratio, err := st.findCriticalPath()
 		if err != nil {
+			st.release()
 			return nil, err
 		}
 		st.slice(path, ratio)
 		res.Paths = append(res.Paths, path)
 		res.Search.Iterations++
 	}
+	st.release()
 	return res, nil
 }
 
@@ -130,11 +174,15 @@ type distState struct {
 	// windowed nodes; par[id][k] is the predecessor on that path. Rows are
 	// generation-stamped: a row with rowGen != gen is logically all -Inf
 	// and is cleared lazily on its first write, so starting a new DP run is
-	// O(1) instead of O(touched × width).
-	dp     [][]float64
-	par    [][]taskgraph.NodeID
-	rowGen []uint64
-	gen    uint64
+	// O(1) instead of O(touched × width). The flat backings survive Scratch
+	// reuse; gen is monotone for the state's lifetime, so rows left over
+	// from an earlier distribution are stale by construction.
+	dp      [][]float64
+	par     [][]taskgraph.NodeID
+	dpFlat  []float64
+	parFlat []taskgraph.NodeID
+	rowGen  []uint64
+	gen     uint64
 	// touched lists the rows written by the current DP run, in first-write
 	// order (the candidate enumeration order of the reference search).
 	touched []taskgraph.NodeID
@@ -159,37 +207,73 @@ type distState struct {
 	// winbuf is slice's scratch buffer for the chosen path's raw windows,
 	// reused across iterations.
 	winbuf []float64
+
+	// prevG memoizes the DP row width of the last prepared graph: batch
+	// drivers run the same graph through many strategies and system sizes
+	// before moving on, so the LongestPath scan amortizes to once per graph.
+	prevG     *taskgraph.Graph
+	prevWidth int
 }
 
-func (st *distState) alloc() {
+// prepare sizes the working set for the bound graph, reusing any buffers
+// left by a previous distribution. Stale DP rows are handled by the monotone
+// generation stamp; everything else is explicitly reset here.
+func (st *distState) prepare() {
 	n := st.g.NumNodes()
 	// The windowed-node count of any path is bounded by the longest path's
 	// node count, which is far smaller than the node count for layered
 	// graphs; sizing rows accordingly keeps the DP inner loop tight.
-	maxLen := int(st.g.LongestPath(func(taskgraph.Node) float64 { return 1 }))
-	width := maxLen + 1
-	st.dp = make([][]float64, n)
-	st.par = make([][]taskgraph.NodeID, n)
-	// Rows are cleared lazily on first touch (rowGen starts behind gen),
-	// so the flat backing needs no -Inf initialization.
-	dpFlat := make([]float64, n*width)
-	parFlat := make([]taskgraph.NodeID, n*width)
+	if st.g != st.prevG {
+		maxLen := int(st.g.LongestPath(func(taskgraph.Node) float64 { return 1 }))
+		st.prevG, st.prevWidth = st.g, maxLen+1
+	}
+	width := st.prevWidth
+	st.dp = resizeSlice(st.dp, n)
+	st.par = resizeSlice(st.par, n)
+	// Rows are cleared lazily on first touch (rowGen stamps stay behind the
+	// next run's gen), so the flat backing needs no -Inf initialization.
+	if cap(st.dpFlat) < n*width {
+		st.dpFlat = make([]float64, n*width)
+		st.parFlat = make([]taskgraph.NodeID, n*width)
+	}
+	dpFlat := st.dpFlat[:n*width]
+	parFlat := st.parFlat[:n*width]
 	for i := 0; i < n; i++ {
 		st.dp[i] = dpFlat[i*width : (i+1)*width]
 		st.par[i] = parFlat[i*width : (i+1)*width]
 	}
-	st.rowGen = make([]uint64, n)
+	st.rowGen = resizeSlice(st.rowGen, n)
 	st.lastDP = taskgraph.None
-	st.reach = taskgraph.NewReach(st.g)
-	st.cand = make([]startCand, n)
+	if st.reach == nil {
+		st.reach = taskgraph.NewReach(st.g)
+	} else {
+		st.reach.Reset(st.g)
+	}
+	st.cand = resizeSlice(st.cand, n)
+	for i := range st.cand {
+		st.cand[i].valid = false
+	}
+	st.assigned = resizeSlice(st.assigned, n)
+	clear(st.assigned)
 
-	st.pending = make([]int, n)
-	st.isStart = make([]bool, n)
+	st.pending = resizeSlice(st.pending, n)
+	st.isStart = resizeSlice(st.isStart, n)
 	st.unassigned = n
 	for id := 0; id < n; id++ {
 		st.pending[id] = len(st.g.Pred(taskgraph.NodeID(id)))
 		st.isStart[id] = st.pending[id] == 0
 	}
+}
+
+// release drops the per-run references so a pooled state does not pin the
+// result or cost slices between runs (prevG is kept — it backs the row-width
+// memo and only ever pins one graph).
+func (st *distState) release() {
+	st.g = nil
+	st.sys = nil
+	st.metric = nil
+	st.vc, st.vcWin = nil, nil
+	st.res = nil
 }
 
 // releaseAnchor returns the path-start release time of node id, valid only
@@ -363,6 +447,15 @@ func (st *distState) runDP(s taskgraph.NodeID) {
 			}
 		}
 	}
+}
+
+// resizeSlice returns buf with length n, reusing its storage when large
+// enough. Contents are unspecified; callers initialize what they read.
+func resizeSlice[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
 }
 
 // skipAssigned is the reachability predicate: paths only run through

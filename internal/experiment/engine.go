@@ -10,9 +10,9 @@ package experiment
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
-	"time"
 
 	"deadlinedist/internal/analysis"
 	"deadlinedist/internal/assign"
@@ -79,6 +79,21 @@ func (a slicingAssigner) Assign(g *taskgraph.Graph, sys *platform.System) (*core
 	return a.dist.Distribute(g, sys)
 }
 
+func (a slicingAssigner) AssignInto(g *taskgraph.Graph, sys *platform.System,
+	recycle *core.Result, sc *core.Scratch) (*core.Result, error) {
+	return a.dist.DistributeScratch(g, sys, recycle, sc)
+}
+
+// resultRecycler is an optional Assigner capability: strategies that can
+// overwrite a spent Result instead of allocating a fresh one, and run off a
+// pooled distributor working set, implement it. The engine only offers
+// results it owns exclusively (never ones published to, or obtained from, a
+// shared cache); the scratch is always the calling worker's own. Either
+// argument may be nil.
+type resultRecycler interface {
+	AssignInto(g *taskgraph.Graph, sys *platform.System, recycle *core.Result, sc *core.Scratch) (*core.Result, error)
+}
+
 // dynSlicingAssigner is a slicing assigner whose estimator depends on the
 // concrete platform (e.g. CCHOP needs the network built for the right
 // processor count).
@@ -111,11 +126,16 @@ func (a dynSlicingAssigner) Fingerprint(g *taskgraph.Graph, sys *platform.System
 }
 
 func (a dynSlicingAssigner) Assign(g *taskgraph.Graph, sys *platform.System) (*core.Result, error) {
+	return a.AssignInto(g, sys, nil, nil)
+}
+
+func (a dynSlicingAssigner) AssignInto(g *taskgraph.Graph, sys *platform.System,
+	recycle *core.Result, sc *core.Scratch) (*core.Result, error) {
 	e, err := a.est(sys)
 	if err != nil {
 		return nil, err
 	}
-	return core.Distributor{Metric: a.metric, Estimator: e}.Distribute(g, sys)
+	return core.Distributor{Metric: a.metric, Estimator: e}.DistributeScratch(g, sys, recycle, sc)
 }
 
 // baselineAssigner adapts a strategy.Strategy (platform-independent).
@@ -170,7 +190,12 @@ func (a assignFirst) Fingerprint(g *taskgraph.Graph, sys *platform.System) ([]fl
 }
 
 func (a assignFirst) Assign(g *taskgraph.Graph, sys *platform.System) (*core.Result, error) {
-	return core.Distributor{Metric: a.metric, Estimator: core.CCKnown(nil)}.Distribute(g, sys)
+	return a.AssignInto(g, sys, nil, nil)
+}
+
+func (a assignFirst) AssignInto(g *taskgraph.Graph, sys *platform.System,
+	recycle *core.Result, sc *core.Scratch) (*core.Result, error) {
+	return core.Distributor{Metric: a.metric, Estimator: core.CCKnown(nil)}.DistributeScratch(g, sys, recycle, sc)
 }
 
 // improvedAssigner wraps a slicing distribution with the reference-[3]
@@ -260,8 +285,17 @@ type Config struct {
 	// Measure maps a run to the observed value (default MaxLateness).
 	Measure Measure
 	// Workers bounds the number of concurrent graph pipelines
-	// (default GOMAXPROCS).
+	// (default GOMAXPROCS). Ignored when Orchestrator is set — the shared
+	// pool's size governs instead.
 	Workers int
+	// Orchestrator, when non-nil, runs this sweep through the shared
+	// cross-table pool and caches: graph pipelines are submitted as jobs to
+	// the shared worker pool (so tables overlap instead of draining the
+	// pool at table boundaries), the workload batch is fetched from the
+	// content-addressed batch cache, and assignments with known
+	// fingerprints are reused across every table sharing the batch. Output
+	// is bit-for-bit identical to an unorchestrated run.
+	Orchestrator *Orchestrator
 	// Structured, when non-nil, replaces the random generator with a
 	// structured shape (its Workload field is overwritten with Workload).
 	Structured *generator.StructuredConfig
@@ -294,6 +328,16 @@ type labelled struct {
 }
 
 func (l labelled) Label() string { return l.label }
+
+// AssignInto forwards recycling to the wrapped assigner when it supports
+// it, so relabelling does not cost the allocation win.
+func (l labelled) AssignInto(g *taskgraph.Graph, sys *platform.System,
+	recycle *core.Result, sc *core.Scratch) (*core.Result, error) {
+	if r, ok := l.Assigner.(resultRecycler); ok {
+		return r.AssignInto(g, sys, recycle, sc)
+	}
+	return l.Assign(g, sys)
+}
 
 // Default returns the paper's experimental setup (Section 5) for the given
 // execution-time scenario: 128 graphs, 2–16 processors, contention-free
@@ -375,9 +419,9 @@ func (cfg Config) Run(title string, assigners ...Assigner) (*Table, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	genStart := time.Now()
-	graphs, err := cfg.batch()
-	cfg.Metrics.Observe(metrics.StageGenerate, time.Since(genStart))
+	genStart := cfg.Metrics.Start()
+	graphs, batchShared, err := cfg.sharedBatch()
+	cfg.Metrics.Done(metrics.StageGenerate, genStart)
 	if err != nil {
 		return nil, fmt.Errorf("generate batch: %w", err)
 	}
@@ -394,12 +438,13 @@ func (cfg Config) Run(title string, assigners ...Assigner) (*Table, error) {
 		}
 	}
 
-	// vals[a][g][s] = measure for assigner a, graph g, size s.
+	// vals[a][s][g] = measure for assigner a, size s, graph g. The [s][g]
+	// layout lets each Point alias its row as Raw without a copy.
 	vals := make([][][]float64, len(assigners))
 	for a := range vals {
-		vals[a] = make([][]float64, cfg.Graphs)
-		for g := range vals[a] {
-			vals[a][g] = make([]float64, len(cfg.Sizes))
+		vals[a] = make([][]float64, len(cfg.Sizes))
+		for s := range vals[a] {
+			vals[a][s] = make([]float64, cfg.Graphs)
 		}
 	}
 
@@ -438,35 +483,61 @@ func (cfg Config) Run(title string, assigners ...Assigner) (*Table, error) {
 		mu.Unlock()
 		cancel()
 	}
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One scheduler scratch per worker: queue and bookkeeping
-			// buffers are reused across every graph × assigner × size run
-			// this worker executes.
-			scratch := scheduler.NewScratch()
-			for gi := range jobs {
+	crossOK := cfg.Orchestrator != nil && batchShared
+	if orc := cfg.Orchestrator; orc != nil {
+		// Shared pool: one job per graph, interleaving with every other
+		// run feeding the same orchestrator. Each job writes disjoint
+		// (graph, size) slots, so aggregation below stays deterministic.
+		var jobWG sync.WaitGroup
+		for gi := 0; gi < cfg.Graphs && !cancelled(); gi++ {
+			gi := gi
+			jobWG.Add(1)
+			ok := orc.submit(poolJob{rec: cfg.Metrics, fn: func(w *poolWorker) {
+				defer jobWG.Done()
 				if cancelled() {
-					continue // drain without running
+					return
 				}
-				if err := runGraph(cfg, graphs[gi], systems, nets, assigners, measure, gi, vals, scratch); err != nil {
+				if err := runGraph(cfg, graphs[gi], systems, nets, assigners, measure, gi, vals, w, crossOK); err != nil {
 					fail(gi, err)
 				}
+			}}, done)
+			if !ok {
+				jobWG.Done()
+				break
 			}
-		}()
-	}
-feed:
-	for gi := 0; gi < cfg.Graphs; gi++ {
-		select {
-		case jobs <- gi:
-		case <-done:
-			break feed
 		}
+		jobWG.Wait()
+	} else {
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// One scheduler scratch per worker: queue, bookkeeping and
+				// schedule buffers are reused across every graph × assigner
+				// × size run this worker executes.
+				pw := newPoolWorker()
+				for gi := range jobs {
+					if cancelled() {
+						continue // drain without running
+					}
+					if err := runGraph(cfg, graphs[gi], systems, nets, assigners, measure, gi, vals, pw, false); err != nil {
+						fail(gi, err)
+					}
+				}
+			}()
+		}
+	feed:
+		for gi := 0; gi < cfg.Graphs; gi++ {
+			select {
+			case jobs <- gi:
+			case <-done:
+				break feed
+			}
+		}
+		close(jobs)
+		wg.Wait()
 	}
-	close(jobs)
-	wg.Wait()
 	if len(errs) > 0 {
 		if omitted > 0 {
 			errs = append(errs, fmt.Errorf("%d further graph pipelines failed (omitted)", omitted))
@@ -483,10 +554,9 @@ feed:
 	for a, asg := range assigners {
 		curve := Curve{Label: asg.Label(), Points: make([]Point, len(cfg.Sizes))}
 		for si, size := range cfg.Sizes {
-			pt := Point{Size: size, Raw: make([]float64, cfg.Graphs)}
-			for gi := 0; gi < cfg.Graphs; gi++ {
-				pt.Stats.Add(vals[a][gi][si])
-				pt.Raw[gi] = vals[a][gi][si]
+			pt := Point{Size: size, Raw: vals[a][si]}
+			for _, v := range pt.Raw {
+				pt.Stats.Add(v)
 			}
 			curve.Points[si] = pt
 		}
@@ -495,34 +565,66 @@ feed:
 	return table, nil
 }
 
+// sharedBatch fetches the run's batch through the orchestrator's
+// content-addressed cache when possible (no orchestrator, or a Custom
+// generator with no content identity, falls back to direct generation). The
+// second return reports whether the graphs are shared cache values — only
+// shared graphs are valid cross-table assignment-cache keys.
+func (cfg Config) sharedBatch() ([]*taskgraph.Graph, bool, error) {
+	orc := cfg.Orchestrator
+	if orc == nil || cfg.Custom != nil {
+		graphs, err := cfg.batch()
+		return graphs, false, err
+	}
+	graphs, err := orc.batch(cfg.batchID(), cfg.Metrics, cfg.batch)
+	return graphs, true, err
+}
+
+// batchID is the content address of the run's batch (Custom-less runs only).
+func (cfg Config) batchID() generator.BatchID {
+	if cfg.Structured != nil {
+		sc := *cfg.Structured
+		sc.Workload = cfg.Workload
+		return generator.StructuredBatchID(sc, cfg.Seed, cfg.Graphs)
+	}
+	return generator.RandomBatchID(cfg.Workload, cfg.Seed, cfg.Graphs)
+}
+
 // runGraph runs one graph through every assigner and size, reusing the
 // distribution when its fingerprint is known and unchanged across sizes.
+// When crossOK is set (orchestrated run over a shared batch), per-run cache
+// misses consult the orchestrator's cross-table assignment cache before
+// computing. All stage timers are gated on a non-nil recorder — with
+// metrics off, the steady state takes no clock readings.
 func runGraph(cfg Config, g *taskgraph.Graph, systems []*platform.System,
 	nets []*channel.Network, assigners []Assigner, measure Measure, gi int,
-	vals [][][]float64, scratch *scheduler.Scratch) error {
+	vals [][][]float64, w *poolWorker, crossOK bool) error {
 
 	rec := cfg.Metrics
+	orc := cfg.Orchestrator
 	for a, asg := range assigners {
 		var (
-			cachedFP    []float64
-			cachedKnown bool
-			cachedRes   *core.Result
+			cachedFP     []float64
+			cachedKnown  bool
+			cachedRes    *core.Result
+			cachedShared bool
+			label        string
 		)
 		transformer, _ := asg.(GraphTransformer)
 		for si, sys := range systems {
 			gg := g
 			if transformer != nil {
 				var err error
-				start := time.Now()
+				t0 := rec.Start()
 				gg, err = transformer.Transform(g, sys)
-				rec.Observe(metrics.StageTransform, time.Since(start))
+				rec.Done(metrics.StageTransform, t0)
 				if err != nil {
 					return fmt.Errorf("%s: transform: %w", asg.Label(), err)
 				}
 			}
-			start := time.Now()
+			t0 := rec.Start()
 			fp, known := asg.Fingerprint(gg, sys)
-			rec.Observe(metrics.StageFingerprint, time.Since(start))
+			rec.Done(metrics.StageFingerprint, t0)
 			// Reuse only when both fingerprints are known: an unknown
 			// fingerprint (ok=false) never matches anything, so Assign runs
 			// afresh and surfaces whatever failed during fingerprinting.
@@ -530,71 +632,150 @@ func runGraph(cfg Config, g *taskgraph.Graph, systems []*platform.System,
 				rec.CacheHit()
 			} else {
 				rec.CacheMiss()
-				start = time.Now()
-				res, err := asg.Assign(gg, sys)
-				rec.Observe(metrics.StageAssign, time.Since(start))
+				var (
+					res    *core.Result
+					shared bool
+					err    error
+				)
+				if crossOK && known && transformer == nil {
+					// Transformed graphs are per-size values, so only
+					// untransformed runs key the cross-table cache.
+					if label == "" {
+						label = asg.Label()
+					}
+					res, shared, err = orc.assignment(gg, sys, asg, label, fp, rec, w)
+				} else {
+					t0 = rec.Start()
+					res, err = assignWith(asg, gg, sys, w)
+					rec.Done(metrics.StageAssign, t0)
+					if err == nil {
+						st := res.Search
+						rec.AddSearch(st.Iterations, st.StartsExamined, st.DPRuns, st.CacheReuses)
+					}
+				}
 				if err != nil {
 					return fmt.Errorf("%s: %w", asg.Label(), err)
 				}
-				st := res.Search
-				rec.AddSearch(st.Iterations, st.StartsExamined, st.DPRuns, st.CacheReuses)
-				cachedRes, cachedFP, cachedKnown = res, fp, known
+				// The replaced result becomes the worker's spare unless it
+				// is shared cache storage.
+				if cachedRes != nil && !cachedShared {
+					w.spare = cachedRes
+				}
+				cachedRes, cachedFP, cachedKnown, cachedShared = res, fp, known, shared
 			}
 			var (
 				sched *scheduler.Schedule
 				err   error
 			)
-			start = time.Now()
+			t0 = rec.Start()
 			switch {
 			case nets[si] != nil:
 				var ms *scheduler.MultihopSchedule
-				if ms, err = scratch.RunMultihop(gg, sys, nets[si], cachedRes, cfg.Scheduler); err == nil {
+				if ms, err = w.scratch.RunMultihop(gg, sys, nets[si], cachedRes, cfg.Scheduler); err == nil {
 					sched = ms.Schedule
 				}
 			case cfg.Preemptive:
-				sched, err = scratch.RunPreemptive(gg, sys, cachedRes, cfg.Scheduler)
+				sched, err = w.scratch.RunPreemptive(gg, sys, cachedRes, cfg.Scheduler)
 			default:
-				sched, err = scratch.Run(gg, sys, cachedRes, cfg.Scheduler)
+				sched, err = w.scratch.Run(gg, sys, cachedRes, cfg.Scheduler)
 			}
-			rec.Observe(metrics.StageSchedule, time.Since(start))
+			rec.Done(metrics.StageSchedule, t0)
 			if err != nil {
 				return fmt.Errorf("%s: schedule: %w", asg.Label(), err)
 			}
-			start = time.Now()
-			vals[a][gi][si] = measure(gg, cachedRes, sched)
-			rec.Observe(metrics.StageMeasure, time.Since(start))
+			t0 = rec.Start()
+			vals[a][si][gi] = measure(gg, cachedRes, sched)
+			rec.Done(metrics.StageMeasure, t0)
+		}
+		if cachedRes != nil && !cachedShared {
+			w.spare = cachedRes
 		}
 	}
 	return nil
 }
 
-// batch generates the run's task graphs: random by default, or one
-// structured shape per seed split when Structured is set.
+// assignWith runs one assignment, offering the worker's spare Result and
+// pooled distributor scratch when the assigner supports them.
+func assignWith(asg Assigner, g *taskgraph.Graph, sys *platform.System, w *poolWorker) (*core.Result, error) {
+	if r, ok := asg.(resultRecycler); ok {
+		recycle := w.spare
+		w.spare = nil
+		return r.AssignInto(g, sys, recycle, w.dist)
+	}
+	return asg.Assign(g, sys)
+}
+
+// batch generates the run's task graphs: random by default, one structured
+// shape per seed split when Structured is set, or the Custom generator.
+// Graph i depends only on (configuration, seed, i) — the per-index child
+// streams are split off serially (Split advances the parent source), after
+// which generation is order-independent and runs in parallel.
 func (cfg Config) batch() ([]*taskgraph.Graph, error) {
+	var (
+		gen    func(src *rng.Source) (*taskgraph.Graph, error)
+		prefix string
+	)
+	switch {
+	case cfg.Custom != nil:
+		gen, prefix = cfg.Custom, "custom graph"
+	case cfg.Structured != nil:
+		sc := *cfg.Structured
+		sc.Workload = cfg.Workload
+		gen = func(src *rng.Source) (*taskgraph.Graph, error) { return generator.Structured(sc, src) }
+		prefix = "structured graph"
+	default:
+		gen = func(src *rng.Source) (*taskgraph.Graph, error) { return generator.Random(cfg.Workload, src) }
+		prefix = "graph"
+	}
+
 	src := rng.New(cfg.Seed)
-	if cfg.Custom != nil {
-		graphs := make([]*taskgraph.Graph, cfg.Graphs)
+	srcs := make([]*rng.Source, cfg.Graphs)
+	for i := range srcs {
+		srcs[i] = src.Split(uint64(i))
+	}
+	graphs := make([]*taskgraph.Graph, cfg.Graphs)
+
+	workers := runtime.GOMAXPROCS(0)
+	if cfg.Workers > 0 {
+		workers = cfg.Workers
+	}
+	if workers > cfg.Graphs {
+		workers = cfg.Graphs
+	}
+	if workers <= 1 {
 		for i := range graphs {
-			g, err := cfg.Custom(src.Split(uint64(i)))
+			g, err := gen(srcs[i])
 			if err != nil {
-				return nil, fmt.Errorf("custom graph %d: %w", i, err)
+				return nil, fmt.Errorf("%s %d: %w", prefix, i, err)
 			}
 			graphs[i] = g
 		}
 		return graphs, nil
 	}
-	if cfg.Structured == nil {
-		return generator.Batch(cfg.Workload, src, cfg.Graphs)
+
+	// Parallel fill; per-index error slots keep reporting deterministic
+	// (the lowest failing index wins, as in the serial loop).
+	genErrs := make([]error, cfg.Graphs)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for i := wk; i < cfg.Graphs; i += workers {
+				g, err := gen(srcs[i])
+				if err != nil {
+					genErrs[i] = err
+					return
+				}
+				graphs[i] = g
+			}
+		}(wk)
 	}
-	sc := *cfg.Structured
-	sc.Workload = cfg.Workload
-	graphs := make([]*taskgraph.Graph, cfg.Graphs)
-	for i := range graphs {
-		g, err := generator.Structured(sc, src.Split(uint64(i)))
+	wg.Wait()
+	for i, err := range genErrs {
 		if err != nil {
-			return nil, fmt.Errorf("structured graph %d: %w", i, err)
+			return nil, fmt.Errorf("%s %d: %w", prefix, i, err)
 		}
-		graphs[i] = g
 	}
 	return graphs, nil
 }
@@ -602,13 +783,16 @@ func (cfg Config) batch() ([]*taskgraph.Graph, error) {
 // equalFP reports whether two known fingerprints are elementwise equal.
 // nil and empty are interchangeable (both mean "no platform dependence");
 // "unknown" is expressed by the ok=false return of Fingerprint, not by a
-// sentinel value, so equality here is plain and symmetric.
+// sentinel value, so equality here is plain and symmetric. NaN elements
+// compare equal to each other (bit-style equality): a NaN-bearing
+// fingerprint that reproduces identically at every size must hit the cache,
+// not miss it at each sweep step.
 func equalFP(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i] != b[i] && !(math.IsNaN(a[i]) && math.IsNaN(b[i])) {
 			return false
 		}
 	}

@@ -1,0 +1,243 @@
+package experiment
+
+import (
+	"encoding/binary"
+	"math"
+	"runtime"
+	"sync"
+
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/generator"
+	"deadlinedist/internal/metrics"
+	"deadlinedist/internal/platform"
+	"deadlinedist/internal/scheduler"
+	"deadlinedist/internal/taskgraph"
+)
+
+// Orchestrator shares work across all the tables of one invocation: a
+// bounded worker pool fed by every Config.Run whose Orchestrator field
+// points at it, a content-addressed batch cache, and a cross-table
+// assignment cache. See DESIGN.md §8 for the design and invalidation rules.
+//
+// Pool: runs submit one job per graph; jobs from different tables interleave
+// freely, so a later figure's graphs start while an earlier figure's
+// stragglers finish. Each run aggregates its own results by (graph, size)
+// index, so tables are bit-for-bit independent of worker count and
+// interleaving.
+//
+// Batch cache: keyed by generator.BatchID (generator config, seed, count) —
+// the content address of a deterministic batch. Tables sharing a workload
+// reuse one generated batch; the shared graphs are never mutated by the
+// pipeline (transformers copy). Custom generator functions have no content
+// identity and bypass the cache.
+//
+// Assignment cache: keyed by (graph pointer, assigner label, fingerprint
+// bits). It extends the per-runGraph fingerprint cache across tables, under
+// the same contract: equal fingerprints mean identical assignments for a
+// given strategy. Graph pointer identity is sound because cached graphs come
+// from the batch cache, so tables sharing a workload share the very same
+// graph values. Entries are only written for known fingerprints and for
+// assigners without a GraphTransformer (transformed graphs are per-size).
+// Entries are never invalidated — all inputs of an entry are immutable for
+// the orchestrator's lifetime.
+//
+// An Orchestrator is safe for concurrent use by any number of runs.
+type Orchestrator struct {
+	jobs chan poolJob
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	batches map[generator.BatchID]*batchEntry
+	assigns map[assignKey]*assignEntry
+}
+
+// maxAssignEntries bounds the assignment cache; beyond it, results are
+// computed without being published (correctness is unaffected — a miss
+// recomputes a bit-identical result).
+const maxAssignEntries = 1 << 16
+
+// poolJob is one unit of pool work: a graph pipeline plus the recorder of
+// the run that submitted it (for occupancy accounting).
+type poolJob struct {
+	rec *metrics.Recorder
+	fn  func(w *poolWorker)
+}
+
+// poolWorker is the per-goroutine scratch state of an engine worker: the
+// scheduler scratch (with schedule recycling on — the engine measures each
+// schedule before requesting the next from the same worker), the pooled
+// distributor working set, and a spare Result available for recycling by
+// assigners that support it.
+type poolWorker struct {
+	scratch *scheduler.Scratch
+	dist    *core.Scratch
+	spare   *core.Result
+}
+
+func newPoolWorker() *poolWorker {
+	sc := scheduler.NewScratch()
+	sc.ReuseSchedules(true)
+	return &poolWorker{scratch: sc, dist: core.NewScratch()}
+}
+
+// batchEntry is one singleflight batch-cache slot: the first claimant
+// generates, everyone else blocks on ready.
+type batchEntry struct {
+	ready  chan struct{}
+	graphs []*taskgraph.Graph
+	err    error
+}
+
+// assignKey addresses one cached assignment.
+type assignKey struct {
+	g     *taskgraph.Graph
+	label string
+	// fp is the fingerprint encoded as float bits (NaN-normalized), so the
+	// key equality matches equalFP.
+	fp string
+}
+
+// assignEntry is one singleflight assignment-cache slot.
+type assignEntry struct {
+	ready chan struct{}
+	res   *core.Result
+	err   error
+}
+
+// NewOrchestrator starts a shared pool of the given size (GOMAXPROCS when
+// workers <= 0). Callers must Close it exactly once, after every run using
+// it has returned.
+func NewOrchestrator(workers int) *Orchestrator {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	o := &Orchestrator{
+		jobs:    make(chan poolJob),
+		batches: make(map[generator.BatchID]*batchEntry),
+		assigns: make(map[assignKey]*assignEntry),
+	}
+	for i := 0; i < workers; i++ {
+		o.wg.Add(1)
+		go o.worker()
+	}
+	return o
+}
+
+// Close shuts the pool down and waits for the workers to exit. No run may
+// be active or submitted afterwards.
+func (o *Orchestrator) Close() {
+	close(o.jobs)
+	o.wg.Wait()
+}
+
+func (o *Orchestrator) worker() {
+	defer o.wg.Done()
+	w := newPoolWorker()
+	for j := range o.jobs {
+		j.rec.PoolJobStart()
+		j.fn(w)
+		j.rec.PoolJobEnd()
+	}
+}
+
+// submit enqueues a job, or gives up when cancel is closed first (the
+// submitting run failed and is draining). Returns whether the job was
+// enqueued.
+func (o *Orchestrator) submit(j poolJob, cancel <-chan struct{}) bool {
+	select {
+	case o.jobs <- j:
+		return true
+	case <-cancel:
+		return false
+	}
+}
+
+// batch returns the cached batch for key, generating it via gen exactly once
+// per key (including failed generations — the error is deterministic).
+func (o *Orchestrator) batch(key generator.BatchID, rec *metrics.Recorder,
+	gen func() ([]*taskgraph.Graph, error)) ([]*taskgraph.Graph, error) {
+
+	o.mu.Lock()
+	if e, ok := o.batches[key]; ok {
+		o.mu.Unlock()
+		rec.BatchHit()
+		<-e.ready
+		return e.graphs, e.err
+	}
+	e := &batchEntry{ready: make(chan struct{})}
+	o.batches[key] = e
+	o.mu.Unlock()
+	rec.BatchMiss()
+	e.graphs, e.err = gen()
+	close(e.ready)
+	return e.graphs, e.err
+}
+
+// assignment resolves one (graph, assigner, fingerprint) assignment through
+// the cross-table cache: a hit returns the shared Result; a miss computes it
+// (recording assign-stage time and search counters on rec) and publishes it
+// unless the cache is full. The second return reports whether the Result is
+// shared cache storage — shared results must not be recycled by the caller.
+func (o *Orchestrator) assignment(gg *taskgraph.Graph, sys *platform.System,
+	asg Assigner, label string, fp []float64, rec *metrics.Recorder,
+	w *poolWorker) (*core.Result, bool, error) {
+
+	key := assignKey{g: gg, label: label, fp: fpBits(fp)}
+	o.mu.Lock()
+	if e, ok := o.assigns[key]; ok {
+		o.mu.Unlock()
+		rec.CrossHit()
+		<-e.ready
+		return e.res, true, e.err
+	}
+	var e *assignEntry
+	if len(o.assigns) < maxAssignEntries {
+		e = &assignEntry{ready: make(chan struct{})}
+		o.assigns[key] = e
+	}
+	o.mu.Unlock()
+	rec.CrossMiss()
+	t0 := rec.Start()
+	// Compute with the worker's pooled scratch but never its spare Result:
+	// a published Result is shared cache storage and must own fresh slices.
+	var (
+		res *core.Result
+		err error
+	)
+	if r, ok := asg.(resultRecycler); ok {
+		res, err = r.AssignInto(gg, sys, nil, w.dist)
+	} else {
+		res, err = asg.Assign(gg, sys)
+	}
+	rec.Done(metrics.StageAssign, t0)
+	if err == nil {
+		st := res.Search
+		rec.AddSearch(st.Iterations, st.StartsExamined, st.DPRuns, st.CacheReuses)
+	}
+	if e == nil {
+		return res, false, err
+	}
+	e.res, e.err = res, err
+	close(e.ready)
+	return res, true, err
+}
+
+// fpBits encodes a fingerprint as its float bit pattern, collapsing every
+// NaN payload onto one canonical NaN so key equality matches equalFP (which
+// treats any two NaNs as equal). nil and empty both encode to "" — the
+// platform-independent sentinel.
+func fpBits(fp []float64) string {
+	if len(fp) == 0 {
+		return ""
+	}
+	buf := make([]byte, 8*len(fp))
+	canonNaN := math.Float64bits(math.NaN())
+	for i, v := range fp {
+		bits := math.Float64bits(v)
+		if math.IsNaN(v) {
+			bits = canonNaN
+		}
+		binary.LittleEndian.PutUint64(buf[i*8:], bits)
+	}
+	return string(buf)
+}

@@ -1,0 +1,44 @@
+package generator
+
+// BatchKind discriminates the generator family behind a BatchID.
+type BatchKind uint8
+
+const (
+	// BatchRandom identifies batches produced by Random from a Config.
+	BatchRandom BatchKind = iota + 1
+	// BatchStructured identifies batches produced by Structured from a
+	// StructuredConfig.
+	BatchStructured
+)
+
+// BatchID is a comparable content address for a generated batch: generation
+// is fully deterministic in (configuration, seed, per-graph split index), so
+// two equal BatchIDs always denote identical batches. Batch caches key on
+// the value directly — Config and StructuredConfig hold only scalar fields,
+// which keeps BatchID usable as a map key. Custom generator functions have
+// no content identity and therefore no BatchID.
+type BatchID struct {
+	Kind  BatchKind
+	Seed  uint64
+	Count int
+	// Config is the workload configuration of a BatchRandom batch (zero
+	// for structured batches, whose workload lives in Structured.Workload).
+	Config Config
+	// Structured is the full configuration of a BatchStructured batch.
+	Structured StructuredConfig
+}
+
+// Compile-time check that BatchID stays comparable (usable as a map key).
+var _ = map[BatchID]bool{}
+
+// RandomBatchID identifies the batch Batch(cfg, rng.New(seed), count)
+// generates.
+func RandomBatchID(cfg Config, seed uint64, count int) BatchID {
+	return BatchID{Kind: BatchRandom, Seed: seed, Count: count, Config: cfg}
+}
+
+// StructuredBatchID identifies a batch of count Structured(cfg, ·) graphs
+// generated from per-index splits of rng.New(seed).
+func StructuredBatchID(cfg StructuredConfig, seed uint64, count int) BatchID {
+	return BatchID{Kind: BatchStructured, Seed: seed, Count: count, Structured: cfg}
+}

@@ -83,6 +83,17 @@ type Recorder struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 
+	// Cross-sweep orchestration traffic: the content-addressed batch cache
+	// and the cross-table assignment cache (see
+	// internal/experiment.Orchestrator), plus shared-pool occupancy.
+	batchHits   atomic.Int64
+	batchMisses atomic.Int64
+	crossHits   atomic.Int64
+	crossMisses atomic.Int64
+	poolJobs    atomic.Int64
+	poolBusy    atomic.Int64
+	poolPeak    atomic.Int64
+
 	// Critical-path search counters, accumulated from the distribution
 	// core's per-run SearchStats.
 	searchIterations atomic.Int64
@@ -105,6 +116,25 @@ func (r *Recorder) Observe(s Stage, d time.Duration) {
 	sr.buckets[bucketIndex(d)].Add(1)
 }
 
+// Start returns the current time, or the zero time on a nil receiver so
+// that instrumented hot paths skip the clock read entirely when metrics are
+// off. Pair with Done.
+func (r *Recorder) Start() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Done records the wall time elapsed since a Start on the same recorder.
+// A no-op (without a clock read) on a nil receiver.
+func (r *Recorder) Done(s Stage, t0 time.Time) {
+	if r == nil {
+		return
+	}
+	r.Observe(s, time.Since(t0))
+}
+
 // CacheHit records a fingerprint-cache hit (a distribution reused across
 // the size sweep).
 func (r *Recorder) CacheHit() {
@@ -117,6 +147,61 @@ func (r *Recorder) CacheHit() {
 func (r *Recorder) CacheMiss() {
 	if r != nil {
 		r.cacheMisses.Add(1)
+	}
+}
+
+// BatchHit records a batch-cache hit (a workload batch reused across
+// tables instead of regenerated).
+func (r *Recorder) BatchHit() {
+	if r != nil {
+		r.batchHits.Add(1)
+	}
+}
+
+// BatchMiss records a batch-cache miss (a batch generated from scratch).
+func (r *Recorder) BatchMiss() {
+	if r != nil {
+		r.batchMisses.Add(1)
+	}
+}
+
+// CrossHit records a cross-table assignment-cache hit (a distribution
+// reused across tables of a sweep set).
+func (r *Recorder) CrossHit() {
+	if r != nil {
+		r.crossHits.Add(1)
+	}
+}
+
+// CrossMiss records a cross-table assignment-cache miss (a distribution
+// computed and, when cacheable, published for later tables).
+func (r *Recorder) CrossMiss() {
+	if r != nil {
+		r.crossMisses.Add(1)
+	}
+}
+
+// PoolJobStart records a shared-pool worker picking up a job: it bumps the
+// job count and the busy gauge, tracking the peak occupancy. Pair with
+// PoolJobEnd.
+func (r *Recorder) PoolJobStart() {
+	if r == nil {
+		return
+	}
+	r.poolJobs.Add(1)
+	busy := r.poolBusy.Add(1)
+	for {
+		peak := r.poolPeak.Load()
+		if busy <= peak || r.poolPeak.CompareAndSwap(peak, busy) {
+			return
+		}
+	}
+}
+
+// PoolJobEnd records a shared-pool worker finishing a job.
+func (r *Recorder) PoolJobEnd() {
+	if r != nil {
+		r.poolBusy.Add(-1)
 	}
 }
 
@@ -186,6 +271,12 @@ type Snapshot struct {
 	Stages      []StageStats   `json:"stages"`
 	CacheHits   int64          `json:"cacheHits"`
 	CacheMisses int64          `json:"cacheMisses"`
+	BatchHits   int64          `json:"batchHits,omitempty"`
+	BatchMisses int64          `json:"batchMisses,omitempty"`
+	CrossHits   int64          `json:"crossHits,omitempty"`
+	CrossMisses int64          `json:"crossMisses,omitempty"`
+	PoolJobs    int64          `json:"poolJobs,omitempty"`
+	PoolPeak    int64          `json:"poolPeak,omitempty"`
 	Search      SearchCounters `json:"search"`
 }
 
@@ -219,6 +310,12 @@ func (r *Recorder) Snapshot() Snapshot {
 	}
 	snap.CacheHits = r.cacheHits.Load()
 	snap.CacheMisses = r.cacheMisses.Load()
+	snap.BatchHits = r.batchHits.Load()
+	snap.BatchMisses = r.batchMisses.Load()
+	snap.CrossHits = r.crossHits.Load()
+	snap.CrossMisses = r.crossMisses.Load()
+	snap.PoolJobs = r.poolJobs.Load()
+	snap.PoolPeak = r.poolPeak.Load()
 	snap.Search = SearchCounters{
 		Iterations:     r.searchIterations.Load(),
 		StartsExamined: r.searchStarts.Load(),
@@ -230,11 +327,25 @@ func (r *Recorder) Snapshot() Snapshot {
 
 // CacheHitRate returns hits/(hits+misses), or 0 without cache traffic.
 func (s Snapshot) CacheHitRate() float64 {
-	total := s.CacheHits + s.CacheMisses
-	if total == 0 {
+	return rate(s.CacheHits, s.CacheMisses)
+}
+
+// BatchHitRate returns the batch-cache hit rate, or 0 without traffic.
+func (s Snapshot) BatchHitRate() float64 {
+	return rate(s.BatchHits, s.BatchMisses)
+}
+
+// CrossHitRate returns the cross-table assignment-cache hit rate, or 0
+// without traffic.
+func (s Snapshot) CrossHitRate() float64 {
+	return rate(s.CrossHits, s.CrossMisses)
+}
+
+func rate(hits, misses int64) float64 {
+	if hits+misses == 0 {
 		return 0
 	}
-	return float64(s.CacheHits) / float64(total)
+	return float64(hits) / float64(hits+misses)
 }
 
 // String renders the snapshot as the -stats table: one line per active
@@ -251,6 +362,17 @@ func (s Snapshot) String() string {
 	}
 	fmt.Fprintf(&b, "fingerprint cache: %d hits, %d misses (%.1f%% hit rate)",
 		s.CacheHits, s.CacheMisses, 100*s.CacheHitRate())
+	if s.BatchHits+s.BatchMisses > 0 {
+		fmt.Fprintf(&b, "\nbatch cache: %d hits, %d misses (%.1f%% hit rate)",
+			s.BatchHits, s.BatchMisses, 100*s.BatchHitRate())
+	}
+	if s.CrossHits+s.CrossMisses > 0 {
+		fmt.Fprintf(&b, "\ncross-table cache: %d hits, %d misses (%.1f%% hit rate)",
+			s.CrossHits, s.CrossMisses, 100*s.CrossHitRate())
+	}
+	if s.PoolJobs > 0 {
+		fmt.Fprintf(&b, "\nshared pool: %d jobs, peak occupancy %d", s.PoolJobs, s.PoolPeak)
+	}
 	if sc := s.Search; sc.StartsExamined > 0 {
 		fmt.Fprintf(&b, "\ncritical-path search: %d iterations, %d starts, %d DP runs, %d memo reuses (%.1f%% reuse)",
 			sc.Iterations, sc.StartsExamined, sc.DPRuns, sc.CacheReuses, 100*sc.ReuseRate())
@@ -270,6 +392,13 @@ type Bench struct {
 	CacheHits    int64          `json:"cacheHits"`
 	CacheMisses  int64          `json:"cacheMisses"`
 	CacheHitRate float64        `json:"cacheHitRate"`
+	BatchHits    int64          `json:"batchHits,omitempty"`
+	BatchMisses  int64          `json:"batchMisses,omitempty"`
+	CrossHits    int64          `json:"crossHits,omitempty"`
+	CrossMisses  int64          `json:"crossMisses,omitempty"`
+	CrossHitRate float64        `json:"crossHitRate,omitempty"`
+	PoolJobs     int64          `json:"poolJobs,omitempty"`
+	PoolPeak     int64          `json:"poolPeak,omitempty"`
 	Search       SearchCounters `json:"search"`
 	Stages       []StageStats   `json:"stages"`
 }
@@ -282,6 +411,13 @@ func NewBench(name string, snap Snapshot, wall time.Duration) Bench {
 		CacheHits:    snap.CacheHits,
 		CacheMisses:  snap.CacheMisses,
 		CacheHitRate: snap.CacheHitRate(),
+		BatchHits:    snap.BatchHits,
+		BatchMisses:  snap.BatchMisses,
+		CrossHits:    snap.CrossHits,
+		CrossMisses:  snap.CrossMisses,
+		CrossHitRate: snap.CrossHitRate(),
+		PoolJobs:     snap.PoolJobs,
+		PoolPeak:     snap.PoolPeak,
 		Search:       snap.Search,
 		Stages:       snap.Stages,
 	}

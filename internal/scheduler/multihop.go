@@ -59,16 +59,24 @@ func (sc *Scratch) RunMultihop(g *taskgraph.Graph, sys *platform.System, net *ch
 	if err := priorityKeysInto(sc.keys, g, res, cfg.Policy); err != nil {
 		return nil, err
 	}
+	sc.buildMsgOrder(g, res)
 
-	s := &Schedule{
-		Start:  make([]float64, n),
-		Finish: make([]float64, n),
-		Proc:   make([]int, n),
+	var s *Schedule
+	var out *MultihopSchedule
+	if sc.reuse {
+		if sc.multihop == nil {
+			sc.multihop = &MultihopSchedule{Hops: make(map[taskgraph.NodeID][]Hop)}
+		}
+		out = sc.multihop
+		clear(out.Hops)
+	} else {
+		out = &MultihopSchedule{Hops: make(map[taskgraph.NodeID][]Hop)}
 	}
+	s = sc.schedule(&sc.mhSched, n)
 	for i := range s.Proc {
 		s.Proc[i] = -1
 	}
-	out := &MultihopSchedule{Schedule: s, Hops: make(map[taskgraph.NodeID][]Hop)}
+	out.Schedule = s
 
 	sc.procFree = resize(sc.procFree, sys.NumProcs())
 	clear(sc.procFree)
@@ -117,7 +125,7 @@ func (sc *Scratch) RunMultihop(g *taskgraph.Graph, sys *platform.System, net *ch
 				start = res.Release[v]
 			}
 			copy(scratch, linkFree)
-			plan, err := reserveInbound(g, net, res, s, v, p, scratch)
+			plan, err := sc.reserveInbound(g, net, s, v, p, scratch, false)
 			if err != nil {
 				return nil, err
 			}
@@ -137,7 +145,7 @@ func (sc *Scratch) RunMultihop(g *taskgraph.Graph, sys *platform.System, net *ch
 		}
 
 		// Commit the winning processor's reservations.
-		plan, err := reserveInbound(g, net, res, s, v, bestProc, linkFree)
+		plan, err := sc.reserveInbound(g, net, s, v, bestProc, linkFree, true)
 		if err != nil {
 			return nil, err
 		}
@@ -181,21 +189,18 @@ type msgPlan struct {
 }
 
 // reserveInbound reserves link time for every message feeding v on
-// processor p, in increasing message-deadline order, mutating linkFree.
-// Co-located messages get empty hop lists.
-func reserveInbound(g *taskgraph.Graph, net *channel.Network, res *core.Result,
-	s *Schedule, v taskgraph.NodeID, p int, linkFree []float64) ([]msgPlan, error) {
+// processor p, walking the presorted message-deadline order and mutating
+// linkFree. Co-located messages get empty hop lists. The returned plans live
+// in the Scratch's buffer, valid until the next call; tentative evaluations
+// (commit=false) also draw their hop lists from a reused arena, while
+// committed plans allocate hops that outlive the call (they are published in
+// MultihopSchedule.Hops).
+func (sc *Scratch) reserveInbound(g *taskgraph.Graph, net *channel.Network,
+	s *Schedule, v taskgraph.NodeID, p int, linkFree []float64, commit bool) ([]msgPlan, error) {
 
-	msgs := append([]taskgraph.NodeID(nil), g.Pred(v)...)
-	sort.Slice(msgs, func(i, j int) bool {
-		di, dj := res.Absolute[msgs[i]], res.Absolute[msgs[j]]
-		if di != dj {
-			return di < dj
-		}
-		return msgs[i] < msgs[j]
-	})
-	plans := make([]msgPlan, 0, len(msgs))
-	for _, m := range msgs {
+	plans := sc.mhPlanBuf[:0]
+	hopArena := sc.hopBuf[:0]
+	for _, m := range sc.msgOrder[v] {
 		u := g.Pred(m)[0]
 		if s.Proc[u] == p {
 			plans = append(plans, msgPlan{msg: m})
@@ -203,10 +208,26 @@ func reserveInbound(g *taskgraph.Graph, net *channel.Network, res *core.Result,
 		}
 		route, err := net.Route(s.Proc[u], p)
 		if err != nil {
+			sc.mhPlanBuf = plans
 			return nil, err
 		}
 		t := s.Finish[u]
-		hops := make([]Hop, 0, len(route))
+		var hops []Hop
+		if commit {
+			hops = make([]Hop, 0, len(route))
+		} else {
+			// Carve this message's region out of the arena with a capped
+			// capacity, so its appends can never spill into a later
+			// message's region. (On arena growth, earlier regions keep
+			// referencing the retired backing array, which stays intact.)
+			need := len(hopArena) + len(route)
+			if cap(hopArena) < need {
+				hopArena = append(hopArena, make([]Hop, len(route))...)
+			} else {
+				hopArena = hopArena[:need]
+			}
+			hops = hopArena[need-len(route) : need-len(route) : need]
+		}
 		for _, l := range route {
 			start := math.Max(t, linkFree[l])
 			end := start + net.Link(l).PerItem*g.Node(m).Size
@@ -216,6 +237,8 @@ func reserveInbound(g *taskgraph.Graph, net *channel.Network, res *core.Result,
 		}
 		plans = append(plans, msgPlan{msg: m, hops: hops})
 	}
+	sc.mhPlanBuf = plans
+	sc.hopBuf = hopArena
 	return plans, nil
 }
 

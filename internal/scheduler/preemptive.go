@@ -47,11 +47,8 @@ func (sc *Scratch) RunPreemptive(g *taskgraph.Graph, sys *platform.System, res *
 	}
 
 	n := g.NumNodes()
-	out := &Schedule{
-		Start:  make([]float64, n),
-		Finish: make([]float64, n),
-		Proc:   base.Proc,
-	}
+	out := sc.schedule(&sc.preSched, n)
+	out.Proc = base.Proc
 	for i := range out.Start {
 		out.Start[i] = -1
 	}

@@ -15,7 +15,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"deadlinedist/internal/core"
 	"deadlinedist/internal/platform"
@@ -84,12 +83,11 @@ func (sc *Scratch) Run(g *taskgraph.Graph, sys *platform.System, res *core.Resul
 	if err := priorityKeysInto(sc.keys, g, res, cfg.Policy); err != nil {
 		return nil, err
 	}
-
-	s := &Schedule{
-		Start:  make([]float64, n),
-		Finish: make([]float64, n),
-		Proc:   make([]int, n),
+	if sys.BusContention() {
+		sc.buildMsgOrder(g, res)
 	}
+
+	s := sc.schedule(&sc.sched, n)
 	for i := range s.Proc {
 		s.Proc[i] = -1
 	}
@@ -145,7 +143,7 @@ func (sc *Scratch) Run(g *taskgraph.Graph, sys *platform.System, res *core.Resul
 		}
 		bestProc, bestStart, bestFinish := -1, math.Inf(1), math.Inf(1)
 		for p := lo; p < hi; p++ {
-			start := st(g, sys, res, s, cfg, v, p, procFree[p], busFree)
+			start := sc.st(g, sys, res, s, cfg, v, p, procFree[p], busFree)
 			finish := start + sys.ExecTime(g.Node(v).Cost, p)
 			// Earliest finish breaks start-time ties on heterogeneous
 			// platforms; on homogeneous ones it equals earliest start.
@@ -156,7 +154,7 @@ func (sc *Scratch) Run(g *taskgraph.Graph, sys *platform.System, res *core.Resul
 
 		// Commit: reserve the bus for incoming cross-processor messages
 		// (deadline order) and record message transfer intervals.
-		busFree = commitMessages(g, sys, res, s, v, bestProc, busFree)
+		busFree = sc.commitMessages(g, sys, s, v, bestProc, busFree)
 
 		s.Proc[v] = bestProc
 		s.Start[v] = bestStart
@@ -182,7 +180,7 @@ func (sc *Scratch) Run(g *taskgraph.Graph, sys *platform.System, res *core.Resul
 
 // st computes the earliest start time of subtask v on processor p given the
 // current partial schedule, without committing bus reservations.
-func st(g *taskgraph.Graph, sys *platform.System, res *core.Result, s *Schedule,
+func (sc *Scratch) st(g *taskgraph.Graph, sys *platform.System, res *core.Result, s *Schedule,
 	cfg Config, v taskgraph.NodeID, p int, procFree, busFree float64) float64 {
 
 	start := procFree
@@ -201,7 +199,7 @@ func st(g *taskgraph.Graph, sys *platform.System, res *core.Result, s *Schedule,
 	}
 	// Contended bus: tentatively serialize this subtask's cross-processor
 	// messages in deadline order after busFree.
-	for _, iv := range busPlan(g, sys, res, s, v, p, busFree) {
+	for _, iv := range sc.busPlan(g, sys, s, v, p, busFree) {
 		if iv.finish > start {
 			start = iv.finish
 		}
@@ -225,43 +223,36 @@ type busInterval struct {
 
 // busPlan serializes the cross-processor messages feeding v (placed on p)
 // on the shared bus, in increasing message-deadline order, starting no
-// earlier than busFree and each message's producer finish.
-func busPlan(g *taskgraph.Graph, sys *platform.System, res *core.Result, s *Schedule,
+// earlier than busFree and each message's producer finish. It walks the
+// presorted msgOrder (co-located messages skipped inline — the cross-
+// processor subsequence keeps its deadline order) and fills the Scratch's
+// plan buffer, valid until the next busPlan call.
+func (sc *Scratch) busPlan(g *taskgraph.Graph, sys *platform.System, s *Schedule,
 	v taskgraph.NodeID, p int, busFree float64) []busInterval {
 
-	var msgs []taskgraph.NodeID
-	for _, m := range g.Pred(v) {
-		u := g.Pred(m)[0]
-		if s.Proc[u] != p {
-			msgs = append(msgs, m)
-		}
-	}
-	sort.Slice(msgs, func(i, j int) bool {
-		di, dj := res.Absolute[msgs[i]], res.Absolute[msgs[j]]
-		if di != dj {
-			return di < dj
-		}
-		return msgs[i] < msgs[j]
-	})
-	plan := make([]busInterval, 0, len(msgs))
+	plan := sc.planBuf[:0]
 	t := busFree
-	for _, m := range msgs {
+	for _, m := range sc.msgOrder[v] {
 		u := g.Pred(m)[0]
+		if s.Proc[u] == p {
+			continue
+		}
 		start := math.Max(t, s.Finish[u])
 		finish := start + sys.CommCost(s.Proc[u], p, g.Node(m).Size)
 		plan = append(plan, busInterval{msg: m, start: start, finish: finish})
 		t = finish
 	}
+	sc.planBuf = plan
 	return plan
 }
 
 // commitMessages records transfer intervals for all messages feeding v and
 // returns the updated bus-free time.
-func commitMessages(g *taskgraph.Graph, sys *platform.System, res *core.Result, s *Schedule,
+func (sc *Scratch) commitMessages(g *taskgraph.Graph, sys *platform.System, s *Schedule,
 	v taskgraph.NodeID, p int, busFree float64) float64 {
 
 	if sys.BusContention() {
-		plan := busPlan(g, sys, res, s, v, p, busFree)
+		plan := sc.busPlan(g, sys, s, v, p, busFree)
 		for _, iv := range plan {
 			s.Start[iv.msg] = iv.start
 			s.Finish[iv.msg] = iv.finish

@@ -1,6 +1,11 @@
 package scheduler
 
-import "deadlinedist/internal/taskgraph"
+import (
+	"sort"
+
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/taskgraph"
+)
 
 // Scratch holds the reusable working buffers of the list scheduler. Batch
 // drivers (the experiment engine schedules graphs × assigners × sizes runs
@@ -25,10 +30,107 @@ type Scratch struct {
 	// Multihop buffers (RunMultihop).
 	linkFree []float64
 	linkTmp  []float64
+
+	// Inbound-message dispatch order (contended-bus Run and RunMultihop):
+	// msgOrder[v] lists subtask v's predecessor messages sorted by (absolute
+	// deadline, NodeID). The distribution is fixed for a whole run, so the
+	// order is built once per run instead of re-sorted for every candidate
+	// processor of every dispatch step. planBuf, mhPlanBuf and hopBuf are the
+	// per-call reservation buffers those paths fill.
+	msgOrder  [][]taskgraph.NodeID
+	msgFlat   []taskgraph.NodeID
+	planBuf   []busInterval
+	mhPlanBuf []msgPlan
+	hopBuf    []Hop
+
+	// Schedule recycling (ReuseSchedules). One slot per entry point; the
+	// preemptive slot is separate because RunPreemptive calls Run first
+	// and returns a second Schedule layered over the base placement.
+	reuse    bool
+	sched    *Schedule
+	preSched *Schedule
+	mhSched  *Schedule
+	multihop *MultihopSchedule
 }
 
 // NewScratch returns an empty Scratch; buffers grow on first use.
 func NewScratch() *Scratch { return &Scratch{} }
+
+// ReuseSchedules toggles schedule recycling: when on, Run / RunPreemptive /
+// RunMultihop return the same Schedule (and MultihopSchedule) storage on
+// every call instead of allocating fresh ones, and the returned schedule is
+// only valid until the Scratch's next scheduling call. Batch drivers that
+// consume each schedule before requesting the next one (measure, then
+// discard) enable this to make the scheduling stage allocation-free in
+// steady state. Off by default, preserving the share-nothing contract.
+func (sc *Scratch) ReuseSchedules(on bool) { sc.reuse = on }
+
+// schedule returns the Schedule to fill for an n-node run: the recycled
+// slot (reset to the fresh-allocation state) when reuse is on, a fresh
+// Schedule otherwise.
+func (sc *Scratch) schedule(slot **Schedule, n int) *Schedule {
+	if !sc.reuse {
+		return &Schedule{
+			Start:  make([]float64, n),
+			Finish: make([]float64, n),
+			Proc:   make([]int, n),
+		}
+	}
+	if *slot == nil {
+		*slot = &Schedule{}
+	}
+	s := *slot
+	s.Start = resize(s.Start, n)
+	s.Finish = resize(s.Finish, n)
+	s.Proc = resize(s.Proc, n)
+	clear(s.Start)
+	clear(s.Finish)
+	s.Makespan = 0
+	s.Order = s.Order[:0]
+	s.Segments = s.Segments[:0]
+	return s
+}
+
+// buildMsgOrder fills msgOrder with every subtask's predecessor messages in
+// increasing (absolute deadline, NodeID) order — the dispatch order of both
+// the contended bus and the multihop links. Deadlines are fixed for the whole
+// run, so sorting here once replaces a sort per candidate processor per step.
+func (sc *Scratch) buildMsgOrder(g *taskgraph.Graph, res *core.Result) {
+	n := g.NumNodes()
+	sc.msgOrder = resize(sc.msgOrder, n)
+	total := 0
+	for id := 0; id < n; id++ {
+		if g.Node(taskgraph.NodeID(id)).Kind == taskgraph.KindSubtask {
+			total += len(g.Pred(taskgraph.NodeID(id)))
+		}
+	}
+	// One flat backing sized up front: segments must not be relocated by
+	// later appends, since msgOrder aliases into it.
+	sc.msgFlat = resize(sc.msgFlat, total)
+	pos := 0
+	for id := 0; id < n; id++ {
+		nid := taskgraph.NodeID(id)
+		sc.msgOrder[nid] = nil
+		if g.Node(nid).Kind != taskgraph.KindSubtask {
+			continue
+		}
+		preds := g.Pred(nid)
+		if len(preds) == 0 {
+			continue
+		}
+		seg := sc.msgFlat[pos : pos+len(preds)]
+		pos += len(preds)
+		copy(seg, preds)
+		sort.Slice(seg, func(i, j int) bool {
+			di, dj := res.Absolute[seg[i]], res.Absolute[seg[j]]
+			if di != dj {
+				return di < dj
+			}
+			return seg[i] < seg[j]
+		})
+		sc.msgOrder[nid] = seg
+	}
+}
 
 // readyEvent is a pending "subtask v becomes ready at time t" event of the
 // preemptive simulation.

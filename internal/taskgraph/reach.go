@@ -1,7 +1,5 @@
 package taskgraph
 
-import "slices"
-
 // Reach answers repeated reachability queries over one graph without
 // allocating per query. It is the pruning primitive of the deadline
 // distributor's critical-path search: each per-start DP only needs the
@@ -20,16 +18,27 @@ type Reach struct {
 
 // NewReach returns a reusable reachability scratch for g.
 func NewReach(g *Graph) *Reach {
+	r := &Reach{}
+	r.Reset(g)
+	return r
+}
+
+// Reset rebinds the scratch to g, reusing its buffers. Pending marks stay
+// valid to skip: From bumps the generation before marking, so entries left
+// by earlier graphs can never match.
+func (r *Reach) Reset(g *Graph) {
 	n := g.NumNodes()
-	r := &Reach{
-		g:     g,
-		index: make([]int, n),
-		mark:  make([]uint64, n),
+	r.g = g
+	if cap(r.index) < n {
+		r.index = make([]int, n)
+		r.mark = make([]uint64, n)
+	} else {
+		r.index = r.index[:n]
+		r.mark = r.mark[:n]
 	}
 	for i, id := range g.TopoOrder() {
 		r.index[id] = i
 	}
-	return r
 }
 
 // TopoIndex returns the topological position of id (the index of id in
@@ -42,21 +51,31 @@ func (r *Reach) TopoIndex(id NodeID) int { return r.index[id] }
 // reused by the next call and must not be retained.
 func (r *Reach) From(start NodeID, skip func(NodeID) bool) []NodeID {
 	r.gen++
-	r.buf = r.buf[:0]
+	count := 1
 	r.stack = append(r.stack[:0], start)
 	r.mark[start] = r.gen
 	for len(r.stack) > 0 {
 		u := r.stack[len(r.stack)-1]
 		r.stack = r.stack[:len(r.stack)-1]
-		r.buf = append(r.buf, u)
 		for _, v := range r.g.Succ(u) {
 			if r.mark[v] == r.gen || skip(v) {
 				continue
 			}
 			r.mark[v] = r.gen
+			count++
 			r.stack = append(r.stack, v)
 		}
 	}
-	slices.SortFunc(r.buf, func(a, b NodeID) int { return r.index[a] - r.index[b] })
+	// Every reached node is a descendant of start, so it sits at or after
+	// start in the topological order: collecting the marked nodes from a
+	// scan of that suffix yields topological order without a sort.
+	r.buf = r.buf[:0]
+	topo := r.g.TopoOrder()
+	for i := r.index[start]; i < len(topo) && count > 0; i++ {
+		if id := topo[i]; r.mark[id] == r.gen {
+			r.buf = append(r.buf, id)
+			count--
+		}
+	}
 	return r.buf
 }
