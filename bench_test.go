@@ -7,6 +7,7 @@ package deadlinedist
 // their output.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -34,7 +35,7 @@ func benchFigure(b *testing.B, fn experiment.FigureFunc) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tables, err := fn(base)
+		tables, err := fn(context.Background(), base)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -66,7 +67,7 @@ func BenchmarkFigureAll(b *testing.B) {
 			wg.Add(1)
 			go func(ki int, fn experiment.FigureFunc) {
 				defer wg.Done()
-				_, errs[ki] = fn(cfg)
+				_, errs[ki] = fn(context.Background(), cfg)
 			}(ki, registry[key])
 		}
 		wg.Wait()

@@ -11,21 +11,33 @@
 //	dlexp -verify -report R.md      # machine-check the paper's claims
 //	dlexp -stats -bench-json        # per-stage timings + BENCH_experiment.json
 //	dlexp -cpuprofile cpu.out -pprof localhost:6060
+//	dlexp -figure all -resume ck/   # checkpoint to ck/; re-run resumes there
+//	dlexp -validate 7               # spot-check schedules against invariants
+//	dlexp -faults panic=0.1,hang=0.1,err=0.1 -unit-timeout 5s   # chaos run
 //
 // Figure keys (DESIGN.md §4): 2 3 4 5 (paper figures), ccr met par topo
 // shapes apps policy preempt hetero (Section 8), baselines bus locality
 // order channels ablate improve olr dispatch (extensions and ablations).
+//
+// Exit codes: 0 when every requested table completed, 2 when the run was
+// interrupted or ran out of budget and some tables carry FAILED cells
+// (everything finished is flushed — re-run with the same -resume directory
+// to continue), 1 on a fatal error. See DESIGN.md §9.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"deadlinedist/internal/experiment"
@@ -35,14 +47,26 @@ import (
 	"deadlinedist/internal/report"
 )
 
+// errPartial marks a run that drained cleanly after an interruption or a
+// budget overrun: some tables carry FAILED cells, everything completed was
+// flushed. main maps it to exit code 2.
+var errPartial = errors.New("run incomplete")
+
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "dlexp:", err)
-		os.Exit(1)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "dlexp:", err)
+	if errors.Is(err, errPartial) {
+		os.Exit(2)
+	}
+	os.Exit(1)
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dlexp", flag.ContinueOnError)
 	var (
 		figure     = fs.String("figure", "all", "figure key to reproduce, or 'all'")
@@ -60,6 +84,12 @@ func run(args []string, out io.Writer) error {
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		workers    = fs.Int("workers", 0, "size of the worker pool shared by all figures (default GOMAXPROCS)")
+		resumeDir  = fs.String("resume", "", "checkpoint directory: journal finished work there and skip it when re-run")
+		validate   = fs.Int("validate", 0, "validate a deterministic 1-in-N sample of schedules against the scheduler invariants (0 = off)")
+		unitTO     = fs.Duration("unit-timeout", 0, "deadline for one unit of work (one graph through one table's pipeline; 0 = none)")
+		budget     = fs.Duration("budget", 0, "wall-clock budget per table; exceeding it yields a partial table (0 = none)")
+		retries    = fs.Int("retries", 3, "max attempts per unit on panics, deadline timeouts and transient errors")
+		faults     = fs.String("faults", "", "chaos injection: 'panic=P,hang=P,err=P[,seed=N][,hangms=D]' (testing only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +114,28 @@ func run(args []string, out io.Writer) error {
 	base.Graphs = *graphs
 	base.Seed = *seed
 	base.Sizes = sweep
+	base.UnitTimeout = *unitTO
+	base.Budget = *budget
+	base.Retry = experiment.RetryPolicy{MaxAttempts: *retries}
+	base.ValidateSample = *validate
+	if *faults != "" {
+		plan, err := parseFaults(*faults)
+		if err != nil {
+			return err
+		}
+		base.Faults = plan
+	}
+	if *resumeDir != "" {
+		jr, err := experiment.OpenJournal(*resumeDir)
+		if err != nil {
+			return err
+		}
+		defer jr.Close()
+		base.Journal = jr
+		if n := jr.Len(); n > 0 {
+			fmt.Fprintf(out, "resume: %d journaled units found in %s\n", n, *resumeDir)
+		}
+	}
 
 	// One orchestrator for the whole invocation: every figure's tables
 	// share its worker pool, batch cache and cross-table assignment cache.
@@ -123,7 +175,7 @@ func run(args []string, out io.Writer) error {
 
 	if *verify {
 		start := time.Now()
-		if err := runVerify(base, out, *reportPath); err != nil {
+		if err := runVerify(ctx, base, out, *reportPath); err != nil {
 			return err
 		}
 		return finish(time.Since(start))
@@ -154,23 +206,33 @@ func run(args []string, out io.Writer) error {
 	runStart := time.Now()
 	for i, key := range keys {
 		figWG.Add(1)
-		go func(i int, fn func(experiment.Config) ([]*experiment.Table, error)) {
+		go func(i int, fn experiment.FigureFunc) {
 			defer figWG.Done()
 			start := time.Now()
-			tables, err := fn(base)
+			tables, err := fn(ctx, base)
 			outs[i] = figOut{tables: tables, err: err, elapsed: time.Since(start)}
 		}(i, registry[key])
 	}
 	figWG.Wait()
 
 	allTables := make(map[string][]*experiment.Table, len(keys))
+	var partialKeys []string
 	for ki, key := range keys {
-		if outs[ki].err != nil {
-			return fmt.Errorf("figure %s: %w", key, outs[ki].err)
-		}
 		tables := outs[ki].tables
+		if err := outs[ki].err; err != nil {
+			var pe *experiment.PartialError
+			if !errors.As(err, &pe) && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("figure %s: %w", key, err)
+			}
+			// Interrupted or out of budget: print what completed (partial
+			// tables carry FAILED cells), keep draining the other figures,
+			// and report exit code 2 at the end.
+			partialKeys = append(partialKeys, key)
+			fmt.Fprintf(out, "=== figure %s: INCOMPLETE (%v) ===\n\n", key, err)
+		} else {
+			fmt.Fprintf(out, "=== figure %s (%d graphs/point, %v) ===\n\n", key, *graphs, outs[ki].elapsed.Round(time.Millisecond))
+		}
 		allTables[key] = tables
-		fmt.Fprintf(out, "=== figure %s (%d graphs/point, %v) ===\n\n", key, *graphs, outs[ki].elapsed.Round(time.Millisecond))
 		for i, t := range tables {
 			fmt.Fprintln(out, t.String())
 			if *plot {
@@ -193,12 +255,19 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "report written to %s\n", *reportPath)
 	}
-	return finish(time.Since(runStart))
+	if err := finish(time.Since(runStart)); err != nil {
+		return err
+	}
+	if len(partialKeys) > 0 {
+		return fmt.Errorf("%w: figures %s carry FAILED cells (re-run with -resume to continue)",
+			errPartial, strings.Join(partialKeys, ", "))
+	}
+	return nil
 }
 
-func runVerify(base experiment.Config, out io.Writer, reportPath string) error {
+func runVerify(ctx context.Context, base experiment.Config, out io.Writer, reportPath string) error {
 	start := time.Now()
-	results, err := experiment.VerifyClaims(base)
+	results, err := experiment.VerifyClaims(ctx, base)
 	if err != nil {
 		return err
 	}
@@ -246,6 +315,49 @@ func writeReport(path string, base experiment.Config, keys []string,
 		return err
 	}
 	return f.Close()
+}
+
+// parseFaults parses the -faults chaos spec: comma-separated key=value
+// pairs with keys panic, hang, err (independent rates in [0,1]), seed
+// (uint64, default 1) and hangms (hang duration in milliseconds).
+func parseFaults(spec string) (*experiment.FaultPlan, error) {
+	plan := &experiment.FaultPlan{Seed: 1}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad fault spec %q (want key=value)", part)
+		}
+		switch k {
+		case "panic", "hang", "err":
+			rate, err := strconv.ParseFloat(v, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				return nil, fmt.Errorf("bad fault rate %q (want 0..1)", part)
+			}
+			switch k {
+			case "panic":
+				plan.PanicRate = rate
+			case "hang":
+				plan.HangRate = rate
+			case "err":
+				plan.ErrorRate = rate
+			}
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad fault seed %q", part)
+			}
+			plan.Seed = n
+		case "hangms":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad hang duration %q", part)
+			}
+			plan.HangDuration = time.Duration(n) * time.Millisecond
+		default:
+			return nil, fmt.Errorf("unknown fault key %q", k)
+		}
+	}
+	return plan, nil
 }
 
 func parseSizes(s string) ([]int, error) {

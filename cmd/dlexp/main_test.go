@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"deadlinedist/internal/metrics"
 )
@@ -58,7 +61,7 @@ func TestSanitize(t *testing.T) {
 
 func TestRunSingleFigure(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-figure", "5", "-graphs", "3", "-sizes", "2,8"}, &buf)
+	err := run(context.Background(), []string{"-figure", "5", "-graphs", "3", "-sizes", "2,8"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +76,7 @@ func TestRunSingleFigure(t *testing.T) {
 func TestRunWithPlotAndCSV(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	err := run([]string{"-figure", "baselines", "-graphs", "2", "-sizes", "2,4", "-plot", "-csv", dir}, &buf)
+	err := run(context.Background(), []string{"-figure", "baselines", "-graphs", "2", "-sizes", "2,4", "-plot", "-csv", dir}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,14 +101,14 @@ func TestRunWithPlotAndCSV(t *testing.T) {
 
 func TestRunUnknownFigure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-figure", "nope", "-graphs", "2", "-sizes", "2"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-figure", "nope", "-graphs", "2", "-sizes", "2"}, &buf); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }
 
 func TestRunBadFlags(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-sizes", "zzz"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-sizes", "zzz"}, &buf); err == nil {
 		t.Fatal("bad sizes accepted")
 	}
 }
@@ -114,7 +117,7 @@ func TestRunWritesReport(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "report.md")
 	var buf bytes.Buffer
-	err := run([]string{"-figure", "5", "-graphs", "3", "-sizes", "2,8", "-report", path}, &buf)
+	err := run(context.Background(), []string{"-figure", "5", "-graphs", "3", "-sizes", "2,8", "-report", path}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +138,7 @@ func TestRunVerifyMode(t *testing.T) {
 	var buf bytes.Buffer
 	// Tiny batch: the claim machinery must run end to end; statistical
 	// verdicts at this scale are not asserted.
-	err := run([]string{"-verify", "-graphs", "2", "-report", path}, &buf)
+	err := run(context.Background(), []string{"-verify", "-graphs", "2", "-report", path}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +164,7 @@ func TestRunStatsAndBenchJSON(t *testing.T) {
 	dir := t.TempDir()
 	benchPath := filepath.Join(dir, "BENCH_experiment.json")
 	var buf bytes.Buffer
-	err := run([]string{"-figure", "2", "-graphs", "2", "-sizes", "2,4",
+	err := run(context.Background(), []string{"-figure", "2", "-graphs", "2", "-sizes", "2,4",
 		"-stats", "-bench-json", "-bench-out", benchPath}, &buf)
 	if err != nil {
 		t.Fatal(err)
@@ -193,7 +196,7 @@ func TestRunProfilesAndPprof(t *testing.T) {
 	cpu := filepath.Join(dir, "cpu.out")
 	mem := filepath.Join(dir, "mem.out")
 	var buf bytes.Buffer
-	err := run([]string{"-figure", "2", "-graphs", "2", "-sizes", "2",
+	err := run(context.Background(), []string{"-figure", "2", "-graphs", "2", "-sizes", "2",
 		"-cpuprofile", cpu, "-memprofile", mem, "-pprof", "127.0.0.1:0"}, &buf)
 	if err != nil {
 		t.Fatal(err)
@@ -205,5 +208,134 @@ func TestRunProfilesAndPprof(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "pprof server on http://127.0.0.1:") {
 		t.Errorf("pprof address not announced:\n%s", buf.String())
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	plan, err := parseFaults("panic=0.1,hang=0.2,err=0.3,seed=9,hangms=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PanicRate != 0.1 || plan.HangRate != 0.2 || plan.ErrorRate != 0.3 {
+		t.Errorf("rates = %v/%v/%v", plan.PanicRate, plan.HangRate, plan.ErrorRate)
+	}
+	if plan.Seed != 9 {
+		t.Errorf("seed = %d, want 9", plan.Seed)
+	}
+	if plan.HangDuration != 50*time.Millisecond {
+		t.Errorf("hang duration = %v, want 50ms", plan.HangDuration)
+	}
+	for _, bad := range []string{"", "panic", "panic=2", "panic=-0.1", "seed=x", "hangms=-1", "nope=1"} {
+		if _, err := parseFaults(bad); err == nil {
+			t.Errorf("parseFaults(%q) accepted", bad)
+		}
+	}
+}
+
+// readCSVs returns the contents of every CSV in dir keyed by file name.
+func readCSVs(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(filepath.Join(dir, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[f.Name()] = string(data)
+	}
+	return out
+}
+
+// TestRunChaosProducesIdenticalCSVs is the CLI-level chaos acceptance test:
+// a run with faults injected at >10% rates writes CSV tables byte-identical
+// to a clean run's.
+func TestRunChaosProducesIdenticalCSVs(t *testing.T) {
+	args := []string{"-figure", "baselines", "-graphs", "4", "-sizes", "2,4"}
+	cleanDir, chaosDir := t.TempDir(), t.TempDir()
+	var buf bytes.Buffer
+	if err := run(context.Background(), append(args, "-csv", cleanDir), &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	chaosArgs := append(args, "-csv", chaosDir,
+		"-faults", "panic=0.2,err=0.2,seed=3", "-retries", "3")
+	if err := run(context.Background(), chaosArgs, &buf); err != nil {
+		t.Fatal(err)
+	}
+	clean, chaos := readCSVs(t, cleanDir), readCSVs(t, chaosDir)
+	if !reflect.DeepEqual(clean, chaos) {
+		t.Errorf("chaos CSVs differ from clean run:\nclean: %v\nchaos: %v", clean, chaos)
+	}
+}
+
+// TestRunInterruptedThenResumedMatchesReference: a run whose context is
+// already cancelled exits with the partial error (exit code 2 in main), and
+// a -resume re-run against the same checkpoint directory produces CSVs
+// byte-identical to an uninterrupted reference run.
+func TestRunInterruptedThenResumedMatchesReference(t *testing.T) {
+	args := []string{"-figure", "baselines", "-graphs", "4", "-sizes", "2,4"}
+	refDir, resDir := t.TempDir(), t.TempDir()
+	ckDir := filepath.Join(t.TempDir(), "ck")
+	var buf bytes.Buffer
+	if err := run(context.Background(), append(args, "-csv", refDir), &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the interruption arrives before any unit completes
+	buf.Reset()
+	err := run(ctx, append(args, "-resume", ckDir), &buf)
+	if !errors.Is(err, errPartial) {
+		t.Fatalf("interrupted run returned %v, want errPartial", err)
+	}
+	if !strings.Contains(buf.String(), "INCOMPLETE") {
+		t.Errorf("interrupted run did not report the incomplete figure:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := run(context.Background(), append(args, "-resume", ckDir, "-csv", resDir), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(readCSVs(t, refDir), readCSVs(t, resDir)) {
+		t.Error("resumed CSVs differ from uninterrupted reference")
+	}
+
+	// A third run over the fully-journaled checkpoint replays everything.
+	buf.Reset()
+	if err := run(context.Background(), append(args, "-resume", ckDir), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "resume: 4 journaled units found") {
+		t.Errorf("replay did not announce the journaled units:\n%s", buf.String())
+	}
+}
+
+// TestRunValidateFlag: the opt-in schedule validation completes on a correct
+// pipeline without changing the tables.
+func TestRunValidateFlag(t *testing.T) {
+	plainDir, checkedDir := t.TempDir(), t.TempDir()
+	args := []string{"-figure", "5", "-graphs", "2", "-sizes", "2,4"}
+	var buf bytes.Buffer
+	if err := run(context.Background(), append(args, "-csv", plainDir), &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run(context.Background(), append(args, "-csv", checkedDir, "-validate", "1"), &buf); err != nil {
+		t.Fatalf("validated run failed: %v", err)
+	}
+	if !reflect.DeepEqual(readCSVs(t, plainDir), readCSVs(t, checkedDir)) {
+		t.Error("-validate changed the tables")
+	}
+}
+
+// TestRunBadFaultSpec: a malformed -faults spec is rejected before any work.
+func TestRunBadFaultSpec(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-faults", "panic=nope"}, &buf); err == nil {
+		t.Fatal("bad -faults spec accepted")
 	}
 }

@@ -9,12 +9,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"deadlinedist/internal/core"
@@ -27,13 +30,16 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := run(ctx, os.Args[1:], os.Stdin, os.Stdout)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dlsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, out io.Writer) error {
+func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("dlsim", flag.ContinueOnError)
 	var (
 		in         = fs.String("in", "-", "task graph JSON file ('-' for stdin)")
@@ -100,6 +106,11 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		return err
 	}
 
+	// The pipeline stages run inline; a signal arriving between stages
+	// aborts before the next one starts.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	assignStart := time.Now()
 	res, err := core.Distributor{Metric: m, Estimator: e}.Distribute(g, sys)
 	if err != nil {
@@ -112,6 +123,9 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		return err
 	}
 	cfg := scheduler.Config{RespectRelease: *respect, Policy: pol}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	schedStart := time.Now()
 	var sched *scheduler.Schedule
 	if *preempt {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,7 +23,7 @@ const sampleGraph = `{
 
 func TestRunFromStdin(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-procs", "2", "-metric", "ADAPT"}, strings.NewReader(sampleGraph), &out)
+	err := run(context.Background(), []string{"-procs", "2", "-metric", "ADAPT"}, strings.NewReader(sampleGraph), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestRunFromFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-windows", "-gantt=false"}, strings.NewReader(""), &out); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-windows", "-gantt=false"}, strings.NewReader(""), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "subtask windows") {
@@ -54,7 +55,7 @@ func TestRunAllMetricsAndEstimators(t *testing.T) {
 	for _, m := range []string{"NORM", "PURE", "THRES", "ADAPT"} {
 		for _, e := range []string{"CCNE", "CCAA", "CCEXP"} {
 			var out bytes.Buffer
-			err := run([]string{"-metric", m, "-estimator", e, "-gantt=false"},
+			err := run(context.Background(), []string{"-metric", m, "-estimator", e, "-gantt=false"},
 				strings.NewReader(sampleGraph), &out)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", m, e, err)
@@ -65,7 +66,7 @@ func TestRunAllMetricsAndEstimators(t *testing.T) {
 
 func TestRunContended(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-contended", "-gantt=false"}, strings.NewReader(sampleGraph), &out)
+	err := run(context.Background(), []string{"-contended", "-gantt=false"}, strings.NewReader(sampleGraph), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,31 +78,31 @@ func TestRunContended(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	t.Run("bad metric", func(t *testing.T) {
 		var out bytes.Buffer
-		if err := run([]string{"-metric", "XYZ"}, strings.NewReader(sampleGraph), &out); err == nil {
+		if err := run(context.Background(), []string{"-metric", "XYZ"}, strings.NewReader(sampleGraph), &out); err == nil {
 			t.Fatal("bad metric accepted")
 		}
 	})
 	t.Run("bad estimator", func(t *testing.T) {
 		var out bytes.Buffer
-		if err := run([]string{"-estimator", "XYZ"}, strings.NewReader(sampleGraph), &out); err == nil {
+		if err := run(context.Background(), []string{"-estimator", "XYZ"}, strings.NewReader(sampleGraph), &out); err == nil {
 			t.Fatal("bad estimator accepted")
 		}
 	})
 	t.Run("bad graph", func(t *testing.T) {
 		var out bytes.Buffer
-		if err := run(nil, strings.NewReader("{"), &out); err == nil {
+		if err := run(context.Background(), nil, strings.NewReader("{"), &out); err == nil {
 			t.Fatal("bad graph accepted")
 		}
 	})
 	t.Run("missing file", func(t *testing.T) {
 		var out bytes.Buffer
-		if err := run([]string{"-in", "/nonexistent/g.json"}, strings.NewReader(""), &out); err == nil {
+		if err := run(context.Background(), []string{"-in", "/nonexistent/g.json"}, strings.NewReader(""), &out); err == nil {
 			t.Fatal("missing file accepted")
 		}
 	})
 	t.Run("bad procs", func(t *testing.T) {
 		var out bytes.Buffer
-		if err := run([]string{"-procs", "0"}, strings.NewReader(sampleGraph), &out); err == nil {
+		if err := run(context.Background(), []string{"-procs", "0"}, strings.NewReader(sampleGraph), &out); err == nil {
 			t.Fatal("zero processors accepted")
 		}
 	})
@@ -110,19 +111,19 @@ func TestRunErrors(t *testing.T) {
 func TestRunPolicies(t *testing.T) {
 	for _, p := range []string{"EDF", "llf", "FIFO", "hlf"} {
 		var out bytes.Buffer
-		if err := run([]string{"-policy", p, "-gantt=false"}, strings.NewReader(sampleGraph), &out); err != nil {
+		if err := run(context.Background(), []string{"-policy", p, "-gantt=false"}, strings.NewReader(sampleGraph), &out); err != nil {
 			t.Fatalf("%s: %v", p, err)
 		}
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-policy", "nope"}, strings.NewReader(sampleGraph), &out); err == nil {
+	if err := run(context.Background(), []string{"-policy", "nope"}, strings.NewReader(sampleGraph), &out); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
 }
 
 func TestRunPreemptive(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-preempt", "-gantt=false"}, strings.NewReader(sampleGraph), &out); err != nil {
+	if err := run(context.Background(), []string{"-preempt", "-gantt=false"}, strings.NewReader(sampleGraph), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "preemptions") {
@@ -133,7 +134,7 @@ func TestRunPreemptive(t *testing.T) {
 func TestRunWritesTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.json")
 	var out bytes.Buffer
-	if err := run([]string{"-trace", path, "-gantt=false"}, strings.NewReader(sampleGraph), &out); err != nil {
+	if err := run(context.Background(), []string{"-trace", path, "-gantt=false"}, strings.NewReader(sampleGraph), &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -150,7 +151,7 @@ func TestRunWritesTrace(t *testing.T) {
 
 func TestRunStats(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-procs", "2", "-stats", "-gantt=false"}, strings.NewReader(sampleGraph), &out)
+	err := run(context.Background(), []string{"-procs", "2", "-stats", "-gantt=false"}, strings.NewReader(sampleGraph), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestRunStats(t *testing.T) {
 func TestRunCPUProfile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cpu.out")
 	var out bytes.Buffer
-	err := run([]string{"-procs", "2", "-gantt=false", "-cpuprofile", path}, strings.NewReader(sampleGraph), &out)
+	err := run(context.Background(), []string{"-procs", "2", "-gantt=false", "-cpuprofile", path}, strings.NewReader(sampleGraph), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestRunCPUProfile(t *testing.T) {
 
 func TestRunBadPprofAddr(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-pprof", "not-an-addr"}, strings.NewReader(sampleGraph), &out); err == nil {
+	if err := run(context.Background(), []string{"-pprof", "not-an-addr"}, strings.NewReader(sampleGraph), &out); err == nil {
 		t.Fatal("bad pprof address accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -285,7 +286,7 @@ type ClaimResult struct {
 }
 
 // VerifyClaims evaluates all claims against freshly produced tables.
-func VerifyClaims(base Config) ([]ClaimResult, error) {
+func VerifyClaims(ctx context.Context, base Config) ([]ClaimResult, error) {
 	claims := Claims()
 	needed := map[string]bool{}
 	for _, c := range claims {
@@ -296,7 +297,7 @@ func VerifyClaims(base Config) ([]ClaimResult, error) {
 	registry := Figures()
 	tables := make(map[string][]*Table, len(needed))
 	for key := range needed {
-		ts, err := registry[key](base)
+		ts, err := registry[key](ctx, base)
 		if err != nil {
 			return nil, fmt.Errorf("figure %s: %w", key, err)
 		}

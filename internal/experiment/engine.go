@@ -8,11 +8,15 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"deadlinedist/internal/analysis"
 	"deadlinedist/internal/assign"
@@ -311,6 +315,33 @@ type Config struct {
 	// before summarizing the rest (default 8). The first error cancels the
 	// remaining pipelines either way.
 	MaxErrors int
+	// UnitTimeout bounds one attempt of one unit of pool work (one graph
+	// through every assigner × size cell). An attempt exceeding it is
+	// abandoned — its private buffers are discarded and its worker replaced
+	// — and retried under Retry. 0 means no per-unit deadline.
+	UnitTimeout time.Duration
+	// Budget bounds the whole table. When it expires, the run drains
+	// gracefully and returns a partial table (cells marked
+	// FAILED(budget exceeded)) plus a *PartialError. 0 means no budget.
+	Budget time.Duration
+	// Retry governs re-execution of retryable unit failures: panics,
+	// per-unit deadline timeouts and Transient errors. Domain errors stay
+	// fail-fast and are never retried. The zero value means the defaults
+	// (3 attempts, 10ms..500ms exponential backoff).
+	Retry RetryPolicy
+	// Faults, when non-nil, arms the chaos harness: panics, hangs and
+	// transient errors injected at the unit boundary (see FaultPlan).
+	// Production runs leave it nil.
+	Faults *FaultPlan
+	// Journal, when non-nil, checkpoints every completed unit to disk and
+	// skips units already journaled by an earlier run of identical content
+	// (dlexp -resume).
+	Journal *Journal
+	// ValidateSample, when > 0, runs the scheduler's validity checker on a
+	// deterministic sample of produced schedules — every cell whose
+	// (graph + assigner + size) index sum is divisible by it — and fails
+	// the sweep on the first invalid schedule (dlexp -validate).
+	ValidateSample int
 }
 
 // GraphTransformer is an optional Assigner capability: strategies that
@@ -368,6 +399,10 @@ type Point struct {
 	Size  int
 	Stats analysis.Stats
 	Raw   []float64
+	// Failed, when non-empty, marks a cell an interrupted or over-budget
+	// run could not finish: Stats and Raw are meaningless and renderers
+	// print FAILED(<reason>) instead of numbers.
+	Failed string
 }
 
 // Curve is one strategy's measurements across the size sweep.
@@ -397,6 +432,19 @@ const defaultMaxErrors = 8
 // aggregated in deterministic (graph-index) order so output is identical
 // regardless of parallelism.
 func (cfg Config) Run(title string, assigners ...Assigner) (*Table, error) {
+	return cfg.RunContext(context.Background(), title, assigners...)
+}
+
+// RunContext is Run under a context — the entry point of the fault-tolerant
+// run layer (DESIGN.md §9). Cancelling ctx (SIGINT in dlexp) or exhausting
+// Budget drains the pool gracefully and returns the partial table plus a
+// *PartialError; unit panics, deadline timeouts and Transient errors are
+// isolated per unit and retried under Retry, and completed units are
+// checkpointed to Journal when one is attached. Because every retry
+// re-derives its values from the same immutable inputs, the table of a run
+// that survived faults, retries or a resume is byte-identical to a
+// fault-free run's.
+func (cfg Config) RunContext(ctx context.Context, title string, assigners ...Assigner) (*Table, error) {
 	if len(assigners) == 0 {
 		return nil, ErrNoAssigners
 	}
@@ -419,8 +467,20 @@ func (cfg Config) Run(title string, assigners ...Assigner) (*Table, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	// rctx is the run's context: the caller's, tightened by the per-table
+	// budget when one is set.
+	rctx := ctx
+	if cfg.Budget > 0 {
+		var cancelBudget context.CancelFunc
+		rctx, cancelBudget = context.WithTimeout(ctx, cfg.Budget)
+		defer cancelBudget()
+	}
+	if err := rctx.Err(); err != nil {
+		return nil, err
+	}
+
 	genStart := cfg.Metrics.Start()
-	graphs, batchShared, err := cfg.sharedBatch()
+	graphs, batchShared, err := cfg.sharedBatch(rctx)
 	cfg.Metrics.Done(metrics.StageGenerate, genStart)
 	if err != nil {
 		return nil, fmt.Errorf("generate batch: %w", err)
@@ -448,31 +508,59 @@ func (cfg Config) Run(title string, assigners ...Assigner) (*Table, error) {
 		}
 	}
 
+	// Checkpoint replay: units journaled by an earlier run of identical
+	// content are prefilled and never submitted.
+	skip := make([]bool, cfg.Graphs)
+	prefilled := 0
+	var jkey string
+	if cfg.Journal != nil {
+		jkey = cfg.journalKey(title, assigners)
+		n := len(assigners) * len(cfg.Sizes)
+		for gi := 0; gi < cfg.Graphs; gi++ {
+			flat, ok := cfg.Journal.lookup(jkey, gi, n)
+			if !ok {
+				continue
+			}
+			for a := range assigners {
+				for si := range cfg.Sizes {
+					vals[a][si][gi] = flat[a*len(cfg.Sizes)+si]
+				}
+			}
+			skip[gi] = true
+			prefilled++
+		}
+	}
+
+	env := &unitEnv{
+		cfg:       cfg,
+		graphs:    graphs,
+		systems:   systems,
+		nets:      nets,
+		assigners: assigners,
+		measure:   measure,
+		crossOK:   cfg.Orchestrator != nil && batchShared,
+		vals:      vals,
+		jkey:      jkey,
+		completed: prefilled,
+	}
+
 	// Fail fast: the first error stops feeding the pool and makes the
 	// workers drain the remaining jobs without running them, instead of
 	// burning the rest of the batch. Every distinct error is collected (up
-	// to MaxErrors) so one bad strategy does not mask another.
+	// to MaxErrors) so one bad strategy does not mask another. Cancellation
+	// (SIGINT, budget) drains the same way but records no error — the
+	// partial-table path below reports it instead.
 	maxErrors := cfg.MaxErrors
 	if maxErrors <= 0 {
 		maxErrors = defaultMaxErrors
 	}
+	uctx, ucancel := context.WithCancel(rctx)
+	defer ucancel()
 	var (
-		wg      sync.WaitGroup
 		mu      sync.Mutex
 		errs    []error
 		omitted int
 	)
-	done := make(chan struct{})
-	var once sync.Once
-	cancel := func() { once.Do(func() { close(done) }) }
-	cancelled := func() bool {
-		select {
-		case <-done:
-			return true
-		default:
-			return false
-		}
-	}
 	fail := func(gi int, err error) {
 		mu.Lock()
 		if len(errs) < maxErrors {
@@ -481,26 +569,37 @@ func (cfg Config) Run(title string, assigners ...Assigner) (*Table, error) {
 			omitted++
 		}
 		mu.Unlock()
-		cancel()
+		ucancel()
 	}
-	crossOK := cfg.Orchestrator != nil && batchShared
+	// runOne executes one unit on box, routing its outcome: cancellation
+	// drains silently, everything else fails the run.
+	runOne := func(gi int, box *workerBox) {
+		if uctx.Err() != nil {
+			return
+		}
+		if err := env.runUnit(uctx, gi, box); err != nil {
+			if isCancellation(err) {
+				ucancel()
+				return
+			}
+			fail(gi, err)
+		}
+	}
 	if orc := cfg.Orchestrator; orc != nil {
 		// Shared pool: one job per graph, interleaving with every other
 		// run feeding the same orchestrator. Each job writes disjoint
 		// (graph, size) slots, so aggregation below stays deterministic.
 		var jobWG sync.WaitGroup
-		for gi := 0; gi < cfg.Graphs && !cancelled(); gi++ {
+		for gi := 0; gi < cfg.Graphs && uctx.Err() == nil; gi++ {
+			if skip[gi] {
+				continue
+			}
 			gi := gi
 			jobWG.Add(1)
-			ok := orc.submit(poolJob{rec: cfg.Metrics, fn: func(w *poolWorker) {
+			ok := orc.submit(poolJob{rec: cfg.Metrics, fn: func(box *workerBox) {
 				defer jobWG.Done()
-				if cancelled() {
-					return
-				}
-				if err := runGraph(cfg, graphs[gi], systems, nets, assigners, measure, gi, vals, w, crossOK); err != nil {
-					fail(gi, err)
-				}
-			}}, done)
+				runOne(gi, box)
+			}}, uctx.Done())
 			if !ok {
 				jobWG.Done()
 				break
@@ -509,34 +608,38 @@ func (cfg Config) Run(title string, assigners ...Assigner) (*Table, error) {
 		jobWG.Wait()
 	} else {
 		jobs := make(chan int)
+		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				// One scheduler scratch per worker: queue, bookkeeping and
 				// schedule buffers are reused across every graph × assigner
-				// × size run this worker executes.
-				pw := newPoolWorker()
+				// × size run this worker executes. The box indirection lets
+				// the unit runner swap in a fresh one after a panicking or
+				// abandoned attempt.
+				box := &workerBox{w: newPoolWorker()}
 				for gi := range jobs {
-					if cancelled() {
-						continue // drain without running
-					}
-					if err := runGraph(cfg, graphs[gi], systems, nets, assigners, measure, gi, vals, pw, false); err != nil {
-						fail(gi, err)
-					}
+					runOne(gi, box)
 				}
 			}()
 		}
 	feed:
 		for gi := 0; gi < cfg.Graphs; gi++ {
+			if skip[gi] {
+				continue
+			}
 			select {
 			case jobs <- gi:
-			case <-done:
+			case <-uctx.Done():
 				break feed
 			}
 		}
 		close(jobs)
 		wg.Wait()
+	}
+	if env.jerr != nil {
+		return nil, fmt.Errorf("checkpoint journal: %w", env.jerr)
 	}
 	if len(errs) > 0 {
 		if omitted > 0 {
@@ -550,6 +653,29 @@ func (cfg Config) Run(title string, assigners ...Assigner) (*Table, error) {
 		Scenario: scenarioName(cfg.Workload),
 		XLabel:   "processors",
 		YLabel:   "avg max lateness",
+	}
+	if env.done() < cfg.Graphs {
+		// Graceful drain: the run was cancelled or ran out of budget with
+		// units missing. A cell's value is the batch average, so any
+		// missing unit leaves every cell incomplete — mark them FAILED
+		// rather than report a statistic over a partial batch. Completed
+		// units are already journaled; a -resume run picks up from here.
+		reason := "interrupted"
+		cause := rctx.Err()
+		if cause == nil {
+			cause = context.Canceled
+		}
+		if ctx.Err() == nil && errors.Is(cause, context.DeadlineExceeded) {
+			reason = "budget exceeded"
+		}
+		for _, asg := range assigners {
+			curve := Curve{Label: asg.Label(), Points: make([]Point, len(cfg.Sizes))}
+			for si, size := range cfg.Sizes {
+				curve.Points[si] = Point{Size: size, Failed: reason}
+			}
+			table.Curves = append(table.Curves, curve)
+		}
+		return table, &PartialError{Reason: reason, Failed: len(assigners) * len(cfg.Sizes), Err: cause}
 	}
 	for a, asg := range assigners {
 		curve := Curve{Label: asg.Label(), Points: make([]Point, len(cfg.Sizes))}
@@ -565,18 +691,198 @@ func (cfg Config) Run(title string, assigners ...Assigner) (*Table, error) {
 	return table, nil
 }
 
+// unitEnv bundles the immutable inputs of one RunContext's units with the
+// shared result storage and completion accounting.
+type unitEnv struct {
+	cfg       Config
+	graphs    []*taskgraph.Graph
+	systems   []*platform.System
+	nets      []*channel.Network
+	assigners []Assigner
+	measure   Measure
+	crossOK   bool
+	vals      [][][]float64
+	jkey      string
+
+	mu        sync.Mutex
+	completed int // units committed (including journal-prefilled ones)
+	jerr      error
+}
+
+func (e *unitEnv) done() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.completed
+}
+
+// commit publishes one successful attempt: its private buffer is copied
+// into the run's value matrix (disjoint slots per unit — no lock needed)
+// and appended to the journal.
+func (e *unitEnv) commit(gi int, out [][]float64) error {
+	for a := range out {
+		for si, v := range out[a] {
+			e.vals[a][si][gi] = v
+		}
+	}
+	var jerr error
+	if j := e.cfg.Journal; j != nil {
+		flat := make([]float64, 0, len(out)*len(out[0]))
+		for a := range out {
+			flat = append(flat, out[a]...)
+		}
+		jerr = j.commit(e.jkey, gi, flat)
+	}
+	e.mu.Lock()
+	e.completed++
+	if jerr != nil && e.jerr == nil {
+		e.jerr = jerr
+	}
+	e.mu.Unlock()
+	return jerr
+}
+
+// runUnit drives one unit of pool work through the retry policy. Each
+// attempt computes into a private buffer committed only on success, so an
+// abandoned attempt can never race a retry or corrupt the run's results.
+func (e *unitEnv) runUnit(ctx context.Context, gi int, box *workerBox) error {
+	rec := e.cfg.Metrics
+	attempts := e.cfg.Retry.attempts()
+	ref := &cellRef{}
+	var lastErr error
+	tried := 0
+	for k := 1; k <= attempts; k++ {
+		if k > 1 {
+			rec.UnitRetry()
+			if err := sleepCtx(ctx, e.cfg.Retry.delay(k-1)); err != nil {
+				break
+			}
+		}
+		out := make([][]float64, len(e.assigners))
+		for a := range out {
+			out[a] = make([]float64, len(e.cfg.Sizes))
+		}
+		tried = k
+		err := e.attemptUnit(ctx, gi, k, box, out, ref)
+		if err == nil {
+			return e.commit(gi, out)
+		}
+		lastErr = err
+		if ctx.Err() != nil || !retryable(err) {
+			break
+		}
+	}
+	if ctx.Err() != nil && isCancellation(lastErr) {
+		return ctx.Err()
+	}
+	label, size := ref.get()
+	return &UnitError{Graph: gi, Label: label, Size: size, Attempts: tried, Err: lastErr}
+}
+
+// attemptUnit runs one attempt, under the per-unit deadline when one is
+// configured. A hung attempt is abandoned: its goroutine keeps the old
+// worker (which is why the box gets a fresh one) but can never publish
+// results, because the attempt's buffer is private and commit never runs.
+func (e *unitEnv) attemptUnit(ctx context.Context, gi, attempt int, box *workerBox,
+	out [][]float64, ref *cellRef) error {
+
+	rec := e.cfg.Metrics
+	if e.cfg.UnitTimeout <= 0 {
+		err := e.attemptBody(ctx, gi, attempt, box.w, out, ref)
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			// The panicking attempt may have torn the worker's scratch
+			// mid-mutation; never hand it to another attempt.
+			box.w = newPoolWorker()
+		}
+		return err
+	}
+	actx, cancel := context.WithTimeout(ctx, e.cfg.UnitTimeout)
+	defer cancel()
+	w := box.w
+	done := make(chan error, 1)
+	go func() { done <- e.attemptBody(actx, gi, attempt, w, out, ref) }()
+	var err error
+	select {
+	case err = <-done:
+	case <-actx.Done():
+		// The attempt did not exit on its own (a non-cooperative hang):
+		// abandon its goroutine and swap in a fresh worker, since the
+		// abandoned one still owns w.
+		err = actx.Err()
+		box.w = newPoolWorker()
+	}
+	if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+		rec.UnitTimedOut()
+		if box.w == w {
+			box.w = newPoolWorker()
+		}
+		return ErrUnitTimeout
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) && box.w == w {
+		box.w = newPoolWorker()
+	}
+	return err
+}
+
+// attemptBody is the recover boundary: a panic anywhere in one cell —
+// including one injected by the chaos harness — becomes a *PanicError
+// instead of a process crash.
+func (e *unitEnv) attemptBody(ctx context.Context, gi, attempt int, w *poolWorker,
+	out [][]float64, ref *cellRef) (err error) {
+
+	defer func() {
+		if v := recover(); v != nil {
+			e.cfg.Metrics.UnitPanic()
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	// Fault injection sits at the unit boundary, before any cache
+	// interaction, so an injected fault can never strand a singleflight
+	// slot it holds.
+	if err := e.cfg.Faults.inject(ctx, gi, attempt, e.cfg.Metrics); err != nil {
+		return err
+	}
+	return runGraph(ctx, e.cfg, e.graphs[gi], e.systems, e.nets, e.assigners, e.measure, gi, out, w, e.crossOK, ref)
+}
+
+// cellID names one (assigner, size) cell.
+type cellID struct {
+	label string
+	size  int
+}
+
+// cellRef publishes which cell a unit attempt is currently in, so the
+// parent can name it in a UnitError even for an abandoned attempt.
+type cellRef struct{ p atomic.Pointer[cellID] }
+
+func (c *cellRef) set(label string, size int) { c.p.Store(&cellID{label: label, size: size}) }
+
+func (c *cellRef) get() (string, int) {
+	if id := c.p.Load(); id != nil {
+		return id.label, id.size
+	}
+	return "", 0
+}
+
+// isCancellation reports whether err is (or wraps) a context cancellation
+// or deadline — the run-level stop signals, as opposed to unit failures.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // sharedBatch fetches the run's batch through the orchestrator's
 // content-addressed cache when possible (no orchestrator, or a Custom
 // generator with no content identity, falls back to direct generation). The
 // second return reports whether the graphs are shared cache values — only
 // shared graphs are valid cross-table assignment-cache keys.
-func (cfg Config) sharedBatch() ([]*taskgraph.Graph, bool, error) {
+func (cfg Config) sharedBatch(ctx context.Context) ([]*taskgraph.Graph, bool, error) {
 	orc := cfg.Orchestrator
 	if orc == nil || cfg.Custom != nil {
 		graphs, err := cfg.batch()
 		return graphs, false, err
 	}
-	graphs, err := orc.batch(cfg.batchID(), cfg.Metrics, cfg.batch)
+	graphs, err := orc.batch(ctx, cfg.batchID(), cfg.Metrics, cfg.batch)
 	return graphs, true, err
 }
 
@@ -596,9 +902,13 @@ func (cfg Config) batchID() generator.BatchID {
 // misses consult the orchestrator's cross-table assignment cache before
 // computing. All stage timers are gated on a non-nil recorder — with
 // metrics off, the steady state takes no clock readings.
-func runGraph(cfg Config, g *taskgraph.Graph, systems []*platform.System,
+//
+// Results go to out[a][si] — the attempt's private buffer — never to shared
+// storage; ctx is checked at every cell boundary so a cancelled run drains
+// at the next cell; ref tracks the current cell for failure reporting.
+func runGraph(ctx context.Context, cfg Config, g *taskgraph.Graph, systems []*platform.System,
 	nets []*channel.Network, assigners []Assigner, measure Measure, gi int,
-	vals [][][]float64, w *poolWorker, crossOK bool) error {
+	out [][]float64, w *poolWorker, crossOK bool, ref *cellRef) error {
 
 	rec := cfg.Metrics
 	orc := cfg.Orchestrator
@@ -608,10 +918,14 @@ func runGraph(cfg Config, g *taskgraph.Graph, systems []*platform.System,
 			cachedKnown  bool
 			cachedRes    *core.Result
 			cachedShared bool
-			label        string
 		)
+		label := asg.Label()
 		transformer, _ := asg.(GraphTransformer)
 		for si, sys := range systems {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			ref.set(label, sys.NumProcs())
 			gg := g
 			if transformer != nil {
 				var err error
@@ -619,7 +933,7 @@ func runGraph(cfg Config, g *taskgraph.Graph, systems []*platform.System,
 				gg, err = transformer.Transform(g, sys)
 				rec.Done(metrics.StageTransform, t0)
 				if err != nil {
-					return fmt.Errorf("%s: transform: %w", asg.Label(), err)
+					return fmt.Errorf("%s: transform: %w", label, err)
 				}
 			}
 			t0 := rec.Start()
@@ -640,10 +954,7 @@ func runGraph(cfg Config, g *taskgraph.Graph, systems []*platform.System,
 				if crossOK && known && transformer == nil {
 					// Transformed graphs are per-size values, so only
 					// untransformed runs key the cross-table cache.
-					if label == "" {
-						label = asg.Label()
-					}
-					res, shared, err = orc.assignment(gg, sys, asg, label, fp, rec, w)
+					res, shared, err = orc.assignment(ctx, gg, sys, asg, label, fp, rec, w)
 				} else {
 					t0 = rec.Start()
 					res, err = assignWith(asg, gg, sys, w)
@@ -654,7 +965,10 @@ func runGraph(cfg Config, g *taskgraph.Graph, systems []*platform.System,
 					}
 				}
 				if err != nil {
-					return fmt.Errorf("%s: %w", asg.Label(), err)
+					if isCancellation(err) {
+						return err
+					}
+					return fmt.Errorf("%s: %w", label, err)
 				}
 				// The replaced result becomes the worker's spare unless it
 				// is shared cache storage.
@@ -665,12 +979,12 @@ func runGraph(cfg Config, g *taskgraph.Graph, systems []*platform.System,
 			}
 			var (
 				sched *scheduler.Schedule
+				ms    *scheduler.MultihopSchedule
 				err   error
 			)
 			t0 = rec.Start()
 			switch {
 			case nets[si] != nil:
-				var ms *scheduler.MultihopSchedule
 				if ms, err = w.scratch.RunMultihop(gg, sys, nets[si], cachedRes, cfg.Scheduler); err == nil {
 					sched = ms.Schedule
 				}
@@ -681,10 +995,26 @@ func runGraph(cfg Config, g *taskgraph.Graph, systems []*platform.System,
 			}
 			rec.Done(metrics.StageSchedule, t0)
 			if err != nil {
-				return fmt.Errorf("%s: schedule: %w", asg.Label(), err)
+				return fmt.Errorf("%s: schedule: %w", label, err)
+			}
+			if n := cfg.ValidateSample; n > 0 && (gi+a+si)%n == 0 {
+				var verr error
+				switch {
+				case ms != nil:
+					verr = scheduler.ValidateMultihop(gg, sys, nets[si], cachedRes, ms, cfg.Scheduler)
+				case cfg.Preemptive:
+					verr = scheduler.ValidatePreemptive(gg, sys, cachedRes, sched, cfg.Scheduler)
+				default:
+					verr = scheduler.Validate(gg, sys, cachedRes, sched, cfg.Scheduler)
+				}
+				if verr != nil {
+					// An invalid schedule is a bug, not a transient fault:
+					// permanent, so the sweep fails on the first one.
+					return fmt.Errorf("%s: invalid schedule at %d procs: %w", label, sys.NumProcs(), verr)
+				}
 			}
 			t0 = rec.Start()
-			vals[a][si][gi] = measure(gg, cachedRes, sched)
+			out[a][si] = measure(gg, cachedRes, sched)
 			rec.Done(metrics.StageMeasure, t0)
 		}
 		if cachedRes != nil && !cachedShared {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"regexp"
@@ -360,7 +361,7 @@ func TestVerifyClaimsMachinery(t *testing.T) {
 	// the verdicts.
 	base := Default(generator.MDET)
 	base.Graphs = 3
-	results, err := VerifyClaims(base)
+	results, err := VerifyClaims(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}

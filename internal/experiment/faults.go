@@ -1,0 +1,257 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"deadlinedist/internal/metrics"
+)
+
+// This file is the failure model of the fault-tolerant run layer (DESIGN.md
+// §9): the typed errors a unit of pool work can fail with, the
+// retry-with-backoff policy that governs re-execution, and the config-gated
+// fault-injection hook the chaos harness uses to prove the layer correct.
+//
+// Failure taxonomy. Every unit failure is classified into one of three
+// classes, which determine whether a retry may help:
+//
+//   - panic     — a bug or poisoned input in one cell; retried (a retry
+//     re-derives from cached immutable inputs on a fresh worker, so an
+//     injected or transient panic heals; a deterministic one fails again
+//     and exhausts its attempts).
+//   - timeout   — one attempt exceeded Config.UnitTimeout; retried.
+//   - transient — an error wrapped with Transient (or injected by the chaos
+//     harness); retried.
+//
+// Everything else (domain errors: infeasible workloads, estimator
+// failures, invalid schedules under -validate) is permanent and fails the
+// run on the first occurrence, exactly as before this layer existed.
+
+// UnitError is one failed unit of pool work: a graph pipeline that
+// exhausted its attempts (or failed permanently). It carries the cell
+// identity — batch index, assigner label and system size of the failing
+// cell — and the attempt count, so a sweep error names exactly what died
+// and how hard the runtime tried.
+type UnitError struct {
+	// Graph is the batch index of the unit's task graph.
+	Graph int
+	// Label is the assigner of the failing cell ("" before the first cell).
+	Label string
+	// Size is the processor count of the failing cell (0 before the first).
+	Size int
+	// Attempts is how many times the unit ran before giving up.
+	Attempts int
+	// Err is the final attempt's failure (a *PanicError, ErrUnitTimeout,
+	// a Transient error, or a permanent domain error).
+	Err error
+}
+
+func (e *UnitError) Error() string {
+	cell := ""
+	if e.Label != "" {
+		cell = e.Label
+		if e.Size > 0 {
+			cell = fmt.Sprintf("%s at %d procs", e.Label, e.Size)
+		}
+		cell += ": "
+	}
+	if e.Attempts > 1 {
+		return fmt.Sprintf("%safter %d attempts: %v", cell, e.Attempts, e.Err)
+	}
+	return cell + e.Err.Error()
+}
+
+func (e *UnitError) Unwrap() error { return e.Err }
+
+// PanicError is a recovered cell panic, preserving the panic value and the
+// stack of the panicking goroutine for post-mortems.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// ErrUnitTimeout marks an attempt abandoned by the per-unit deadline
+// (Config.UnitTimeout). Timeouts are retryable: the attempt is re-run from
+// the unit's cached immutable inputs on a fresh worker.
+var ErrUnitTimeout = errors.New("unit deadline exceeded")
+
+// transientError marks an error as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps an error as retryable: the run layer re-executes the
+// failing unit under the retry policy instead of failing the sweep.
+// Transient(nil) is nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is (or wraps) a Transient error.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// retryable reports whether a failed attempt is worth re-running: panics,
+// unit timeouts and transient errors are; domain errors are not.
+func retryable(err error) bool {
+	if IsTransient(err) || errors.Is(err, ErrUnitTimeout) {
+		return true
+	}
+	var pe *PanicError
+	return errors.As(err, &pe)
+}
+
+// PartialError reports a run that was stopped — by cancellation (SIGINT) or
+// an exhausted per-table budget — before every cell completed. The run
+// still returns its partial table: completed cells carry real data, the
+// rest are marked FAILED(reason).
+type PartialError struct {
+	// Reason is the human-readable stop cause ("interrupted",
+	// "budget exceeded"); it is also the FAILED marker of incomplete cells.
+	Reason string
+	// Failed counts the incomplete (assigner, size) cells.
+	Failed int
+	// Err is the underlying context error.
+	Err error
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("partial result: %s with %d cells incomplete", e.Reason, e.Failed)
+}
+
+func (e *PartialError) Unwrap() error { return e.Err }
+
+// RetryPolicy governs re-execution of retryable unit failures. The zero
+// value means the defaults: 3 attempts, 10ms base delay doubling up to
+// 500ms.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per unit (1 disables
+	// retries; 0 means the default of 3).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: retry k (1-based) waits
+	// BaseDelay << (k-1), capped at MaxDelay. Default 10ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Default 500ms.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 3
+	}
+	return p.MaxAttempts
+}
+
+// delay returns the backoff before retry k (1-based).
+func (p RetryPolicy) delay(k int) time.Duration {
+	base, cap := p.BaseDelay, p.MaxDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 500 * time.Millisecond
+	}
+	d := base << uint(k-1)
+	if d <= 0 || d > cap { // overflow or past the cap
+		d = cap
+	}
+	return d
+}
+
+// sleepCtx sleeps for d or until ctx is done, returning the context error
+// in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// FaultPlan is the chaos harness: a config-gated hook that injects panics,
+// hangs and transient errors at the unit boundary, at configurable rates.
+// Injection is a pure function of (Seed, graph index, attempt), so a chaos
+// run is reproducible; attempts beyond MaxFaultyAttempts are always clean,
+// so any retry policy with MaxAttempts > MaxFaultyAttempts is guaranteed
+// to converge — and, because retries re-derive every value from the same
+// immutable inputs, to converge on tables byte-identical to a fault-free
+// run. Production runs leave Config.Faults nil; the hook then compiles to
+// a single nil check.
+type FaultPlan struct {
+	// Seed keys the injection stream.
+	Seed uint64
+	// PanicRate, HangRate and ErrorRate are per-attempt probabilities
+	// (summed, in that order) of injecting each fault class.
+	PanicRate, HangRate, ErrorRate float64
+	// HangDuration is how long an injected hang blocks (cooperatively: it
+	// wakes early when the attempt deadline cancels it). Default 1s.
+	HangDuration time.Duration
+	// MaxFaultyAttempts bounds which attempts may fault; later attempts
+	// are always clean. Default 2.
+	MaxFaultyAttempts int
+}
+
+// inject runs the fault decision for one attempt of one unit. It may
+// panic, block (until HangDuration or ctx), or return a transient error.
+func (p *FaultPlan) inject(ctx context.Context, gi, attempt int, rec *metrics.Recorder) error {
+	if p == nil {
+		return nil
+	}
+	max := p.MaxFaultyAttempts
+	if max <= 0 {
+		max = 2
+	}
+	if attempt > max {
+		return nil
+	}
+	r := p.roll(gi, attempt)
+	switch {
+	case r < p.PanicRate:
+		rec.FaultInjected()
+		panic(fmt.Sprintf("faultinject: panic (graph %d, attempt %d)", gi, attempt))
+	case r < p.PanicRate+p.HangRate:
+		rec.FaultInjected()
+		d := p.HangDuration
+		if d <= 0 {
+			d = time.Second
+		}
+		// A completed hang is not a failure; one cut short by the attempt
+		// deadline surfaces as the context error and becomes a timeout.
+		return sleepCtx(ctx, d)
+	case r < p.PanicRate+p.HangRate+p.ErrorRate:
+		rec.FaultInjected()
+		return Transient(fmt.Errorf("faultinject: error (graph %d, attempt %d)", gi, attempt))
+	}
+	return nil
+}
+
+// roll returns the uniform [0,1) decision variable for (gi, attempt).
+func (p *FaultPlan) roll(gi, attempt int) float64 {
+	h := splitmix64(p.Seed ^ splitmix64(uint64(gi)<<20|uint64(attempt)))
+	return float64(h>>11) / (1 << 53)
+}
+
+// splitmix64 is the standard 64-bit finalizer (Steele et al.), good enough
+// to decorrelate the (seed, cell, attempt) lattice.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"deadlinedist/internal/apps"
@@ -14,10 +15,15 @@ import (
 )
 
 // This file maps every figure of the paper — and the Section 8
-// complementary results — onto harness runs. Each function takes a base
-// configuration (typically experiment.Default(scenario) with the batch
-// size possibly reduced) and returns one table per scenario/panel, exactly
-// mirroring the paper's plot layout. See DESIGN.md §4 for the index.
+// complementary results — onto harness runs. Each function takes a context
+// and a base configuration (typically experiment.Default(scenario) with the
+// batch size possibly reduced) and returns one table per scenario/panel,
+// exactly mirroring the paper's plot layout. See DESIGN.md §4 for the index.
+//
+// Every function propagates partial results: when a run is interrupted or
+// over budget, the tables completed so far — plus the partial table of the
+// interrupted run — are returned alongside the error, so dlexp can render
+// what exists and the journal-backed resume can finish the rest.
 
 // options shared by the AST experiments (Section 7): Figure 5 uses
 // Δ=1 and c_thres = 1.25 × MET.
@@ -40,73 +46,81 @@ func scenarioConfigs(base Config) []Config {
 // Figure2 reproduces Figure 2: maximum task lateness of the BST metrics
 // (PURE, NORM) under both communication-cost estimation strategies (CCNE,
 // CCAA), one table per execution-time scenario.
-func Figure2(base Config) ([]*Table, error) {
+func Figure2(ctx context.Context, base Config) ([]*Table, error) {
 	var tables []*Table
 	for _, cfg := range scenarioConfigs(base) {
-		t, err := cfg.Run("Figure 2: BST metrics (PURE, NORM) x (CCNE, CCAA)",
+		t, err := cfg.RunContext(ctx, "Figure 2: BST metrics (PURE, NORM) x (CCNE, CCAA)",
 			Slicing(core.PURE(), core.CCNE()),
 			Slicing(core.PURE(), core.CCAA()),
 			Slicing(core.NORM(), core.CCNE()),
 			Slicing(core.NORM(), core.CCAA()),
 		)
-		if err != nil {
-			return nil, err
+		if t != nil {
+			tables = append(tables, t)
 		}
-		tables = append(tables, t)
+		if err != nil {
+			return tables, err
+		}
 	}
 	return tables, nil
 }
 
 // Figure3 reproduces Figure 3: the THRES metric for surplus factors
 // Δ ∈ {1, 2, 4} (CCNE, c_thres = MET), one table per scenario.
-func Figure3(base Config) ([]*Table, error) {
+func Figure3(ctx context.Context, base Config) ([]*Table, error) {
 	var tables []*Table
 	for _, cfg := range scenarioConfigs(base) {
-		t, err := cfg.Run("Figure 3: THRES surplus factor sweep",
+		t, err := cfg.RunContext(ctx, "Figure 3: THRES surplus factor sweep",
 			labelled{Slicing(core.THRES(1, 1.0), core.CCNE()), "THRES d=1"},
 			labelled{Slicing(core.THRES(2, 1.0), core.CCNE()), "THRES d=2"},
 			labelled{Slicing(core.THRES(4, 1.0), core.CCNE()), "THRES d=4"},
 		)
-		if err != nil {
-			return nil, err
+		if t != nil {
+			tables = append(tables, t)
 		}
-		tables = append(tables, t)
+		if err != nil {
+			return tables, err
+		}
 	}
 	return tables, nil
 }
 
 // Figure4 reproduces Figure 4: the THRES metric for execution-time
 // thresholds c_thres ∈ {0.75, 1.0, 1.25} × MET (Δ=1, CCNE).
-func Figure4(base Config) ([]*Table, error) {
+func Figure4(ctx context.Context, base Config) ([]*Table, error) {
 	var tables []*Table
 	for _, cfg := range scenarioConfigs(base) {
-		t, err := cfg.Run("Figure 4: THRES execution-time threshold sweep",
+		t, err := cfg.RunContext(ctx, "Figure 4: THRES execution-time threshold sweep",
 			labelled{Slicing(core.THRES(defaultDelta, 0.75), core.CCNE()), "cthres=0.75 MET"},
 			labelled{Slicing(core.THRES(defaultDelta, 1.00), core.CCNE()), "cthres=1.00 MET"},
 			labelled{Slicing(core.THRES(defaultDelta, 1.25), core.CCNE()), "cthres=1.25 MET"},
 		)
-		if err != nil {
-			return nil, err
+		if t != nil {
+			tables = append(tables, t)
 		}
-		tables = append(tables, t)
+		if err != nil {
+			return tables, err
+		}
 	}
 	return tables, nil
 }
 
 // Figure5 reproduces Figure 5: PURE vs THRES(Δ=1) vs ADAPT, with
 // c_thres = 1.25 × MET and the CCNE strategy (AST's design choice).
-func Figure5(base Config) ([]*Table, error) {
+func Figure5(ctx context.Context, base Config) ([]*Table, error) {
 	var tables []*Table
 	for _, cfg := range scenarioConfigs(base) {
-		t, err := cfg.Run("Figure 5: PURE vs THRES vs ADAPT",
+		t, err := cfg.RunContext(ctx, "Figure 5: PURE vs THRES vs ADAPT",
 			Slicing(core.PURE(), core.CCNE()),
 			Slicing(core.THRES(defaultDelta, defaultThresFactor), core.CCNE()),
 			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
 		)
-		if err != nil {
-			return nil, err
+		if t != nil {
+			tables = append(tables, t)
 		}
-		tables = append(tables, t)
+		if err != nil {
+			return tables, err
+		}
 	}
 	return tables, nil
 }
@@ -114,21 +128,23 @@ func Figure5(base Config) ([]*Table, error) {
 // CCRSweep reproduces the Section 8 result that AST scales with the
 // communication-to-computation cost ratio: PURE vs ADAPT for CCR ∈
 // {0.5, 1, 2, 4} under the MDET scenario.
-func CCRSweep(base Config) ([]*Table, error) {
+func CCRSweep(ctx context.Context, base Config) ([]*Table, error) {
 	var tables []*Table
 	for _, ccr := range []float64{0.5, 1, 2, 4} {
 		cfg := base
 		cfg.Workload.ExecDeviation = generator.MDET.Deviation
 		cfg.Workload.CCR = ccr
-		t, err := cfg.Run(fmt.Sprintf("Section 8: CCR sweep (CCR=%.1f)", ccr),
+		t, err := cfg.RunContext(ctx, fmt.Sprintf("Section 8: CCR sweep (CCR=%.1f)", ccr),
 			Slicing(core.PURE(), core.CCNE()),
 			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
 		)
-		if err != nil {
-			return nil, err
+		if t != nil {
+			t.Scenario = fmt.Sprintf("MDET CCR=%.1f", ccr)
+			tables = append(tables, t)
 		}
-		t.Scenario = fmt.Sprintf("MDET CCR=%.1f", ccr)
-		tables = append(tables, t)
+		if err != nil {
+			return tables, err
+		}
 	}
 	return tables, nil
 }
@@ -136,21 +152,23 @@ func CCRSweep(base Config) ([]*Table, error) {
 // METSweep reproduces the Section 8 result that AST scales with the mean
 // subtask execution time: PURE vs ADAPT for MET ∈ {5, 20, 80} (MDET).
 // Message sizes follow CCR so communication scales proportionally.
-func METSweep(base Config) ([]*Table, error) {
+func METSweep(ctx context.Context, base Config) ([]*Table, error) {
 	var tables []*Table
 	for _, met := range []float64{5, 20, 80} {
 		cfg := base
 		cfg.Workload.ExecDeviation = generator.MDET.Deviation
 		cfg.Workload.MET = met
-		t, err := cfg.Run(fmt.Sprintf("Section 8: MET sweep (MET=%g)", met),
+		t, err := cfg.RunContext(ctx, fmt.Sprintf("Section 8: MET sweep (MET=%g)", met),
 			Slicing(core.PURE(), core.CCNE()),
 			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
 		)
-		if err != nil {
-			return nil, err
+		if t != nil {
+			t.Scenario = fmt.Sprintf("MDET MET=%g", met)
+			tables = append(tables, t)
 		}
-		t.Scenario = fmt.Sprintf("MDET MET=%g", met)
-		tables = append(tables, t)
+		if err != nil {
+			return tables, err
+		}
 	}
 	return tables, nil
 }
@@ -158,7 +176,7 @@ func METSweep(base Config) ([]*Table, error) {
 // ParallelismSweep reproduces the Section 8 result that AST scales with the
 // degree of task-graph parallelism, by reshaping the random graphs: deep
 // (low parallelism), the paper's default, and shallow (high parallelism).
-func ParallelismSweep(base Config) ([]*Table, error) {
+func ParallelismSweep(ctx context.Context, base Config) ([]*Table, error) {
 	shapes := []struct {
 		name               string
 		minDepth, maxDepth int
@@ -172,22 +190,24 @@ func ParallelismSweep(base Config) ([]*Table, error) {
 		cfg := base
 		cfg.Workload.ExecDeviation = generator.MDET.Deviation
 		cfg.Workload.MinDepth, cfg.Workload.MaxDepth = sh.minDepth, sh.maxDepth
-		t, err := cfg.Run("Section 8: parallelism sweep ("+sh.name+")",
+		t, err := cfg.RunContext(ctx, "Section 8: parallelism sweep ("+sh.name+")",
 			Slicing(core.PURE(), core.CCNE()),
 			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
 		)
-		if err != nil {
-			return nil, err
+		if t != nil {
+			t.Scenario = "MDET " + sh.name
+			tables = append(tables, t)
 		}
-		t.Scenario = "MDET " + sh.name
-		tables = append(tables, t)
+		if err != nil {
+			return tables, err
+		}
 	}
 	return tables, nil
 }
 
 // TopologySweep reproduces the Section 8 result that AST scales across
 // interconnection topologies.
-func TopologySweep(base Config) ([]*Table, error) {
+func TopologySweep(ctx context.Context, base Config) ([]*Table, error) {
 	topos := []struct {
 		name string
 		make func(n int) platform.Topology
@@ -205,22 +225,24 @@ func TopologySweep(base Config) ([]*Table, error) {
 		cfg.Platform = func(n int) (*platform.System, error) {
 			return platform.New(n, platform.WithTopology(mk(n)))
 		}
-		t, err := cfg.Run("Section 8: topology sweep ("+topo.name+")",
+		t, err := cfg.RunContext(ctx, "Section 8: topology sweep ("+topo.name+")",
 			Slicing(core.PURE(), core.CCNE()),
 			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
 		)
-		if err != nil {
-			return nil, err
+		if t != nil {
+			t.Scenario = "MDET " + topo.name
+			tables = append(tables, t)
 		}
-		t.Scenario = "MDET " + topo.name
-		tables = append(tables, t)
+		if err != nil {
+			return tables, err
+		}
 	}
 	return tables, nil
 }
 
 // BaselineComparison is extension X1: the one-pass Kao & Garcia-Molina
 // baselines against PURE and ADAPT (MDET).
-func BaselineComparison(base Config) ([]*Table, error) {
+func BaselineComparison(ctx context.Context, base Config) ([]*Table, error) {
 	cfg := base
 	cfg.Workload.ExecDeviation = generator.MDET.Deviation
 	assigners := []Assigner{
@@ -230,17 +252,18 @@ func BaselineComparison(base Config) ([]*Table, error) {
 	for _, s := range strategy.All() {
 		assigners = append(assigners, Baseline(s))
 	}
-	t, err := cfg.Run("Extension X1: one-pass baselines vs slicing", assigners...)
-	if err != nil {
-		return nil, err
+	t, err := cfg.RunContext(ctx, "Extension X1: one-pass baselines vs slicing", assigners...)
+	var tables []*Table
+	if t != nil {
+		tables = append(tables, t)
 	}
-	return []*Table{t}, nil
+	return tables, err
 }
 
 // BusAblation is extension X2: the contention-free bus of the paper's base
 // model against a contended EDF bus (ADAPT and PURE, CCAA estimates since
 // communication is what contends).
-func BusAblation(base Config) ([]*Table, error) {
+func BusAblation(ctx context.Context, base Config) ([]*Table, error) {
 	var tables []*Table
 	for _, contended := range []bool{false, true} {
 		cfg := base
@@ -252,15 +275,17 @@ func BusAblation(base Config) ([]*Table, error) {
 				return platform.New(n, platform.WithBusContention())
 			}
 		}
-		t, err := cfg.Run("Extension X2: bus contention ablation ("+name+")",
+		t, err := cfg.RunContext(ctx, "Extension X2: bus contention ablation ("+name+")",
 			Slicing(core.PURE(), core.CCAA()),
 			Slicing(core.ADAPT(defaultThresFactor), core.CCAA()),
 		)
-		if err != nil {
-			return nil, err
+		if t != nil {
+			t.Scenario = "MDET " + name
+			tables = append(tables, t)
 		}
-		t.Scenario = "MDET " + name
-		tables = append(tables, t)
+		if err != nil {
+			return tables, err
+		}
 	}
 	return tables, nil
 }
@@ -270,7 +295,7 @@ func BusAblation(base Config) ([]*Table, error) {
 // basis yields feasible schedules whose lateness saturates negative; the
 // tighter longest-path basis drives small systems into overload where all
 // metrics coincide — the evidence behind the model decision.
-func OLRBasisAblation(base Config) ([]*Table, error) {
+func OLRBasisAblation(ctx context.Context, base Config) ([]*Table, error) {
 	var tables []*Table
 	for _, basis := range []struct {
 		name string
@@ -282,15 +307,17 @@ func OLRBasisAblation(base Config) ([]*Table, error) {
 		cfg := base
 		cfg.Workload.ExecDeviation = generator.MDET.Deviation
 		cfg.Workload.Basis = basis.b
-		t, err := cfg.Run("Ablation X8: end-to-end deadline basis ("+basis.name+")",
+		t, err := cfg.RunContext(ctx, "Ablation X8: end-to-end deadline basis ("+basis.name+")",
 			Slicing(core.PURE(), core.CCNE()),
 			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
 		)
-		if err != nil {
-			return nil, err
+		if t != nil {
+			t.Scenario = "MDET " + basis.name
+			tables = append(tables, t)
 		}
-		t.Scenario = "MDET " + basis.name
-		tables = append(tables, t)
+		if err != nil {
+			return tables, err
+		}
 	}
 	return tables, nil
 }
@@ -299,7 +326,7 @@ func OLRBasisAblation(base Config) ([]*Table, error) {
 // default; slices occupy static positions, per BST's static windows)
 // against work-conserving ASAP dispatch that uses the windows only for EDF
 // priorities (DESIGN.md §3).
-func DispatchAblation(base Config) ([]*Table, error) {
+func DispatchAblation(ctx context.Context, base Config) ([]*Table, error) {
 	var tables []*Table
 	for _, mode := range []struct {
 		name    string
@@ -311,15 +338,17 @@ func DispatchAblation(base Config) ([]*Table, error) {
 		cfg := base
 		cfg.Workload.ExecDeviation = generator.MDET.Deviation
 		cfg.Scheduler.RespectRelease = mode.respect
-		t, err := cfg.Run("Ablation X9: dispatch model ("+mode.name+")",
+		t, err := cfg.RunContext(ctx, "Ablation X9: dispatch model ("+mode.name+")",
 			Slicing(core.PURE(), core.CCNE()),
 			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
 		)
-		if err != nil {
-			return nil, err
+		if t != nil {
+			t.Scenario = "MDET " + mode.name
+			tables = append(tables, t)
 		}
-		t.Scenario = "MDET " + mode.name
-		tables = append(tables, t)
+		if err != nil {
+			return tables, err
+		}
 	}
 	return tables, nil
 }
@@ -329,21 +358,23 @@ func DispatchAblation(base Config) ([]*Table, error) {
 // applications"): one table per application, over a batch of WCET-jittered
 // instances, with the applications' own strict locality constraints in
 // force.
-func AppSweep(base Config) ([]*Table, error) {
+func AppSweep(ctx context.Context, base Config) ([]*Table, error) {
 	var tables []*Table
 	for _, app := range apps.All() {
 		cfg := base
 		cfg.Custom = app.Build
-		t, err := cfg.Run("Section 8 (future work): benchmark application ("+app.Name+")",
+		t, err := cfg.RunContext(ctx, "Section 8 (future work): benchmark application ("+app.Name+")",
 			Slicing(core.PURE(), core.CCNE()),
 			Slicing(core.THRES(defaultDelta, defaultThresFactor), core.CCNE()),
 			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
 		)
-		if err != nil {
-			return nil, err
+		if t != nil {
+			t.Scenario = app.Name + " (" + app.About + ")"
+			tables = append(tables, t)
 		}
-		t.Scenario = app.Name + " (" + app.About + ")"
-		tables = append(tables, t)
+		if err != nil {
+			return tables, err
+		}
 	}
 	return tables, nil
 }
@@ -353,20 +384,21 @@ func AppSweep(base Config) ([]*Table, error) {
 // initial local deadline assignment, find an improved solution in
 // reasonable time"). PURE and ADAPT with and without the improvement loop,
 // MDET.
-func ImproveSweep(base Config) ([]*Table, error) {
+func ImproveSweep(ctx context.Context, base Config) ([]*Table, error) {
 	cfg := base
 	cfg.Workload.ExecDeviation = generator.MDET.Deviation
 	icfg := improve.Config{Iterations: 8, Scheduler: cfg.Scheduler}
-	t, err := cfg.Run("Extension X7: iterative improvement of the distribution",
+	t, err := cfg.RunContext(ctx, "Extension X7: iterative improvement of the distribution",
 		Slicing(core.PURE(), core.CCNE()),
 		Improved(core.PURE(), core.CCNE(), icfg),
 		Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
 		Improved(core.ADAPT(defaultThresFactor), core.CCNE(), icfg),
 	)
-	if err != nil {
-		return nil, err
+	var tables []*Table
+	if t != nil {
+		tables = append(tables, t)
 	}
-	return []*Table{t}, nil
+	return tables, err
 }
 
 // AblationSweep decomposes ADAPT into its two ingredients (extension X6):
@@ -374,19 +406,20 @@ func ImproveSweep(base Config) ([]*Table, error) {
 // ranking only, window sizing only, both (= ADAPT) or neither (= PURE),
 // isolating which ingredient produces the small-system gains DESIGN.md
 // calls out as AST's design choice. MDET.
-func AblationSweep(base Config) ([]*Table, error) {
+func AblationSweep(ctx context.Context, base Config) ([]*Table, error) {
 	cfg := base
 	cfg.Workload.ExecDeviation = generator.MDET.Deviation
-	t, err := cfg.Run("Extension X6: AST ingredient ablation",
+	t, err := cfg.RunContext(ctx, "Extension X6: AST ingredient ablation",
 		labelled{Slicing(core.ADAPTAblation(defaultThresFactor, false, false), core.CCNE()), "neither (PURE)"},
 		labelled{Slicing(core.ADAPTAblation(defaultThresFactor, true, false), core.CCNE()), "rank-only"},
 		labelled{Slicing(core.ADAPTAblation(defaultThresFactor, false, true), core.CCNE()), "window-only"},
 		labelled{Slicing(core.ADAPTAblation(defaultThresFactor, true, true), core.CCNE()), "both (ADAPT)"},
 	)
-	if err != nil {
-		return nil, err
+	var tables []*Table
+	if t != nil {
+		tables = append(tables, t)
 	}
-	return []*Table{t}, nil
+	return tables, err
 }
 
 // ChannelSweep addresses the Section 8 open question head-on: with
@@ -395,7 +428,7 @@ func AblationSweep(base Config) ([]*Table, error) {
 // costs under relaxed locality constraints? For each network family the
 // ADAPT metric runs with CCNE (ignore channels), CCHOP (mean route cost,
 // this repository's proposal) and CCAA (single-hop pair cost).
-func ChannelSweep(base Config) ([]*Table, error) {
+func ChannelSweep(ctx context.Context, base Config) ([]*Table, error) {
 	var tables []*Table
 	for _, name := range []string{"bus", "ring", "star", "mesh"} {
 		build := channel.Builders()[name]
@@ -409,16 +442,18 @@ func ChannelSweep(base Config) ([]*Table, error) {
 			}
 			return core.CCHOP(net), nil
 		}
-		t, err := cfg.Run("Extension X5: real-time channels ("+name+" network)",
+		t, err := cfg.RunContext(ctx, "Extension X5: real-time channels ("+name+" network)",
 			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
 			SlicingDyn(core.ADAPT(defaultThresFactor), "ADAPT/CCHOP", mkEst),
 			Slicing(core.ADAPT(defaultThresFactor), core.CCAA()),
 		)
-		if err != nil {
-			return nil, err
+		if t != nil {
+			t.Scenario = "MDET " + name + " channels"
+			tables = append(tables, t)
 		}
-		t.Scenario = "MDET " + name + " channels"
-		tables = append(tables, t)
+		if err != nil {
+			return tables, err
+		}
 	}
 	return tables, nil
 }
@@ -427,7 +462,7 @@ func ChannelSweep(base Config) ([]*Table, error) {
 // on a heterogeneous system": PURE vs ADAPT on platforms whose processors
 // have mixed speeds but the same aggregate capacity as the homogeneous
 // baseline, so the curves stay comparable.
-func HeteroSweep(base Config) ([]*Table, error) {
+func HeteroSweep(ctx context.Context, base Config) ([]*Table, error) {
 	mixes := []struct {
 		name  string
 		speed func(i, n int) float64
@@ -460,15 +495,17 @@ func HeteroSweep(base Config) ([]*Table, error) {
 			}
 			return platform.New(n, platform.WithSpeeds(speeds))
 		}
-		t, err := cfg.Run("Section 8 (future work): heterogeneous speeds ("+mix.name+")",
+		t, err := cfg.RunContext(ctx, "Section 8 (future work): heterogeneous speeds ("+mix.name+")",
 			Slicing(core.PURE(), core.CCNE()),
 			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
 		)
-		if err != nil {
-			return nil, err
+		if t != nil {
+			t.Scenario = "MDET " + mix.name
+			tables = append(tables, t)
 		}
-		t.Scenario = "MDET " + mix.name
-		tables = append(tables, t)
+		if err != nil {
+			return tables, err
+		}
 	}
 	return tables, nil
 }
@@ -479,39 +516,42 @@ func HeteroSweep(base Config) ([]*Table, error) {
 // (Sarkar-style clustering pins every subtask, then the distributor runs
 // in the original BST's strict-locality mode with exact communication
 // costs). MDET.
-func OrderComparison(base Config) ([]*Table, error) {
+func OrderComparison(ctx context.Context, base Config) ([]*Table, error) {
 	cfg := base
 	cfg.Workload.ExecDeviation = generator.MDET.Deviation
-	t, err := cfg.Run("Extension X4: distribution-first vs assignment-first",
+	t, err := cfg.RunContext(ctx, "Extension X4: distribution-first vs assignment-first",
 		Slicing(core.PURE(), core.CCNE()),
 		Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
 		AssignFirst(core.PURE()),
 		AssignFirst(core.NORM()),
 	)
-	if err != nil {
-		return nil, err
+	var tables []*Table
+	if t != nil {
+		tables = append(tables, t)
 	}
-	return []*Table{t}, nil
+	return tables, err
 }
 
 // PolicySweep is the Section 8 future-work item "explore the quality of
 // AST under various task assignment and scheduling policies": PURE vs
 // ADAPT under each dispatch policy (EDF, LLF, FIFO, HLF), MDET.
-func PolicySweep(base Config) ([]*Table, error) {
+func PolicySweep(ctx context.Context, base Config) ([]*Table, error) {
 	var tables []*Table
 	for _, p := range scheduler.Policies() {
 		cfg := base
 		cfg.Workload.ExecDeviation = generator.MDET.Deviation
 		cfg.Scheduler.Policy = p
-		t, err := cfg.Run("Section 8: dispatch policy sweep ("+p.String()+")",
+		t, err := cfg.RunContext(ctx, "Section 8: dispatch policy sweep ("+p.String()+")",
 			Slicing(core.PURE(), core.CCNE()),
 			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
 		)
-		if err != nil {
-			return nil, err
+		if t != nil {
+			t.Scenario = "MDET " + p.String()
+			tables = append(tables, t)
 		}
-		t.Scenario = "MDET " + p.String()
-		tables = append(tables, t)
+		if err != nil {
+			return tables, err
+		}
 	}
 	return tables, nil
 }
@@ -519,7 +559,7 @@ func PolicySweep(base Config) ([]*Table, error) {
 // PreemptionAblation is the Section 8 future-work item on run-time models:
 // the paper's non-preemptive time-driven model against preemptive EDF,
 // with PURE and ADAPT (MDET).
-func PreemptionAblation(base Config) ([]*Table, error) {
+func PreemptionAblation(ctx context.Context, base Config) ([]*Table, error) {
 	var tables []*Table
 	for _, preemptive := range []bool{false, true} {
 		cfg := base
@@ -529,15 +569,17 @@ func PreemptionAblation(base Config) ([]*Table, error) {
 		if preemptive {
 			name = "preemptive EDF"
 		}
-		t, err := cfg.Run("Section 8: run-time model ("+name+")",
+		t, err := cfg.RunContext(ctx, "Section 8: run-time model ("+name+")",
 			Slicing(core.PURE(), core.CCNE()),
 			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
 		)
-		if err != nil {
-			return nil, err
+		if t != nil {
+			t.Scenario = "MDET " + name
+			tables = append(tables, t)
 		}
-		t.Scenario = "MDET " + name
-		tables = append(tables, t)
+		if err != nil {
+			return tables, err
+		}
 	}
 	return tables, nil
 }
@@ -547,29 +589,31 @@ func PreemptionAblation(base Config) ([]*Table, error) {
 // strict locality constraints, interpolating between fully relaxed
 // (the paper's experiments) and fully pinned boundaries. PURE vs ADAPT
 // under MDET.
-func LocalitySweep(base Config) ([]*Table, error) {
+func LocalitySweep(ctx context.Context, base Config) ([]*Table, error) {
 	var tables []*Table
 	for _, frac := range []float64{0, 0.25, 0.5, 1.0} {
 		cfg := base
 		cfg.Workload.ExecDeviation = generator.MDET.Deviation
 		cfg.Workload.PinnedFraction = frac
 		cfg.Workload.PinnedProcs = 2
-		t, err := cfg.Run(fmt.Sprintf("Extension X3: strict-locality fraction %.0f%%", 100*frac),
+		t, err := cfg.RunContext(ctx, fmt.Sprintf("Extension X3: strict-locality fraction %.0f%%", 100*frac),
 			Slicing(core.PURE(), core.CCNE()),
 			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
 		)
-		if err != nil {
-			return nil, err
+		if t != nil {
+			t.Scenario = fmt.Sprintf("MDET pinned=%.0f%%", 100*frac)
+			tables = append(tables, t)
 		}
-		t.Scenario = fmt.Sprintf("MDET pinned=%.0f%%", 100*frac)
-		tables = append(tables, t)
+		if err != nil {
+			return tables, err
+		}
 	}
 	return tables, nil
 }
 
 // StructuredSweep is the Section 8 future-work item: AST on the structured
 // task-graph shapes (chain, trees, fork-join, layered).
-func StructuredSweep(base Config) ([]*Table, error) {
+func StructuredSweep(ctx context.Context, base Config) ([]*Table, error) {
 	// Structured generation replaces the random generator; sized to stay
 	// near the paper's 40-60 subtasks.
 	shapes := []generator.StructuredConfig{
@@ -585,15 +629,17 @@ func StructuredSweep(base Config) ([]*Table, error) {
 		cfg.Workload.ExecDeviation = generator.MDET.Deviation
 		shape := sc
 		cfg.Structured = &shape
-		t, err := cfg.Run("Section 8 (future work): structured graphs ("+sc.Shape.String()+")",
+		t, err := cfg.RunContext(ctx, "Section 8 (future work): structured graphs ("+sc.Shape.String()+")",
 			Slicing(core.PURE(), core.CCNE()),
 			Slicing(core.ADAPT(defaultThresFactor), core.CCNE()),
 		)
-		if err != nil {
-			return nil, err
+		if t != nil {
+			t.Scenario = "MDET " + sc.Shape.String()
+			tables = append(tables, t)
 		}
-		t.Scenario = "MDET " + sc.Shape.String()
-		tables = append(tables, t)
+		if err != nil {
+			return tables, err
+		}
 	}
 	return tables, nil
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -27,7 +28,7 @@ func labels(t *Table) []string {
 }
 
 func TestFigure2Shape(t *testing.T) {
-	tables, err := Figure2(figBase(4, 2, 8))
+	tables, err := Figure2(context.Background(), figBase(4, 2, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestFigure2Shape(t *testing.T) {
 }
 
 func TestFigure3Shape(t *testing.T) {
-	tables, err := Figure3(figBase(4, 2, 8))
+	tables, err := Figure3(context.Background(), figBase(4, 2, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestFigure3Shape(t *testing.T) {
 }
 
 func TestFigure4Shape(t *testing.T) {
-	tables, err := Figure4(figBase(4, 2, 8))
+	tables, err := Figure4(context.Background(), figBase(4, 2, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestFigure4Shape(t *testing.T) {
 }
 
 func TestFigure5Shape(t *testing.T) {
-	tables, err := Figure5(figBase(4, 2, 8))
+	tables, err := Figure5(context.Background(), figBase(4, 2, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestSweepsProduceTables(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			tables, err := c.fn(base)
+			tables, err := c.fn(context.Background(), base)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -189,7 +190,7 @@ func TestPaperShapeCCNEBeatsCCAA(t *testing.T) {
 }
 
 func TestLocalitySweepShape(t *testing.T) {
-	tables, err := LocalitySweep(figBase(3, 2, 8))
+	tables, err := LocalitySweep(context.Background(), figBase(3, 2, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestLocalitySweepShape(t *testing.T) {
 }
 
 func TestOrderComparisonShape(t *testing.T) {
-	tables, err := OrderComparison(figBase(4, 2, 8))
+	tables, err := OrderComparison(context.Background(), figBase(4, 2, 8))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,6 +23,10 @@ func (t *Table) String() string {
 		fmt.Fprintf(&sb, "%-10d", t.Curves[0].Points[si].Size)
 		for _, c := range t.Curves {
 			p := c.Points[si]
+			if p.Failed != "" {
+				fmt.Fprintf(&sb, " %22s", "FAILED("+p.Failed+")")
+				continue
+			}
 			fmt.Fprintf(&sb, " %13.2f ±%7.2f", p.Stats.Mean(), p.Stats.CI95())
 		}
 		sb.WriteByte('\n')
@@ -41,6 +46,10 @@ func (t *Table) CSV() string {
 		fmt.Fprintf(&sb, "%d", t.Curves[0].Points[si].Size)
 		for _, c := range t.Curves {
 			p := c.Points[si]
+			if p.Failed != "" {
+				fmt.Fprintf(&sb, ",FAILED(%s),", p.Failed)
+				continue
+			}
 			fmt.Fprintf(&sb, ",%.4f,%.4f", p.Stats.Mean(), p.Stats.CI95())
 		}
 		sb.WriteByte('\n')
@@ -54,6 +63,9 @@ func (t *Table) Plot(width, height int) string {
 	for _, c := range t.Curves {
 		s := textplot.Series{Name: c.Label}
 		for _, p := range c.Points {
+			if p.Failed != "" {
+				continue // incomplete cells have no value to plot
+			}
 			s.X = append(s.X, float64(p.Size))
 			s.Y = append(s.Y, p.Stats.Mean())
 		}
@@ -72,6 +84,9 @@ func (t *Table) Mean(label string, size int) (float64, bool) {
 		}
 		for _, p := range c.Points {
 			if p.Size == size {
+				if p.Failed != "" {
+					return 0, false
+				}
 				return p.Stats.Mean(), true
 			}
 		}
@@ -90,7 +105,7 @@ func (t *Table) PairedDiff(labelA, labelB string, size int) (analysis.Stats, boo
 	var a, b []float64
 	for _, c := range t.Curves {
 		for _, p := range c.Points {
-			if p.Size != size {
+			if p.Size != size || p.Failed != "" {
 				continue
 			}
 			switch c.Label {
@@ -112,8 +127,10 @@ func (t *Table) PairedDiff(labelA, labelB string, size int) (analysis.Stats, boo
 }
 
 // FigureFunc regenerates one paper figure (or Section 8 / extension
-// result) from a base configuration.
-type FigureFunc func(base Config) ([]*Table, error)
+// result) from a base configuration. The tables completed before an
+// interruption are returned alongside the error (see the partial-result
+// contract in figures.go).
+type FigureFunc func(ctx context.Context, base Config) ([]*Table, error)
 
 // Figures returns the registry of reproducible experiments, keyed by the
 // identifiers used by cmd/dlexp (see DESIGN.md §4).

@@ -1,0 +1,317 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/generator"
+	"deadlinedist/internal/scheduler"
+	"deadlinedist/internal/taskgraph"
+)
+
+func TestJournalRoundTripExactBits(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values JSON floats cannot carry exactly: NaN, infinities, and a
+	// full-precision mantissa.
+	vals := []float64{0, -0.0, math.NaN(), math.Inf(1), math.Inf(-1), 0.1 + 0.2, -1.2345678901234567e-300}
+	if err := j.commit("key", 3, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 1 {
+		t.Fatalf("replayed %d units, want 1", j2.Len())
+	}
+	got, ok := j2.lookup("key", 3, len(vals))
+	if !ok {
+		t.Fatal("committed unit not found after reopen")
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Errorf("value %d: bits %x != %x", i, math.Float64bits(got[i]), math.Float64bits(vals[i]))
+		}
+	}
+	// Wrong length or key is a miss, never a partial hit.
+	if _, ok := j2.lookup("key", 3, len(vals)+1); ok {
+		t.Error("length mismatch served as a hit")
+	}
+	if _, ok := j2.lookup("other", 3, len(vals)); ok {
+		t.Error("unknown key served as a hit")
+	}
+}
+
+func TestJournalSkipsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.commit("key", 0, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.commit("key", 1, []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a torn, non-JSON tail line.
+	f, err := os.OpenFile(filepath.Join(dir, "journal.jsonl"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"k":"key","g":2,"b":["40`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("journal with torn tail failed to open: %v", err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 {
+		t.Fatalf("replayed %d units, want 2 (torn tail skipped)", j2.Len())
+	}
+	if _, ok := j2.lookup("key", 2, 2); ok {
+		t.Error("torn record served as a hit")
+	}
+}
+
+func TestJournalKeySeparatesConfigurations(t *testing.T) {
+	cfg := Default(generator.MDET)
+	cfg.Graphs = 4
+	asg := []Assigner{Slicing(core.PURE(), core.CCNE())}
+	base := cfg.journalKey("t", asg)
+	if cfg.journalKey("t", asg) != base {
+		t.Error("journal key not deterministic")
+	}
+	vary := []Config{cfg, cfg, cfg, cfg}
+	vary[0].Seed++
+	vary[1].Graphs++
+	vary[2].Preemptive = true
+	vary[3].Sizes = []int{2}
+	for i, v := range vary {
+		if v.journalKey("t", asg) == base {
+			t.Errorf("variant %d shares the base journal key", i)
+		}
+	}
+	if cfg.journalKey("other title", asg) == base {
+		t.Error("title not part of the journal key")
+	}
+	if cfg.journalKey("t", []Assigner{Slicing(core.ADAPT(1.25), core.CCNE())}) == base {
+		t.Error("assigner labels not part of the journal key")
+	}
+}
+
+// resumeCfg is a single-worker sweep whose interruption point is
+// deterministic: with Workers=1 units complete in batch order, so cancelling
+// from inside unit 0's last cell journals exactly one unit.
+func resumeCfg() Config {
+	cfg := Default(generator.MDET)
+	cfg.Graphs = 6
+	cfg.Sizes = []int{2, 5}
+	cfg.Workers = 1
+	return cfg
+}
+
+// TestInterruptedRunResumesByteIdentical is the checkpoint–resume
+// acceptance test: a run killed mid-sweep, resumed against the same journal
+// directory, converges on a table byte-identical to an uninterrupted run —
+// and a third run over the fully-journaled table recomputes nothing.
+func TestInterruptedRunResumesByteIdentical(t *testing.T) {
+	asg := []Assigner{Slicing(core.ADAPT(1.25), core.CCNE())}
+	want, err := resumeCfg().Run("resume", asg...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	// Phase 1: interrupt after the first unit's last cell. The measure
+	// wrapper delegates to the real measure, so journaled values match the
+	// uninterrupted run's.
+	j1, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var cells atomic.Int32
+	cfg1 := resumeCfg()
+	cfg1.Journal = j1
+	cfg1.Measure = func(g *taskgraph.Graph, res *core.Result, sched *scheduler.Schedule) float64 {
+		if cells.Add(1) == int32(len(cfg1.Sizes)) {
+			cancel() // unit 0 completes; the cancellation stops everything after
+		}
+		return MaxLateness(g, res, sched)
+	}
+	_, err = cfg1.RunContext(ctx, "resume", asg...)
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("interrupted run returned %v, want *PartialError", err)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := mustOpenLen(t, dir); n == 0 || n >= cfg1.Graphs {
+		t.Fatalf("interruption journaled %d units, want in (0, %d)", n, cfg1.Graphs)
+	}
+
+	// Phase 2: resume. The journal replays the finished units; the rest are
+	// recomputed from the same immutable inputs.
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := resumeCfg()
+	cfg2.Journal = j2
+	got, err := cfg2.Run("resume", asg...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("resumed table differs from uninterrupted run:\n--- want ---\n%s\n--- got ---\n%s",
+			want.String(), got.String())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("resumed table raw values differ from uninterrupted run")
+	}
+
+	// Phase 3: everything journaled — the run must replay all units and
+	// never reach the pipeline (the measure hook counts invocations).
+	j3, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	var recomputed atomic.Int32
+	cfg3 := resumeCfg()
+	cfg3.Journal = j3
+	cfg3.Measure = func(g *taskgraph.Graph, res *core.Result, sched *scheduler.Schedule) float64 {
+		recomputed.Add(1)
+		return MaxLateness(g, res, sched)
+	}
+	got3, err := cfg3.Run("resume", asg...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := recomputed.Load(); n != 0 {
+		t.Errorf("fully-journaled run recomputed %d cells, want 0", n)
+	}
+	if !reflect.DeepEqual(got3, want) {
+		t.Error("fully-journaled replay differs from uninterrupted run")
+	}
+}
+
+// TestResumeIgnoresForeignJournal: records keyed by a different
+// configuration are never replayed into a run they do not match.
+func TestResumeIgnoresForeignJournal(t *testing.T) {
+	dir := t.TempDir()
+	asg := []Assigner{Slicing(core.PURE(), core.CCNE())}
+
+	j1, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := resumeCfg()
+	cfg.Graphs = 2
+	cfg.Journal = j1
+	if _, err := cfg.Run("resume", asg...); err != nil {
+		t.Fatal(err)
+	}
+	j1.Close()
+
+	// Same directory, different seed: every unit must be recomputed.
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	var recomputed atomic.Int32
+	cfg2 := cfg
+	cfg2.Seed++
+	cfg2.Journal = j2
+	cfg2.Measure = func(g *taskgraph.Graph, res *core.Result, sched *scheduler.Schedule) float64 {
+		recomputed.Add(1)
+		return MaxLateness(g, res, sched)
+	}
+	if _, err := cfg2.Run("resume", asg...); err != nil {
+		t.Fatal(err)
+	}
+	if want := int32(cfg2.Graphs * len(cfg2.Sizes)); recomputed.Load() != want {
+		t.Errorf("foreign journal short-circuited work: %d cells recomputed, want %d", recomputed.Load(), want)
+	}
+}
+
+// TestJournalWorksWithOrchestrator: journaled replay and the shared pool
+// compose — an orchestrated resume matches the unorchestrated reference.
+func TestJournalWorksWithOrchestrator(t *testing.T) {
+	asg := orcAssigners()
+	cfg := orcCfg()
+	want, err := cfg.Run("orc-resume", asg...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	j1, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg1 := cfg
+	cfg1.Journal = j1
+	if _, err := cfg1.Run("orc-resume", asg...); err != nil {
+		t.Fatal(err)
+	}
+	j1.Close()
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != cfg.Graphs {
+		t.Fatalf("journal holds %d units, want %d", j2.Len(), cfg.Graphs)
+	}
+	orc := NewOrchestrator(3)
+	defer orc.Close()
+	cfg2 := cfg
+	cfg2.Orchestrator = orc
+	cfg2.Journal = j2
+	got, err := cfg2.Run("orc-resume", asg...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("orchestrated resume differs from unorchestrated reference")
+	}
+}
+
+func mustOpenLen(t *testing.T, dir string) int {
+	t.Helper()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	return j.Len()
+}

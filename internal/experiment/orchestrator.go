@@ -1,7 +1,9 @@
 package experiment
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"math"
 	"runtime"
 	"sync"
@@ -60,8 +62,14 @@ const maxAssignEntries = 1 << 16
 // the run that submitted it (for occupancy accounting).
 type poolJob struct {
 	rec *metrics.Recorder
-	fn  func(w *poolWorker)
+	fn  func(box *workerBox)
 }
+
+// workerBox is an indirection handle to one worker's scratch state. The
+// fault-tolerant unit runner swaps in a fresh poolWorker after a panicking
+// or abandoned (deadline-exceeded) attempt: the old one may be torn
+// mid-mutation, or still owned by a hung goroutine.
+type workerBox struct{ w *poolWorker }
 
 // poolWorker is the per-goroutine scratch state of an engine worker: the
 // scheduler scratch (with schedule recycling on — the engine measures each
@@ -132,18 +140,42 @@ func (o *Orchestrator) Close() {
 
 func (o *Orchestrator) worker() {
 	defer o.wg.Done()
-	w := newPoolWorker()
+	box := &workerBox{w: newPoolWorker()}
 	for j := range o.jobs {
 		j.rec.PoolJobStart()
-		j.fn(w)
+		runJob(j, box)
 		j.rec.PoolJobEnd()
 	}
 }
 
+// runJob is the pool's last-resort recover boundary: the engine converts
+// unit panics to errors itself, but a panic escaping a job anyway (a bug in
+// the run layer) must not kill the shared worker — that would shrink the
+// pool for every run and, once all workers died, deadlock every submitter
+// and Close. The job's own deferred bookkeeping (its WaitGroup slot) has
+// already run by the time the panic reaches here, so the submitting run
+// still drains.
+func runJob(j poolJob, box *workerBox) {
+	defer func() {
+		if recover() != nil {
+			box.w = newPoolWorker()
+		}
+	}()
+	j.fn(box)
+}
+
 // submit enqueues a job, or gives up when cancel is closed first (the
-// submitting run failed and is draining). Returns whether the job was
-// enqueued.
+// submitting run failed or was cancelled while the queue was full — every
+// worker busy). Returns whether the job was enqueued; a false return means
+// the caller still owns the job's WaitGroup slot and must release it.
 func (o *Orchestrator) submit(j poolJob, cancel <-chan struct{}) bool {
+	select {
+	case <-cancel:
+		// Checked first so a cancelled run never enqueues more work, even
+		// when a worker happens to be free.
+		return false
+	default:
+	}
 	select {
 	case o.jobs <- j:
 		return true
@@ -154,21 +186,40 @@ func (o *Orchestrator) submit(j poolJob, cancel <-chan struct{}) bool {
 
 // batch returns the cached batch for key, generating it via gen exactly once
 // per key (including failed generations — the error is deterministic).
-func (o *Orchestrator) batch(key generator.BatchID, rec *metrics.Recorder,
+// Waiters block with their run's context, so a cancelled run never hangs on
+// another run's generation; a panicking generator releases the slot instead
+// of stranding waiters on a never-closed ready channel.
+func (o *Orchestrator) batch(ctx context.Context, key generator.BatchID, rec *metrics.Recorder,
 	gen func() ([]*taskgraph.Graph, error)) ([]*taskgraph.Graph, error) {
 
 	o.mu.Lock()
 	if e, ok := o.batches[key]; ok {
 		o.mu.Unlock()
 		rec.BatchHit()
-		<-e.ready
-		return e.graphs, e.err
+		select {
+		case <-e.ready:
+			return e.graphs, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	e := &batchEntry{ready: make(chan struct{})}
 	o.batches[key] = e
 	o.mu.Unlock()
 	rec.BatchMiss()
+	settled := false
+	defer func() {
+		if settled {
+			return
+		}
+		o.mu.Lock()
+		delete(o.batches, key)
+		o.mu.Unlock()
+		e.err = Transient(errors.New("batch generation abandoned by a panicking owner"))
+		close(e.ready)
+	}()
 	e.graphs, e.err = gen()
+	settled = true
 	close(e.ready)
 	return e.graphs, e.err
 }
@@ -178,7 +229,14 @@ func (o *Orchestrator) batch(key generator.BatchID, rec *metrics.Recorder,
 // (recording assign-stage time and search counters on rec) and publishes it
 // unless the cache is full. The second return reports whether the Result is
 // shared cache storage — shared results must not be recycled by the caller.
-func (o *Orchestrator) assignment(gg *taskgraph.Graph, sys *platform.System,
+//
+// Only successful assignments occupy cache entries. An Assign that errors
+// (or panics) releases its singleflight slot on the way out: the key is
+// deleted before ready is closed, so the slot is never pinned by a failure
+// and a later attempt — e.g. a retry of a transiently failing unit —
+// computes afresh instead of inheriting a stale error. Waiters block with
+// their own run's context, so one run's cancellation never strands another.
+func (o *Orchestrator) assignment(ctx context.Context, gg *taskgraph.Graph, sys *platform.System,
 	asg Assigner, label string, fp []float64, rec *metrics.Recorder,
 	w *poolWorker) (*core.Result, bool, error) {
 
@@ -187,8 +245,12 @@ func (o *Orchestrator) assignment(gg *taskgraph.Graph, sys *platform.System,
 	if e, ok := o.assigns[key]; ok {
 		o.mu.Unlock()
 		rec.CrossHit()
-		<-e.ready
-		return e.res, true, e.err
+		select {
+		case <-e.ready:
+			return e.res, true, e.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
 	}
 	var e *assignEntry
 	if len(o.assigns) < maxAssignEntries {
@@ -197,13 +259,32 @@ func (o *Orchestrator) assignment(gg *taskgraph.Graph, sys *platform.System,
 	}
 	o.mu.Unlock()
 	rec.CrossMiss()
-	t0 := rec.Start()
-	// Compute with the worker's pooled scratch but never its spare Result:
-	// a published Result is shared cache storage and must own fresh slices.
+	settled := false
 	var (
 		res *core.Result
 		err error
 	)
+	if e != nil {
+		defer func() {
+			if settled {
+				return
+			}
+			o.mu.Lock()
+			delete(o.assigns, key)
+			o.mu.Unlock()
+			if err != nil {
+				e.err = err
+			} else {
+				// Reached only when the computation below panicked; make the
+				// waiters retry rather than fail their sweeps on our bug.
+				e.err = Transient(errors.New("assignment abandoned by a panicking owner"))
+			}
+			close(e.ready)
+		}()
+	}
+	t0 := rec.Start()
+	// Compute with the worker's pooled scratch but never its spare Result:
+	// a published Result is shared cache storage and must own fresh slices.
 	if r, ok := asg.(resultRecycler); ok {
 		res, err = r.AssignInto(gg, sys, nil, w.dist)
 	} else {
@@ -214,12 +295,13 @@ func (o *Orchestrator) assignment(gg *taskgraph.Graph, sys *platform.System,
 		st := res.Search
 		rec.AddSearch(st.Iterations, st.StartsExamined, st.DPRuns, st.CacheReuses)
 	}
-	if e == nil {
-		return res, false, err
+	if e == nil || err != nil {
+		return res, false, err // the deferred release unpins the slot on error
 	}
-	e.res, e.err = res, err
+	e.res, e.err = res, nil
+	settled = true
 	close(e.ready)
-	return res, true, err
+	return res, true, nil
 }
 
 // fpBits encodes a fingerprint as its float bit pattern, collapsing every

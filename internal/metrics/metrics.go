@@ -100,6 +100,14 @@ type Recorder struct {
 	searchStarts     atomic.Int64
 	searchDPRuns     atomic.Int64
 	searchReuses     atomic.Int64
+
+	// Fault-tolerance counters of the run layer: recovered unit panics,
+	// attempts abandoned by the per-unit deadline, retries issued, and
+	// faults injected by the chaos harness.
+	unitPanics     atomic.Int64
+	unitTimeouts   atomic.Int64
+	unitRetries    atomic.Int64
+	faultsInjected atomic.Int64
 }
 
 // New returns an empty Recorder.
@@ -219,6 +227,34 @@ func (r *Recorder) AddSearch(iterations, startsExamined, dpRuns, cacheReuses int
 	r.searchReuses.Add(int64(cacheReuses))
 }
 
+// UnitPanic records a recovered graph-pipeline panic.
+func (r *Recorder) UnitPanic() {
+	if r != nil {
+		r.unitPanics.Add(1)
+	}
+}
+
+// UnitTimedOut records an attempt abandoned by the per-unit deadline.
+func (r *Recorder) UnitTimedOut() {
+	if r != nil {
+		r.unitTimeouts.Add(1)
+	}
+}
+
+// UnitRetry records a retry of a failed unit of pool work.
+func (r *Recorder) UnitRetry() {
+	if r != nil {
+		r.unitRetries.Add(1)
+	}
+}
+
+// FaultInjected records a fault injected by the chaos harness.
+func (r *Recorder) FaultInjected() {
+	if r != nil {
+		r.faultsInjected.Add(1)
+	}
+}
+
 // Bucket is one non-empty histogram bucket of a stage snapshot. UpTo is the
 // exclusive upper bound ("1ms"); the unbounded last bucket reports "inf".
 type Bucket struct {
@@ -277,7 +313,13 @@ type Snapshot struct {
 	CrossMisses int64          `json:"crossMisses,omitempty"`
 	PoolJobs    int64          `json:"poolJobs,omitempty"`
 	PoolPeak    int64          `json:"poolPeak,omitempty"`
-	Search      SearchCounters `json:"search"`
+
+	UnitPanics     int64 `json:"unitPanics,omitempty"`
+	UnitTimeouts   int64 `json:"unitTimeouts,omitempty"`
+	UnitRetries    int64 `json:"unitRetries,omitempty"`
+	FaultsInjected int64 `json:"faultsInjected,omitempty"`
+
+	Search SearchCounters `json:"search"`
 }
 
 // Snapshot freezes the recorder's counters. A nil Recorder yields an empty
@@ -316,6 +358,10 @@ func (r *Recorder) Snapshot() Snapshot {
 	snap.CrossMisses = r.crossMisses.Load()
 	snap.PoolJobs = r.poolJobs.Load()
 	snap.PoolPeak = r.poolPeak.Load()
+	snap.UnitPanics = r.unitPanics.Load()
+	snap.UnitTimeouts = r.unitTimeouts.Load()
+	snap.UnitRetries = r.unitRetries.Load()
+	snap.FaultsInjected = r.faultsInjected.Load()
 	snap.Search = SearchCounters{
 		Iterations:     r.searchIterations.Load(),
 		StartsExamined: r.searchStarts.Load(),
@@ -373,6 +419,10 @@ func (s Snapshot) String() string {
 	if s.PoolJobs > 0 {
 		fmt.Fprintf(&b, "\nshared pool: %d jobs, peak occupancy %d", s.PoolJobs, s.PoolPeak)
 	}
+	if s.UnitPanics+s.UnitTimeouts+s.UnitRetries+s.FaultsInjected > 0 {
+		fmt.Fprintf(&b, "\nfault tolerance: %d panics recovered, %d deadline timeouts, %d retries, %d faults injected",
+			s.UnitPanics, s.UnitTimeouts, s.UnitRetries, s.FaultsInjected)
+	}
 	if sc := s.Search; sc.StartsExamined > 0 {
 		fmt.Fprintf(&b, "\ncritical-path search: %d iterations, %d starts, %d DP runs, %d memo reuses (%.1f%% reuse)",
 			sc.Iterations, sc.StartsExamined, sc.DPRuns, sc.CacheReuses, 100*sc.ReuseRate())
@@ -399,6 +449,9 @@ type Bench struct {
 	CrossHitRate float64        `json:"crossHitRate,omitempty"`
 	PoolJobs     int64          `json:"poolJobs,omitempty"`
 	PoolPeak     int64          `json:"poolPeak,omitempty"`
+	UnitPanics   int64          `json:"unitPanics,omitempty"`
+	UnitTimeouts int64          `json:"unitTimeouts,omitempty"`
+	UnitRetries  int64          `json:"unitRetries,omitempty"`
 	Search       SearchCounters `json:"search"`
 	Stages       []StageStats   `json:"stages"`
 }
@@ -418,6 +471,9 @@ func NewBench(name string, snap Snapshot, wall time.Duration) Bench {
 		CrossHitRate: snap.CrossHitRate(),
 		PoolJobs:     snap.PoolJobs,
 		PoolPeak:     snap.PoolPeak,
+		UnitPanics:   snap.UnitPanics,
+		UnitTimeouts: snap.UnitTimeouts,
+		UnitRetries:  snap.UnitRetries,
 		Search:       snap.Search,
 		Stages:       snap.Stages,
 	}

@@ -85,6 +85,10 @@ func TestNilRecorderIsNoOp(t *testing.T) {
 	r.Observe(StageAssign, time.Second) // must not panic
 	r.CacheHit()
 	r.CacheMiss()
+	r.UnitPanic()
+	r.UnitTimedOut()
+	r.UnitRetry()
+	r.FaultInjected()
 	snap := r.Snapshot()
 	if len(snap.Stages) != 0 || snap.CacheHits != 0 || snap.CacheMisses != 0 {
 		t.Errorf("nil recorder snapshot not empty: %+v", snap)
@@ -239,5 +243,31 @@ func TestSearchCounters(t *testing.T) {
 	}
 	if back.Search != want {
 		t.Errorf("round-trip Search = %+v, want %+v", back.Search, want)
+	}
+}
+
+func TestFaultToleranceCounters(t *testing.T) {
+	r := New()
+	if strings.Contains(r.Snapshot().String(), "fault tolerance:") {
+		t.Error("fault-tolerance line shown with zero counters")
+	}
+	r.UnitPanic()
+	r.UnitPanic()
+	r.UnitTimedOut()
+	r.UnitRetry()
+	r.UnitRetry()
+	r.UnitRetry()
+	r.FaultInjected()
+	snap := r.Snapshot()
+	if snap.UnitPanics != 2 || snap.UnitTimeouts != 1 || snap.UnitRetries != 3 || snap.FaultsInjected != 1 {
+		t.Errorf("counters = %d/%d/%d/%d, want 2/1/3/1",
+			snap.UnitPanics, snap.UnitTimeouts, snap.UnitRetries, snap.FaultsInjected)
+	}
+	if !strings.Contains(snap.String(), "fault tolerance: 2 panics recovered, 1 deadline timeouts, 3 retries, 1 faults injected") {
+		t.Errorf("fault-tolerance line missing:\n%s", snap.String())
+	}
+	bench := NewBench("t", snap, time.Second)
+	if bench.UnitPanics != 2 || bench.UnitTimeouts != 1 || bench.UnitRetries != 3 {
+		t.Errorf("bench counters = %d/%d/%d", bench.UnitPanics, bench.UnitTimeouts, bench.UnitRetries)
 	}
 }
