@@ -14,6 +14,8 @@
 //	dlexp -figure all -resume ck/   # checkpoint to ck/; re-run resumes there
 //	dlexp -validate 7               # spot-check schedules against invariants
 //	dlexp -faults panic=0.1,hang=0.1,err=0.1 -unit-timeout 5s   # chaos run
+//	dlexp -http localhost:9090      # live ops: /metrics /progress /healthz
+//	dlexp -events run.jsonl -trace run.trace.json -progress 2s  # sweep tracing
 //
 // Figure keys (DESIGN.md §4): 2 3 4 5 (paper figures), ccr met par topo
 // shapes apps policy preempt hetero (Section 8), baselines bus locality
@@ -43,6 +45,7 @@ import (
 	"deadlinedist/internal/experiment"
 	"deadlinedist/internal/generator"
 	"deadlinedist/internal/metrics"
+	"deadlinedist/internal/obs"
 	"deadlinedist/internal/profiling"
 	"deadlinedist/internal/report"
 )
@@ -90,6 +93,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		budget     = fs.Duration("budget", 0, "wall-clock budget per table; exceeding it yields a partial table (0 = none)")
 		retries    = fs.Int("retries", 3, "max attempts per unit on panics, deadline timeouts and transient errors")
 		faults     = fs.String("faults", "", "chaos injection: 'panic=P,hang=P,err=P[,seed=N][,hangms=D]' (testing only)")
+		httpAddr   = fs.String("http", "", "serve the live ops endpoint on this address: /metrics (Prometheus), /progress (JSON), /healthz, /debug/pprof/")
+		eventsPath = fs.String("events", "", "write a JSONL event log (one span per unit attempt and pipeline stage) to this file")
+		tracePath  = fs.String("trace", "", "write a Chrome trace-event JSON timeline to this file (open in Perfetto or chrome://tracing)")
+		progEvery  = fs.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -143,12 +150,47 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	defer orc.Close()
 	base.Orchestrator = orc
 
+	// The ops endpoint and the progress line are fed by the same recorder
+	// as -stats, so asking for either turns recording on.
 	var rec *metrics.Recorder
-	if *stats || *benchJSON {
+	if *stats || *benchJSON || *httpAddr != "" || *progEvery > 0 {
 		rec = metrics.New()
 		base.Metrics = rec
 	}
+	var prog *obs.Progress
+	if *httpAddr != "" || *progEvery > 0 {
+		prog = obs.NewProgress()
+		base.Progress = prog
+	}
+	var tr *obs.Tracer
+	if *eventsPath != "" || *tracePath != "" {
+		if tr, err = obs.NewFiles(*eventsPath, *tracePath); err != nil {
+			return err
+		}
+		base.Trace = tr
+	}
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, rec, prog)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "ops server on http://%s (/metrics /progress /healthz)\n", srv.Addr())
+	}
+	reporter := obs.StartReporter(os.Stderr, *progEvery, prog, rec)
 	finish := func(wall time.Duration) error {
+		reporter.Stop()
+		if tr != nil {
+			if err := tr.Close(); err != nil {
+				return fmt.Errorf("event trace: %w", err)
+			}
+			if *eventsPath != "" {
+				fmt.Fprintf(out, "event log written to %s\n", *eventsPath)
+			}
+			if *tracePath != "" {
+				fmt.Fprintf(out, "chrome trace written to %s\n", *tracePath)
+			}
+		}
 		if rec == nil {
 			return prof.Stop()
 		}

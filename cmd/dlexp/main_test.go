@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -337,5 +339,173 @@ func TestRunBadFaultSpec(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(context.Background(), []string{"-faults", "panic=nope"}, &buf); err == nil {
 		t.Fatal("bad -faults spec accepted")
+	}
+}
+
+// opsGate is the output sink of the live-ops test: it captures run()'s
+// output, reports the ops server's address when the banner appears, and
+// then blocks run() at its first table print — after the sweep completed
+// but while the server is still up — so the test can probe the endpoints
+// against a fully populated run regardless of how fast the sweep was.
+type opsGate struct {
+	buf     bytes.Buffer
+	addrCh  chan string
+	reached chan struct{} // closed when the gate point is hit
+	release chan struct{} // closed by the test to let run() finish
+	sent    bool
+	gated   bool
+}
+
+func (g *opsGate) Write(p []byte) (int, error) {
+	g.buf.Write(p)
+	if !g.sent {
+		if _, rest, ok := strings.Cut(g.buf.String(), "ops server on http://"); ok {
+			if addr, _, ok := strings.Cut(rest, " "); ok {
+				g.sent = true
+				g.addrCh <- addr
+			}
+		}
+	}
+	if !g.gated && strings.Contains(g.buf.String(), "=== figure") {
+		g.gated = true
+		close(g.reached)
+		<-g.release
+	}
+	return len(p), nil
+}
+
+func TestRunLiveOpsEndpoint(t *testing.T) {
+	g := &opsGate{addrCh: make(chan string, 1), reached: make(chan struct{}), release: make(chan struct{})}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(context.Background(),
+			[]string{"-figure", "2", "-graphs", "3", "-sizes", "2-4", "-http", "127.0.0.1:0"}, g)
+	}()
+	var addr string
+	select {
+	case addr = <-g.addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before announcing the ops server: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("ops server banner never appeared")
+	}
+	select {
+	case <-g.reached:
+	case err := <-done:
+		t.Fatalf("run exited before printing tables: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("sweep never reached the table print")
+	}
+	// The sweep is complete and run() is parked on our gate: the server is
+	// up and every counter is final.
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		return string(body)
+	}
+	if body := get("/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %q", body)
+	}
+	metricsBody := get("/metrics")
+	for _, want := range []string{
+		"dlexp_stage_duration_seconds_bucket",
+		"dlexp_pool_jobs_total",
+		`dlexp_units{state="done"}`,
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	var prog struct {
+		UnitsDone  int `json:"unitsDone"`
+		UnitsTotal int `json:"unitsTotal"`
+	}
+	if err := json.Unmarshal([]byte(get("/progress")), &prog); err != nil {
+		t.Fatalf("/progress not JSON: %v", err)
+	}
+	if prog.UnitsTotal == 0 || prog.UnitsDone != prog.UnitsTotal {
+		t.Errorf("/progress = %d/%d done, want complete and nonzero", prog.UnitsDone, prog.UnitsTotal)
+	}
+	close(g.release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEventsAndTraceFiles(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "run.jsonl")
+	trace := filepath.Join(dir, "run.trace.json")
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-figure", "2", "-graphs", "2", "-sizes", "2,4",
+		"-events", events, "-trace", trace,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"event log written to", "chrome trace written to"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+
+	data, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var ev struct {
+			Kind    string `json:"kind"`
+			Outcome string `json:"outcome"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("event log line not JSON: %v\n%s", err, line)
+		}
+		if ev.Kind == "unit" && ev.Outcome == "ok" {
+			units++
+		}
+	}
+	// Figure 2 runs one table per scenario with 2 graphs each.
+	if units == 0 || units%2 != 0 {
+		t.Errorf("event log has %d ok unit spans, want a positive multiple of 2", units)
+	}
+
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chromeEvs []map[string]any
+	if err := json.Unmarshal(raw, &chromeEvs); err != nil {
+		t.Fatalf("chrome trace not a JSON array: %v", err)
+	}
+	if len(chromeEvs) == 0 {
+		t.Error("chrome trace empty")
+	}
+}
+
+func TestRunProgressFlag(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-figure", "baselines", "-graphs", "2", "-sizes", "2", "-progress", "1h",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The interval never fires inside the run; the reporter still prints
+	// its final line at shutdown — to stderr, never into table output.
+	if strings.Contains(buf.String(), "progress ") {
+		t.Error("progress line leaked into table output")
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"deadlinedist/internal/generator"
 	"deadlinedist/internal/improve"
 	"deadlinedist/internal/metrics"
+	"deadlinedist/internal/obs"
 	"deadlinedist/internal/platform"
 	"deadlinedist/internal/rng"
 	"deadlinedist/internal/scheduler"
@@ -311,6 +312,17 @@ type Config struct {
 	// fingerprint-cache traffic for this run (see internal/metrics). The
 	// same recorder may be shared across runs to aggregate a whole sweep.
 	Metrics *metrics.Recorder
+	// Trace, when non-nil, receives a span per unit attempt and per
+	// pipeline stage, plus instant marks for retries, fault injections and
+	// journal replays (dlexp -events/-trace). Like Metrics, a nil tracer
+	// costs the hot path nothing, and tracing never alters table output.
+	Trace *obs.Tracer
+	// Progress, when non-nil, receives unit-level completion accounting
+	// for this run: the table registers its unit total at start, and every
+	// committed (or journal-prefilled, or permanently failed) unit reports
+	// in. Shared across runs, it drives dlexp's /progress endpoint and the
+	// periodic stderr progress line.
+	Progress *obs.Progress
 	// MaxErrors caps how many distinct graph-pipeline errors Run reports
 	// before summarizing the rest (default 8). The first error cancels the
 	// remaining pipelines either way.
@@ -479,9 +491,12 @@ func (cfg Config) RunContext(ctx context.Context, title string, assigners ...Ass
 		return nil, err
 	}
 
+	gt0 := cfg.Trace.Now()
 	genStart := cfg.Metrics.Start()
 	graphs, batchShared, err := cfg.sharedBatch(rctx)
 	cfg.Metrics.Done(metrics.StageGenerate, genStart)
+	// Generation is batch-scoped, not cell-scoped: graph -1 by convention.
+	cfg.Trace.StageSpan(title, -1, 0, "generate", "", 0, 0, gt0, "")
 	if err != nil {
 		return nil, fmt.Errorf("generate batch: %w", err)
 	}
@@ -510,6 +525,7 @@ func (cfg Config) RunContext(ctx context.Context, title string, assigners ...Ass
 
 	// Checkpoint replay: units journaled by an earlier run of identical
 	// content are prefilled and never submitted.
+	cfg.Progress.StartTable(title, cfg.Graphs)
 	skip := make([]bool, cfg.Graphs)
 	prefilled := 0
 	var jkey string
@@ -528,11 +544,15 @@ func (cfg Config) RunContext(ctx context.Context, title string, assigners ...Ass
 			}
 			skip[gi] = true
 			prefilled++
+			cfg.Metrics.JournalReplay()
+			cfg.Progress.UnitDone(title)
+			cfg.Trace.UnitReplayed(title, gi)
 		}
 	}
 
 	env := &unitEnv{
 		cfg:       cfg,
+		title:     title,
 		graphs:    graphs,
 		systems:   systems,
 		nets:      nets,
@@ -562,6 +582,7 @@ func (cfg Config) RunContext(ctx context.Context, title string, assigners ...Ass
 		omitted int
 	)
 	fail := func(gi int, err error) {
+		cfg.Progress.UnitFailed(title)
 		mu.Lock()
 		if len(errs) < maxErrors {
 			errs = append(errs, fmt.Errorf("graph %d: %w", gi, err))
@@ -695,6 +716,7 @@ func (cfg Config) RunContext(ctx context.Context, title string, assigners ...Ass
 // shared result storage and completion accounting.
 type unitEnv struct {
 	cfg       Config
+	title     string
 	graphs    []*taskgraph.Graph
 	systems   []*platform.System
 	nets      []*channel.Network
@@ -731,7 +753,9 @@ func (e *unitEnv) commit(gi int, out [][]float64) error {
 			flat = append(flat, out[a]...)
 		}
 		jerr = j.commit(e.jkey, gi, flat)
+		e.cfg.Metrics.JournalCompute()
 	}
+	e.cfg.Progress.UnitDone(e.title)
 	e.mu.Lock()
 	e.completed++
 	if jerr != nil && e.jerr == nil {
@@ -746,6 +770,7 @@ func (e *unitEnv) commit(gi int, out [][]float64) error {
 // abandoned attempt can never race a retry or corrupt the run's results.
 func (e *unitEnv) runUnit(ctx context.Context, gi int, box *workerBox) error {
 	rec := e.cfg.Metrics
+	tr := e.cfg.Trace
 	attempts := e.cfg.Retry.attempts()
 	ref := &cellRef{}
 	var lastErr error
@@ -753,6 +778,7 @@ func (e *unitEnv) runUnit(ctx context.Context, gi int, box *workerBox) error {
 	for k := 1; k <= attempts; k++ {
 		if k > 1 {
 			rec.UnitRetry()
+			tr.Mark(e.title, gi, k, obs.OutcomeRetry, string(outcomeOf(lastErr)))
 			if err := sleepCtx(ctx, e.cfg.Retry.delay(k-1)); err != nil {
 				break
 			}
@@ -762,10 +788,18 @@ func (e *unitEnv) runUnit(ctx context.Context, gi int, box *workerBox) error {
 			out[a] = make([]float64, len(e.cfg.Sizes))
 		}
 		tried = k
+		// The attempt's worker id and start time are captured up front: a
+		// timed-out or panicked attempt swaps box.w for a fresh worker, and
+		// the span must name the one that actually ran.
+		wid := box.w.id
+		ut0 := tr.Now()
 		err := e.attemptUnit(ctx, gi, k, box, out, ref)
 		if err == nil {
+			tr.UnitSpan(e.title, gi, k, wid, ut0, obs.OutcomeOK, "", 0, "")
 			return e.commit(gi, out)
 		}
+		label, size := ref.get()
+		tr.UnitSpan(e.title, gi, k, wid, ut0, outcomeOf(err), label, size, err.Error())
 		lastErr = err
 		if ctx.Err() != nil || !retryable(err) {
 			break
@@ -840,10 +874,10 @@ func (e *unitEnv) attemptBody(ctx context.Context, gi, attempt int, w *poolWorke
 	// Fault injection sits at the unit boundary, before any cache
 	// interaction, so an injected fault can never strand a singleflight
 	// slot it holds.
-	if err := e.cfg.Faults.inject(ctx, gi, attempt, e.cfg.Metrics); err != nil {
+	if err := e.cfg.Faults.inject(ctx, e.title, gi, attempt, e.cfg.Metrics, e.cfg.Trace); err != nil {
 		return err
 	}
-	return runGraph(ctx, e.cfg, e.graphs[gi], e.systems, e.nets, e.assigners, e.measure, gi, out, w, e.crossOK, ref)
+	return runGraph(ctx, e.cfg, e.graphs[gi], e.systems, e.nets, e.assigners, e.measure, gi, out, w, e.crossOK, ref, e.title, attempt)
 }
 
 // cellID names one (assigner, size) cell.
@@ -869,6 +903,40 @@ func (c *cellRef) get() (string, int) {
 // or deadline — the run-level stop signals, as opposed to unit failures.
 func isCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// outcomeOf classifies a failed attempt for its trace span, mirroring the
+// failure taxonomy of the run layer (see faults.go).
+func outcomeOf(err error) obs.Outcome {
+	var pe *PanicError
+	switch {
+	case errors.As(err, &pe):
+		return obs.OutcomePanic
+	case errors.Is(err, ErrUnitTimeout):
+		return obs.OutcomeTimeout
+	case isCancellation(err):
+		return obs.OutcomeCancelled
+	default:
+		return obs.OutcomeError
+	}
+}
+
+// spanner emits the stage spans of one unit attempt, carrying the identity
+// shared by every cell: table, graph, attempt and worker. With tracing off
+// (nil tracer) both methods are free — start returns the zero time without
+// reading the clock.
+type spanner struct {
+	tr      *obs.Tracer
+	table   string
+	graph   int
+	attempt int
+	worker  int
+}
+
+func (s spanner) start() time.Time { return s.tr.Now() }
+
+func (s spanner) stage(stage, label string, size int, t0 time.Time, cache string) {
+	s.tr.StageSpan(s.table, s.graph, s.attempt, stage, label, size, s.worker, t0, cache)
 }
 
 // sharedBatch fetches the run's batch through the orchestrator's
@@ -908,10 +976,11 @@ func (cfg Config) batchID() generator.BatchID {
 // at the next cell; ref tracks the current cell for failure reporting.
 func runGraph(ctx context.Context, cfg Config, g *taskgraph.Graph, systems []*platform.System,
 	nets []*channel.Network, assigners []Assigner, measure Measure, gi int,
-	out [][]float64, w *poolWorker, crossOK bool, ref *cellRef) error {
+	out [][]float64, w *poolWorker, crossOK bool, ref *cellRef, table string, attempt int) error {
 
 	rec := cfg.Metrics
 	orc := cfg.Orchestrator
+	sp := spanner{tr: cfg.Trace, table: table, graph: gi, attempt: attempt, worker: w.id}
 	for a, asg := range assigners {
 		var (
 			cachedFP     []float64
@@ -929,20 +998,29 @@ func runGraph(ctx context.Context, cfg Config, g *taskgraph.Graph, systems []*pl
 			gg := g
 			if transformer != nil {
 				var err error
+				st0 := sp.start()
 				t0 := rec.Start()
 				gg, err = transformer.Transform(g, sys)
 				rec.Done(metrics.StageTransform, t0)
+				sp.stage("transform", label, sys.NumProcs(), st0, "")
 				if err != nil {
 					return fmt.Errorf("%s: transform: %w", label, err)
 				}
 			}
+			ft0 := sp.start()
 			t0 := rec.Start()
 			fp, known := asg.Fingerprint(gg, sys)
 			rec.Done(metrics.StageFingerprint, t0)
 			// Reuse only when both fingerprints are known: an unknown
 			// fingerprint (ok=false) never matches anything, so Assign runs
 			// afresh and surfaces whatever failed during fingerprinting.
-			if cachedRes != nil && cachedKnown && known && equalFP(fp, cachedFP) {
+			hit := cachedRes != nil && cachedKnown && known && equalFP(fp, cachedFP)
+			cacheTag := "miss"
+			if hit {
+				cacheTag = "hit"
+			}
+			sp.stage("fingerprint", label, sys.NumProcs(), ft0, cacheTag)
+			if hit {
 				rec.CacheHit()
 			} else {
 				rec.CacheMiss()
@@ -951,14 +1029,20 @@ func runGraph(ctx context.Context, cfg Config, g *taskgraph.Graph, systems []*pl
 					shared bool
 					err    error
 				)
+				at0 := sp.start()
 				if crossOK && known && transformer == nil {
 					// Transformed graphs are per-size values, so only
 					// untransformed runs key the cross-table cache.
 					res, shared, err = orc.assignment(ctx, gg, sys, asg, label, fp, rec, w)
+					// "cross": the cross-table cache answered (by hit or by
+					// this worker computing and publishing — the span length
+					// tells which).
+					sp.stage("assign", label, sys.NumProcs(), at0, "cross")
 				} else {
 					t0 = rec.Start()
 					res, err = assignWith(asg, gg, sys, w)
 					rec.Done(metrics.StageAssign, t0)
+					sp.stage("assign", label, sys.NumProcs(), at0, "miss")
 					if err == nil {
 						st := res.Search
 						rec.AddSearch(st.Iterations, st.StartsExamined, st.DPRuns, st.CacheReuses)
@@ -982,6 +1066,7 @@ func runGraph(ctx context.Context, cfg Config, g *taskgraph.Graph, systems []*pl
 				ms    *scheduler.MultihopSchedule
 				err   error
 			)
+			sc0 := sp.start()
 			t0 = rec.Start()
 			switch {
 			case nets[si] != nil:
@@ -994,6 +1079,7 @@ func runGraph(ctx context.Context, cfg Config, g *taskgraph.Graph, systems []*pl
 				sched, err = w.scratch.Run(gg, sys, cachedRes, cfg.Scheduler)
 			}
 			rec.Done(metrics.StageSchedule, t0)
+			sp.stage("schedule", label, sys.NumProcs(), sc0, "")
 			if err != nil {
 				return fmt.Errorf("%s: schedule: %w", label, err)
 			}
@@ -1013,9 +1099,11 @@ func runGraph(ctx context.Context, cfg Config, g *taskgraph.Graph, systems []*pl
 					return fmt.Errorf("%s: invalid schedule at %d procs: %w", label, sys.NumProcs(), verr)
 				}
 			}
+			m0 := sp.start()
 			t0 = rec.Start()
 			out[a][si] = measure(gg, cachedRes, sched)
 			rec.Done(metrics.StageMeasure, t0)
+			sp.stage("measure", label, sys.NumProcs(), m0, "")
 		}
 		if cachedRes != nil && !cachedShared {
 			w.spare = cachedRes

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"deadlinedist/internal/metrics"
+	"deadlinedist/internal/obs"
 )
 
 // This file is the failure model of the fault-tolerant run layer (DESIGN.md
@@ -209,7 +210,11 @@ type FaultPlan struct {
 
 // inject runs the fault decision for one attempt of one unit. It may
 // panic, block (until HangDuration or ctx), or return a transient error.
-func (p *FaultPlan) inject(ctx context.Context, gi, attempt int, rec *metrics.Recorder) error {
+// Injections are recorded on rec and marked on tr — the panic path marks
+// before panicking, since the recover boundary only sees a generic
+// *PanicError and could not attribute it to the harness.
+func (p *FaultPlan) inject(ctx context.Context, table string, gi, attempt int,
+	rec *metrics.Recorder, tr *obs.Tracer) error {
 	if p == nil {
 		return nil
 	}
@@ -224,9 +229,11 @@ func (p *FaultPlan) inject(ctx context.Context, gi, attempt int, rec *metrics.Re
 	switch {
 	case r < p.PanicRate:
 		rec.FaultInjected()
+		tr.Mark(table, gi, attempt, obs.OutcomeFaultInjected, "panic")
 		panic(fmt.Sprintf("faultinject: panic (graph %d, attempt %d)", gi, attempt))
 	case r < p.PanicRate+p.HangRate:
 		rec.FaultInjected()
+		tr.Mark(table, gi, attempt, obs.OutcomeFaultInjected, "hang")
 		d := p.HangDuration
 		if d <= 0 {
 			d = time.Second
@@ -236,6 +243,7 @@ func (p *FaultPlan) inject(ctx context.Context, gi, attempt int, rec *metrics.Re
 		return sleepCtx(ctx, d)
 	case r < p.PanicRate+p.HangRate+p.ErrorRate:
 		rec.FaultInjected()
+		tr.Mark(table, gi, attempt, obs.OutcomeFaultInjected, "error")
 		return Transient(fmt.Errorf("faultinject: error (graph %d, attempt %d)", gi, attempt))
 	}
 	return nil

@@ -1,0 +1,276 @@
+package experiment
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"deadlinedist/internal/metrics"
+	"deadlinedist/internal/obs"
+)
+
+// decodeEvents parses a JSONL event log.
+func decodeEvents(t *testing.T, log string) []obs.Event {
+	t.Helper()
+	var evs []obs.Event
+	for _, line := range strings.Split(strings.TrimSpace(log), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// TestObsByteIdenticalChaos is the tentpole acceptance property: a chaos
+// run with full observability on — tracer, progress, recorder — produces a
+// table byte-identical to an unobserved fault-free run, and its event log
+// carries a span for every unit attempt with outcomes matching the
+// recorder's counters.
+func TestObsByteIdenticalChaos(t *testing.T) {
+	cfg := chaosCfg()
+	asg := chaosAssigners()
+	want, err := cfg.Run("chaos", asg...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Panics and transient errors only: hangs interact with wall-clock
+	// timeouts and would make attempt counts timing-dependent.
+	plan := &FaultPlan{PanicRate: 0.25, ErrorRate: 0.25}
+	for seed := uint64(1); ; seed++ {
+		plan.Seed = seed
+		hits := 0
+		for gi := 0; gi < cfg.Graphs; gi++ {
+			if plan.roll(gi, 1) < plan.PanicRate+plan.ErrorRate {
+				hits++
+			}
+		}
+		if hits >= 2 {
+			break
+		}
+	}
+
+	var events strings.Builder
+	var chrome strings.Builder
+	tr := obs.New(obs.Options{Events: &events, Chrome: &chrome})
+	rec := metrics.New()
+	prog := obs.NewProgress()
+	fcfg := cfg
+	fcfg.Metrics = rec
+	fcfg.Trace = tr
+	fcfg.Progress = prog
+	fcfg.Faults = plan
+	fcfg.Retry = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	got, err := fcfg.Run("chaos", asg...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got.String() != want.String() {
+		t.Errorf("observed chaos table differs from unobserved fault-free run:\n--- want ---\n%s\n--- got ---\n%s",
+			want.String(), got.String())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("observed chaos table raw values differ")
+	}
+
+	snap := rec.Snapshot()
+	evs := decodeEvents(t, events.String())
+	okUnits := map[int]bool{}
+	var panics, errors64, retries, injected int64
+	for _, ev := range evs {
+		if ev.Table != "chaos" {
+			t.Errorf("event with wrong table: %+v", ev)
+		}
+		switch {
+		case ev.Kind == "unit" && ev.Outcome == obs.OutcomeOK:
+			okUnits[ev.Graph] = true
+			if ev.Worker == 0 || ev.Attempt == 0 {
+				t.Errorf("ok unit span missing worker/attempt: %+v", ev)
+			}
+		case ev.Kind == "unit" && ev.Outcome == obs.OutcomePanic:
+			panics++
+			if ev.Detail == "" {
+				t.Errorf("panic span missing detail: %+v", ev)
+			}
+		case ev.Kind == "unit" && ev.Outcome == obs.OutcomeError:
+			errors64++
+		case ev.Kind == "mark" && ev.Outcome == obs.OutcomeRetry:
+			retries++
+		case ev.Kind == "mark" && ev.Outcome == obs.OutcomeFaultInjected:
+			injected++
+		}
+	}
+	for gi := 0; gi < cfg.Graphs; gi++ {
+		if !okUnits[gi] {
+			t.Errorf("graph %d has no successful unit span", gi)
+		}
+	}
+	if panics != snap.UnitPanics {
+		t.Errorf("panic spans = %d, recorder counted %d", panics, snap.UnitPanics)
+	}
+	if retries != snap.UnitRetries {
+		t.Errorf("retry marks = %d, recorder counted %d", retries, snap.UnitRetries)
+	}
+	if injected != snap.FaultsInjected {
+		t.Errorf("fault-injected marks = %d, recorder counted %d", injected, snap.FaultsInjected)
+	}
+	if snap.FaultsInjected == 0 {
+		t.Error("no faults injected — test is vacuous")
+	}
+	if panics+errors64 == 0 {
+		t.Error("no failed attempt spans despite injected faults")
+	}
+
+	ps := prog.Snapshot()
+	if ps.UnitsDone != cfg.Graphs || ps.UnitsFailed != 0 || ps.UnitsTotal != cfg.Graphs {
+		t.Errorf("progress = %d/%d done, %d failed; want %d/%d, 0",
+			ps.UnitsDone, ps.UnitsTotal, ps.UnitsFailed, cfg.Graphs, cfg.Graphs)
+	}
+
+	// The chrome sink must be one valid JSON array.
+	var chromeEvs []map[string]any
+	if err := json.Unmarshal([]byte(chrome.String()), &chromeEvs); err != nil {
+		t.Fatalf("chrome trace invalid: %v", err)
+	}
+	if len(chromeEvs) == 0 {
+		t.Error("chrome trace empty")
+	}
+}
+
+// TestObsStageSpansCarryCellIdentity checks the stage-level spans of a
+// clean run: every pipeline stage of every cell appears, tagged with the
+// assigner label, system size and fingerprint-cache outcome.
+func TestObsStageSpansCarryCellIdentity(t *testing.T) {
+	cfg := chaosCfg()
+	asg := chaosAssigners()
+	var events strings.Builder
+	tr := obs.New(obs.Options{Events: &events})
+	cfg.Trace = tr
+	if _, err := cfg.Run("stages", asg...); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	type cell struct {
+		stage string
+		label string
+		size  int
+		graph int
+	}
+	seen := map[cell]bool{}
+	cacheTags := map[string]int{}
+	for _, ev := range decodeEvents(t, events.String()) {
+		if ev.Kind != "stage" {
+			continue
+		}
+		if ev.Stage == "generate" {
+			if ev.Graph != -1 {
+				t.Errorf("generate span not batch-scoped: %+v", ev)
+			}
+			continue
+		}
+		seen[cell{ev.Stage, ev.Label, ev.Size, ev.Graph}] = true
+		if ev.Stage == "fingerprint" {
+			cacheTags[ev.Cache]++
+		}
+	}
+	labels := []string{asg[0].Label(), asg[1].Label()}
+	for _, stage := range []string{"fingerprint", "schedule", "measure"} {
+		for _, label := range labels {
+			for _, size := range cfg.Sizes {
+				for gi := 0; gi < cfg.Graphs; gi++ {
+					if !seen[cell{stage, label, size, gi}] {
+						t.Fatalf("missing %s span for %s at %d procs, graph %d", stage, label, size, gi)
+					}
+				}
+			}
+		}
+	}
+	if cacheTags["miss"] == 0 || cacheTags["hit"]+cacheTags["miss"] == 0 {
+		t.Errorf("fingerprint cache tags = %v, want hits and misses recorded", cacheTags)
+	}
+}
+
+// TestObsJournalReplaySpans resumes a fully journaled run: every unit must
+// surface as a journal-replayed span, count on the recorder's replay
+// counter, and report done to Progress — with no unit ever submitted.
+func TestObsJournalReplaySpans(t *testing.T) {
+	dir := t.TempDir()
+	cfg := chaosCfg()
+	asg := chaosAssigners()
+
+	j1, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Journal = j1
+	rec1 := metrics.New()
+	cfg.Metrics = rec1
+	want, err := cfg.Run("resume", asg...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := rec1.Snapshot().JournalComputes; n != int64(cfg.Graphs) {
+		t.Fatalf("first run journaled %d units, want %d", n, cfg.Graphs)
+	}
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	var events strings.Builder
+	tr := obs.New(obs.Options{Events: &events})
+	rec2 := metrics.New()
+	prog := obs.NewProgress()
+	cfg.Journal = j2
+	cfg.Metrics = rec2
+	cfg.Trace = tr
+	cfg.Progress = prog
+	got, err := cfg.Run("resume", asg...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("resumed table differs from original")
+	}
+
+	snap := rec2.Snapshot()
+	if snap.JournalReplays != int64(cfg.Graphs) || snap.JournalComputes != 0 {
+		t.Errorf("journal counters = %d replayed / %d computed, want %d / 0",
+			snap.JournalReplays, snap.JournalComputes, cfg.Graphs)
+	}
+	replayed := map[int]bool{}
+	for _, ev := range decodeEvents(t, events.String()) {
+		if ev.Kind == "unit" && ev.Outcome == obs.OutcomeJournalReplayed {
+			replayed[ev.Graph] = true
+		} else if ev.Kind == "unit" {
+			t.Errorf("computed unit span on a fully journaled run: %+v", ev)
+		}
+	}
+	if len(replayed) != cfg.Graphs {
+		t.Errorf("replay spans cover %d graphs, want %d", len(replayed), cfg.Graphs)
+	}
+	if ps := prog.Snapshot(); ps.UnitsDone != cfg.Graphs {
+		t.Errorf("progress done = %d, want %d (replays count as done)", ps.UnitsDone, cfg.Graphs)
+	}
+}

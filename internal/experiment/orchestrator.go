@@ -7,6 +7,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"deadlinedist/internal/core"
 	"deadlinedist/internal/generator"
@@ -75,17 +76,24 @@ type workerBox struct{ w *poolWorker }
 // scheduler scratch (with schedule recycling on — the engine measures each
 // schedule before requesting the next from the same worker), the pooled
 // distributor working set, and a spare Result available for recycling by
-// assigners that support it.
+// assigners that support it. id names the worker in trace spans; it is
+// process-unique (replacement workers swapped in after a panicking or
+// abandoned attempt get fresh ids, so a trace row never mixes two scratch
+// lifetimes).
 type poolWorker struct {
+	id      int
 	scratch *scheduler.Scratch
 	dist    *core.Scratch
 	spare   *core.Result
 }
 
+// workerIDs issues poolWorker ids, starting at 1 (0 is the trace's run row).
+var workerIDs atomic.Int64
+
 func newPoolWorker() *poolWorker {
 	sc := scheduler.NewScratch()
 	sc.ReuseSchedules(true)
-	return &poolWorker{scratch: sc, dist: core.NewScratch()}
+	return &poolWorker{id: int(workerIDs.Add(1)), scratch: sc, dist: core.NewScratch()}
 }
 
 // batchEntry is one singleflight batch-cache slot: the first claimant

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"strings"
 	"sync/atomic"
@@ -108,6 +109,11 @@ type Recorder struct {
 	unitTimeouts   atomic.Int64
 	unitRetries    atomic.Int64
 	faultsInjected atomic.Int64
+
+	// Checkpoint-journal traffic: units replayed from journal.jsonl by a
+	// -resume run versus units computed (and committed) this run.
+	journalReplays  atomic.Int64
+	journalComputes atomic.Int64
 }
 
 // New returns an empty Recorder.
@@ -255,6 +261,22 @@ func (r *Recorder) FaultInjected() {
 	}
 }
 
+// JournalReplay records one unit prefilled from the checkpoint journal
+// instead of being recomputed (dlexp -resume).
+func (r *Recorder) JournalReplay() {
+	if r != nil {
+		r.journalReplays.Add(1)
+	}
+}
+
+// JournalCompute records one unit computed and committed to the checkpoint
+// journal this run.
+func (r *Recorder) JournalCompute() {
+	if r != nil {
+		r.journalComputes.Add(1)
+	}
+}
+
 // Bucket is one non-empty histogram bucket of a stage snapshot. UpTo is the
 // exclusive upper bound ("1ms"); the unbounded last bucket reports "inf".
 type Bucket struct {
@@ -262,11 +284,16 @@ type Bucket struct {
 	Count int64  `json:"count"`
 }
 
-// StageStats is the frozen view of one stage.
+// StageStats is the frozen view of one stage. P50/P95/P99 are derived from
+// the power-of-two histogram at snapshot time (linear interpolation within
+// a bucket), so they are estimates with at most one-bucket resolution.
 type StageStats struct {
 	Stage      string   `json:"stage"`
 	Count      int64    `json:"count"`
 	TotalNanos int64    `json:"totalNanos"`
+	P50Nanos   int64    `json:"p50Nanos,omitempty"`
+	P95Nanos   int64    `json:"p95Nanos,omitempty"`
+	P99Nanos   int64    `json:"p99Nanos,omitempty"`
 	Histogram  []Bucket `json:"histogram,omitempty"`
 }
 
@@ -279,6 +306,52 @@ func (s StageStats) Mean() time.Duration {
 		return 0
 	}
 	return time.Duration(s.TotalNanos / s.Count)
+}
+
+// P50 returns the histogram-derived median observation.
+func (s StageStats) P50() time.Duration { return time.Duration(s.P50Nanos) }
+
+// P95 returns the histogram-derived 95th-percentile observation.
+func (s StageStats) P95() time.Duration { return time.Duration(s.P95Nanos) }
+
+// P99 returns the histogram-derived 99th-percentile observation.
+func (s StageStats) P99() time.Duration { return time.Duration(s.P99Nanos) }
+
+// quantile estimates the q-quantile (0 < q <= 1) from raw bucket counts:
+// the observation ranked ceil(q*count) falls in some bucket [lo, hi); its
+// value is interpolated linearly by the rank's position inside that bucket.
+// The unbounded last bucket reports its lower bound.
+func quantile(buckets *[numBuckets]int64, count int64, q float64) time.Duration {
+	if count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		n := buckets[i]
+		if n == 0 {
+			continue
+		}
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		hi := bucketBound(i)
+		if hi == 0 {
+			// Unbounded last bucket: no upper bound to interpolate toward.
+			return bucketBound(i - 1)
+		}
+		var lo time.Duration
+		if i > 0 {
+			lo = bucketBound(i - 1)
+		}
+		frac := float64(rank-cum) / float64(n)
+		return lo + time.Duration(frac*float64(hi-lo))
+	}
+	return bucketBound(numBuckets - 2)
 }
 
 // SearchCounters is the frozen view of the distribution core's
@@ -304,20 +377,23 @@ func (s SearchCounters) ReuseRate() float64 {
 // counter is read atomically; counters of an in-flight observation may be
 // split across two snapshots).
 type Snapshot struct {
-	Stages      []StageStats   `json:"stages"`
-	CacheHits   int64          `json:"cacheHits"`
-	CacheMisses int64          `json:"cacheMisses"`
-	BatchHits   int64          `json:"batchHits,omitempty"`
-	BatchMisses int64          `json:"batchMisses,omitempty"`
-	CrossHits   int64          `json:"crossHits,omitempty"`
-	CrossMisses int64          `json:"crossMisses,omitempty"`
-	PoolJobs    int64          `json:"poolJobs,omitempty"`
-	PoolPeak    int64          `json:"poolPeak,omitempty"`
+	Stages      []StageStats `json:"stages"`
+	CacheHits   int64        `json:"cacheHits"`
+	CacheMisses int64        `json:"cacheMisses"`
+	BatchHits   int64        `json:"batchHits,omitempty"`
+	BatchMisses int64        `json:"batchMisses,omitempty"`
+	CrossHits   int64        `json:"crossHits,omitempty"`
+	CrossMisses int64        `json:"crossMisses,omitempty"`
+	PoolJobs    int64        `json:"poolJobs,omitempty"`
+	PoolPeak    int64        `json:"poolPeak,omitempty"`
 
 	UnitPanics     int64 `json:"unitPanics,omitempty"`
 	UnitTimeouts   int64 `json:"unitTimeouts,omitempty"`
 	UnitRetries    int64 `json:"unitRetries,omitempty"`
 	FaultsInjected int64 `json:"faultsInjected,omitempty"`
+
+	JournalReplays  int64 `json:"journalReplays,omitempty"`
+	JournalComputes int64 `json:"journalComputes,omitempty"`
 
 	Search SearchCounters `json:"search"`
 }
@@ -337,17 +413,28 @@ func (r *Recorder) Snapshot() Snapshot {
 			Count:      sr.count.Load(),
 			TotalNanos: sr.nanos.Load(),
 		}
+		// One coherent copy of the buckets: quantiles and the reported
+		// histogram come from the same reads, so they always agree even
+		// while observations stream in concurrently.
+		var buckets [numBuckets]int64
+		var histCount int64
 		for i := 0; i < numBuckets; i++ {
-			n := sr.buckets[i].Load()
-			if n == 0 {
+			buckets[i] = sr.buckets[i].Load()
+			histCount += buckets[i]
+		}
+		for i := 0; i < numBuckets; i++ {
+			if buckets[i] == 0 {
 				continue
 			}
 			upTo := "inf"
 			if b := bucketBound(i); b != 0 {
 				upTo = b.String()
 			}
-			st.Histogram = append(st.Histogram, Bucket{UpTo: upTo, Count: n})
+			st.Histogram = append(st.Histogram, Bucket{UpTo: upTo, Count: buckets[i]})
 		}
+		st.P50Nanos = int64(quantile(&buckets, histCount, 0.50))
+		st.P95Nanos = int64(quantile(&buckets, histCount, 0.95))
+		st.P99Nanos = int64(quantile(&buckets, histCount, 0.99))
 		snap.Stages = append(snap.Stages, st)
 	}
 	snap.CacheHits = r.cacheHits.Load()
@@ -362,6 +449,8 @@ func (r *Recorder) Snapshot() Snapshot {
 	snap.UnitTimeouts = r.unitTimeouts.Load()
 	snap.UnitRetries = r.unitRetries.Load()
 	snap.FaultsInjected = r.faultsInjected.Load()
+	snap.JournalReplays = r.journalReplays.Load()
+	snap.JournalComputes = r.journalComputes.Load()
 	snap.Search = SearchCounters{
 		Iterations:     r.searchIterations.Load(),
 		StartsExamined: r.searchStarts.Load(),
@@ -398,13 +487,15 @@ func rate(hits, misses int64) float64 {
 // stage plus the cache summary.
 func (s Snapshot) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %10s %12s %12s\n", "stage", "count", "total", "mean")
+	fmt.Fprintf(&b, "%-12s %10s %12s %12s %12s %12s %12s\n",
+		"stage", "count", "total", "mean", "p50", "p95", "p99")
 	for _, st := range s.Stages {
 		if st.Count == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "%-12s %10d %12s %12s\n",
-			st.Stage, st.Count, st.Total().Round(time.Microsecond), st.Mean().Round(time.Nanosecond))
+		fmt.Fprintf(&b, "%-12s %10d %12s %12s %12s %12s %12s\n",
+			st.Stage, st.Count, st.Total().Round(time.Microsecond), st.Mean().Round(time.Nanosecond),
+			st.P50().Round(time.Nanosecond), st.P95().Round(time.Nanosecond), st.P99().Round(time.Nanosecond))
 	}
 	fmt.Fprintf(&b, "fingerprint cache: %d hits, %d misses (%.1f%% hit rate)",
 		s.CacheHits, s.CacheMisses, 100*s.CacheHitRate())
@@ -423,6 +514,10 @@ func (s Snapshot) String() string {
 		fmt.Fprintf(&b, "\nfault tolerance: %d panics recovered, %d deadline timeouts, %d retries, %d faults injected",
 			s.UnitPanics, s.UnitTimeouts, s.UnitRetries, s.FaultsInjected)
 	}
+	if s.JournalReplays+s.JournalComputes > 0 {
+		fmt.Fprintf(&b, "\ncheckpoint journal: %d units replayed, %d computed",
+			s.JournalReplays, s.JournalComputes)
+	}
 	if sc := s.Search; sc.StartsExamined > 0 {
 		fmt.Fprintf(&b, "\ncritical-path search: %d iterations, %d starts, %d DP runs, %d memo reuses (%.1f%% reuse)",
 			sc.Iterations, sc.StartsExamined, sc.DPRuns, sc.CacheReuses, 100*sc.ReuseRate())
@@ -435,47 +530,51 @@ func (s Snapshot) String() string {
 // pipelines (graph × assigner × size, i.e. measure-stage observations);
 // GraphsPerSec divides it by the run's wall time.
 type Bench struct {
-	Name         string         `json:"name"`
-	Graphs       int64          `json:"graphs"`
-	WallSeconds  float64        `json:"wallSeconds"`
-	GraphsPerSec float64        `json:"graphsPerSec"`
-	CacheHits    int64          `json:"cacheHits"`
-	CacheMisses  int64          `json:"cacheMisses"`
-	CacheHitRate float64        `json:"cacheHitRate"`
-	BatchHits    int64          `json:"batchHits,omitempty"`
-	BatchMisses  int64          `json:"batchMisses,omitempty"`
-	CrossHits    int64          `json:"crossHits,omitempty"`
-	CrossMisses  int64          `json:"crossMisses,omitempty"`
-	CrossHitRate float64        `json:"crossHitRate,omitempty"`
-	PoolJobs     int64          `json:"poolJobs,omitempty"`
-	PoolPeak     int64          `json:"poolPeak,omitempty"`
-	UnitPanics   int64          `json:"unitPanics,omitempty"`
-	UnitTimeouts int64          `json:"unitTimeouts,omitempty"`
-	UnitRetries  int64          `json:"unitRetries,omitempty"`
-	Search       SearchCounters `json:"search"`
-	Stages       []StageStats   `json:"stages"`
+	Name            string         `json:"name"`
+	Graphs          int64          `json:"graphs"`
+	WallSeconds     float64        `json:"wallSeconds"`
+	GraphsPerSec    float64        `json:"graphsPerSec"`
+	CacheHits       int64          `json:"cacheHits"`
+	CacheMisses     int64          `json:"cacheMisses"`
+	CacheHitRate    float64        `json:"cacheHitRate"`
+	BatchHits       int64          `json:"batchHits,omitempty"`
+	BatchMisses     int64          `json:"batchMisses,omitempty"`
+	CrossHits       int64          `json:"crossHits,omitempty"`
+	CrossMisses     int64          `json:"crossMisses,omitempty"`
+	CrossHitRate    float64        `json:"crossHitRate,omitempty"`
+	PoolJobs        int64          `json:"poolJobs,omitempty"`
+	PoolPeak        int64          `json:"poolPeak,omitempty"`
+	UnitPanics      int64          `json:"unitPanics,omitempty"`
+	UnitTimeouts    int64          `json:"unitTimeouts,omitempty"`
+	UnitRetries     int64          `json:"unitRetries,omitempty"`
+	JournalReplays  int64          `json:"journalReplays,omitempty"`
+	JournalComputes int64          `json:"journalComputes,omitempty"`
+	Search          SearchCounters `json:"search"`
+	Stages          []StageStats   `json:"stages"`
 }
 
 // NewBench assembles a Bench from a snapshot and the run's wall time.
 func NewBench(name string, snap Snapshot, wall time.Duration) Bench {
 	b := Bench{
-		Name:         name,
-		WallSeconds:  wall.Seconds(),
-		CacheHits:    snap.CacheHits,
-		CacheMisses:  snap.CacheMisses,
-		CacheHitRate: snap.CacheHitRate(),
-		BatchHits:    snap.BatchHits,
-		BatchMisses:  snap.BatchMisses,
-		CrossHits:    snap.CrossHits,
-		CrossMisses:  snap.CrossMisses,
-		CrossHitRate: snap.CrossHitRate(),
-		PoolJobs:     snap.PoolJobs,
-		PoolPeak:     snap.PoolPeak,
-		UnitPanics:   snap.UnitPanics,
-		UnitTimeouts: snap.UnitTimeouts,
-		UnitRetries:  snap.UnitRetries,
-		Search:       snap.Search,
-		Stages:       snap.Stages,
+		Name:            name,
+		WallSeconds:     wall.Seconds(),
+		CacheHits:       snap.CacheHits,
+		CacheMisses:     snap.CacheMisses,
+		CacheHitRate:    snap.CacheHitRate(),
+		BatchHits:       snap.BatchHits,
+		BatchMisses:     snap.BatchMisses,
+		CrossHits:       snap.CrossHits,
+		CrossMisses:     snap.CrossMisses,
+		CrossHitRate:    snap.CrossHitRate(),
+		PoolJobs:        snap.PoolJobs,
+		PoolPeak:        snap.PoolPeak,
+		UnitPanics:      snap.UnitPanics,
+		UnitTimeouts:    snap.UnitTimeouts,
+		UnitRetries:     snap.UnitRetries,
+		JournalReplays:  snap.JournalReplays,
+		JournalComputes: snap.JournalComputes,
+		Search:          snap.Search,
+		Stages:          snap.Stages,
 	}
 	for _, st := range snap.Stages {
 		if st.Stage == StageMeasure.String() {

@@ -271,3 +271,175 @@ func TestFaultToleranceCounters(t *testing.T) {
 		t.Errorf("bench counters = %d/%d/%d", bench.UnitPanics, bench.UnitTimeouts, bench.UnitRetries)
 	}
 }
+
+func TestQuantiles(t *testing.T) {
+	r := New()
+	// 100 observations inside [1µs, 2µs): every quantile interpolates
+	// within that one bucket.
+	for i := 0; i < 100; i++ {
+		r.Observe(StageAssign, 1500*time.Nanosecond)
+	}
+	st := r.Snapshot().Stages[StageAssign]
+	if got := st.P50(); got != 1500*time.Nanosecond {
+		t.Errorf("P50 = %v, want 1.5µs (rank 50 of 100 in [1µs,2µs))", got)
+	}
+	if got := st.P99(); got != 1990*time.Nanosecond {
+		t.Errorf("P99 = %v, want 1.99µs", got)
+	}
+	if st.P50() > st.P95() || st.P95() > st.P99() {
+		t.Errorf("quantiles not monotone: %v %v %v", st.P50(), st.P95(), st.P99())
+	}
+}
+
+func TestQuantilesMixedBuckets(t *testing.T) {
+	r := New()
+	// 90 fast observations and 10 slow ones: the median stays in the fast
+	// bucket, the tail quantiles move to the slow one ([512µs, 1024µs)).
+	for i := 0; i < 90; i++ {
+		r.Observe(StageSchedule, 1500*time.Nanosecond)
+	}
+	for i := 0; i < 10; i++ {
+		r.Observe(StageSchedule, time.Millisecond)
+	}
+	st := r.Snapshot().Stages[StageSchedule]
+	if p50 := st.P50(); p50 < time.Microsecond || p50 > 2*time.Microsecond {
+		t.Errorf("P50 = %v, want within [1µs, 2µs)", p50)
+	}
+	if p95 := st.P95(); p95 < 512*time.Microsecond || p95 > 1024*time.Microsecond {
+		t.Errorf("P95 = %v, want within [512µs, 1024µs)", p95)
+	}
+	if st.P99() < st.P95() {
+		t.Errorf("P99 %v < P95 %v", st.P99(), st.P95())
+	}
+}
+
+func TestQuantileUnboundedBucket(t *testing.T) {
+	r := New()
+	r.Observe(StageMeasure, time.Hour) // absorbed by the unbounded bucket
+	st := r.Snapshot().Stages[StageMeasure]
+	// No upper bound to interpolate toward: the estimate is the last
+	// bounded boundary, not zero and not an hour.
+	if got := st.P99(); got < 500*time.Millisecond || got > 2*time.Second {
+		t.Errorf("P99 = %v, want the last bounded bucket boundary (~1s)", got)
+	}
+}
+
+func TestQuantilesInStringAndJSON(t *testing.T) {
+	r := New()
+	r.Observe(StageAssign, 10*time.Microsecond)
+	snap := r.Snapshot()
+	s := snap.String()
+	for _, col := range []string{"p50", "p95", "p99"} {
+		if !strings.Contains(s, col) {
+			t.Errorf("String() missing %s column:\n%s", col, s)
+		}
+	}
+	buf, err := json.Marshal(snap.Stages[StageAssign])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"p50Nanos", "p95Nanos", "p99Nanos"} {
+		if !strings.Contains(string(buf), field) {
+			t.Errorf("stage JSON missing %s: %s", field, buf)
+		}
+	}
+}
+
+func TestJournalCounters(t *testing.T) {
+	r := New()
+	if strings.Contains(r.Snapshot().String(), "checkpoint journal:") {
+		t.Error("journal line shown with zero counters")
+	}
+	r.JournalReplay()
+	r.JournalReplay()
+	r.JournalCompute()
+	snap := r.Snapshot()
+	if snap.JournalReplays != 2 || snap.JournalComputes != 1 {
+		t.Errorf("journal counters = %d/%d, want 2/1", snap.JournalReplays, snap.JournalComputes)
+	}
+	if !strings.Contains(snap.String(), "checkpoint journal: 2 units replayed, 1 computed") {
+		t.Errorf("journal line missing:\n%s", snap.String())
+	}
+	b := NewBench("t", snap, time.Second)
+	if b.JournalReplays != 2 || b.JournalComputes != 1 {
+		t.Errorf("bench journal counters = %d/%d, want 2/1", b.JournalReplays, b.JournalComputes)
+	}
+	var nilRec *Recorder
+	nilRec.JournalReplay()
+	nilRec.JournalCompute()
+	if s := nilRec.Snapshot(); s.JournalReplays != 0 || s.JournalComputes != 0 {
+		t.Error("nil recorder accumulated journal counters")
+	}
+}
+
+// TestConcurrentSnapshotStress hammers the recorder's write paths while
+// other goroutines snapshot it, for the race detector's benefit; the final
+// snapshot must still account for every write.
+func TestConcurrentSnapshotStress(t *testing.T) {
+	const writers, perWriter, readers = 8, 2000, 4
+	r := New()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				// Invariant under concurrency: a stage's histogram never
+				// accounts for more observations than its count at some
+				// later instant — both only grow.
+				for _, st := range snap.Stages {
+					var hist int64
+					for _, b := range st.Histogram {
+						hist += b.Count
+					}
+					if hist > 0 && st.Count == 0 {
+						t.Errorf("stage %s: histogram %d with zero count", st.Stage, hist)
+						return
+					}
+				}
+				_ = snap.String()
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Observe(StageAssign, time.Duration(1+i%100)*time.Microsecond)
+				r.CacheHit()
+				r.UnitRetry()
+				r.JournalCompute()
+			}
+		}(w)
+	}
+	// Release the readers only after the writers are done.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	go func() {
+		// Writers finish on their own; readers need the stop signal. Wait
+		// for the writers by polling the counter they all bump.
+		for r.Snapshot().CacheHits < writers*perWriter {
+			time.Sleep(time.Millisecond)
+		}
+		close(stop)
+	}()
+	<-done
+	snap := r.Snapshot()
+	if snap.Stages[StageAssign].Count != writers*perWriter {
+		t.Errorf("assign count = %d, want %d", snap.Stages[StageAssign].Count, writers*perWriter)
+	}
+	if snap.CacheHits != writers*perWriter || snap.UnitRetries != writers*perWriter || snap.JournalComputes != writers*perWriter {
+		t.Errorf("counters = %d/%d/%d, want %d each", snap.CacheHits, snap.UnitRetries, snap.JournalComputes, writers*perWriter)
+	}
+}

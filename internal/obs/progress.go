@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"deadlinedist/internal/metrics"
+)
+
+// Progress is the unit-level completion accounting of a whole invocation:
+// every table registers its unit total when its run starts, and units
+// report in as they commit (including journal-prefilled ones) or fail
+// permanently. All methods are safe for concurrent use — tables run
+// concurrently over the shared pool — and no-ops on a nil receiver.
+type Progress struct {
+	start time.Time
+
+	mu     sync.Mutex
+	order  []string
+	tables map[string]*tableCount
+}
+
+type tableCount struct {
+	done, failed, total int
+}
+
+// TableProgress is the frozen view of one table's completion.
+type TableProgress struct {
+	Table  string `json:"table"`
+	Done   int    `json:"done"`
+	Failed int    `json:"failed"`
+	Total  int    `json:"total"`
+}
+
+// ProgressSnapshot is a point-in-time copy of the invocation's completion
+// state, rendered by /progress and the stderr reporter.
+type ProgressSnapshot struct {
+	ElapsedSeconds float64         `json:"elapsedSeconds"`
+	UnitsDone      int             `json:"unitsDone"`
+	UnitsFailed    int             `json:"unitsFailed"`
+	UnitsTotal     int             `json:"unitsTotal"`
+	Tables         []TableProgress `json:"tables"`
+}
+
+// NewProgress returns an empty Progress anchored at the current time.
+func NewProgress() *Progress {
+	return &Progress{start: time.Now(), tables: make(map[string]*tableCount)}
+}
+
+// StartTable registers units of pool work for one table. Re-registering a
+// title adds to its total (a table re-run extends the same row).
+func (p *Progress) StartTable(table string, units int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tc := p.tables[table]
+	if tc == nil {
+		tc = &tableCount{}
+		p.tables[table] = tc
+		p.order = append(p.order, table)
+	}
+	tc.total += units
+}
+
+// UnitDone records one committed unit (computed or journal-replayed).
+func (p *Progress) UnitDone(table string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if tc := p.tables[table]; tc != nil {
+		tc.done++
+	}
+	p.mu.Unlock()
+}
+
+// UnitFailed records one unit that exhausted its attempts (or failed
+// permanently) and took its run down.
+func (p *Progress) UnitFailed(table string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if tc := p.tables[table]; tc != nil {
+		tc.failed++
+	}
+	p.mu.Unlock()
+}
+
+// Snapshot freezes the completion state. A nil Progress yields an empty
+// snapshot.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	var snap ProgressSnapshot
+	if p == nil {
+		return snap
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	snap.ElapsedSeconds = time.Since(p.start).Seconds()
+	snap.Tables = make([]TableProgress, 0, len(p.order))
+	for _, name := range p.order {
+		tc := p.tables[name]
+		snap.Tables = append(snap.Tables, TableProgress{
+			Table: name, Done: tc.done, Failed: tc.failed, Total: tc.total,
+		})
+		snap.UnitsDone += tc.done
+		snap.UnitsFailed += tc.failed
+		snap.UnitsTotal += tc.total
+	}
+	return snap
+}
+
+// ETASeconds estimates the remaining wall time from the stage histograms:
+// the mean per-unit cost is the total stage wall time divided by completed
+// units, and the observed pool parallelism (peak occupancy, floor 1)
+// converts the remaining serial cost to wall time. Returns 0 until the
+// first unit completes — there is nothing to extrapolate from.
+func (ps ProgressSnapshot) ETASeconds(snap metrics.Snapshot) float64 {
+	if ps.UnitsDone == 0 || ps.UnitsTotal <= ps.UnitsDone {
+		return 0
+	}
+	var totalNanos int64
+	for _, st := range snap.Stages {
+		totalNanos += st.TotalNanos
+	}
+	if totalNanos == 0 {
+		return 0
+	}
+	perUnit := float64(totalNanos) / float64(ps.UnitsDone) / 1e9
+	workers := snap.PoolPeak
+	if workers < 1 {
+		workers = 1
+	}
+	return perUnit * float64(ps.UnitsTotal-ps.UnitsDone) / float64(workers)
+}

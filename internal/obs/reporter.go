@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"deadlinedist/internal/metrics"
+)
+
+// Reporter prints a periodic one-line progress summary — driven by the
+// same counters as /progress — to a writer (dlexp sends it to stderr, so
+// table output stays byte-identical):
+//
+//	progress 12.4s: 184/640 units (28.8%), 3/20 tables done, 2 retries, eta 31s
+//
+// Start with StartReporter; Stop prints a final line and stops the ticker.
+type Reporter struct {
+	w    io.Writer
+	prog *Progress
+	rec  *metrics.Recorder
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartReporter launches a goroutine printing every interval. rec may be
+// nil (the retry/ETA fields then read 0); prog must be non-nil for the
+// line to carry unit counts. Returns nil when interval <= 0.
+func StartReporter(w io.Writer, interval time.Duration, prog *Progress, rec *metrics.Recorder) *Reporter {
+	if interval <= 0 {
+		return nil
+	}
+	r := &Reporter{w: w, prog: prog, rec: rec, stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintln(w, Line(rec, prog))
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+	return r
+}
+
+// Stop halts the ticker and prints one final line, so even runs shorter
+// than the interval get a summary. Safe on a nil reporter and idempotent.
+func (r *Reporter) Stop() {
+	if r == nil {
+		return
+	}
+	r.once.Do(func() {
+		close(r.stop)
+		<-r.done
+		fmt.Fprintln(r.w, Line(r.rec, r.prog))
+	})
+}
+
+// Line renders one progress line from the live counters.
+func Line(rec *metrics.Recorder, prog *Progress) string {
+	ps := prog.Snapshot()
+	snap := rec.Snapshot()
+	pct := 0.0
+	if ps.UnitsTotal > 0 {
+		pct = 100 * float64(ps.UnitsDone) / float64(ps.UnitsTotal)
+	}
+	tablesDone := 0
+	for _, t := range ps.Tables {
+		if t.Total > 0 && t.Done >= t.Total {
+			tablesDone++
+		}
+	}
+	line := fmt.Sprintf("progress %.1fs: %d/%d units (%.1f%%), %d/%d tables done",
+		ps.ElapsedSeconds, ps.UnitsDone, ps.UnitsTotal, pct, tablesDone, len(ps.Tables))
+	if snap.UnitRetries > 0 {
+		line += fmt.Sprintf(", %d retries", snap.UnitRetries)
+	}
+	if ps.UnitsFailed > 0 {
+		line += fmt.Sprintf(", %d failed", ps.UnitsFailed)
+	}
+	if eta := ps.ETASeconds(snap); eta > 0 {
+		line += fmt.Sprintf(", eta %s", (time.Duration(eta * float64(time.Second))).Round(time.Second))
+	}
+	return line
+}
