@@ -8,6 +8,8 @@ package deadlinedist
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -112,6 +114,41 @@ func BenchmarkExtensionBaselines(b *testing.B) { benchFigure(b, experiment.Basel
 
 // BenchmarkExtensionBus regenerates the bus-contention ablation.
 func BenchmarkExtensionBus(b *testing.B) { benchFigure(b, experiment.BusAblation) }
+
+// BenchmarkWorkerScaling runs one orchestrated sweep at increasing pool
+// sizes, reporting the measured peak occupancy alongside the wall time.
+// On a multi-core host the >1-worker variants must show peak-occupancy > 1
+// (TestPoolOccupancyMultiCore proves it under a forced GOMAXPROCS); on a
+// single-core host every variant degenerates to peak 1 and near-identical
+// times — which is exactly what a BENCH snapshot recorded there should
+// say, falsifiably, via its cpus/gomaxprocs/poolWorkers fields.
+func BenchmarkWorkerScaling(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	asg := experiment.Slicing(core.ADAPT(1.25), core.CCNE())
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			rec := metrics.New()
+			cfg := benchBase()
+			cfg.Metrics = rec
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				orc := experiment.NewOrchestrator(workers)
+				cfg.Orchestrator = orc
+				_, err := cfg.Run("bench", asg)
+				orc.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(rec.Snapshot().PoolPeak), "peak-occupancy")
+		})
+	}
+}
 
 // Component micro-benchmarks.
 

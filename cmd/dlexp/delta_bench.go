@@ -1,0 +1,97 @@
+package main
+
+import (
+	"time"
+
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/generator"
+	"deadlinedist/internal/metrics"
+	"deadlinedist/internal/platform"
+	"deadlinedist/internal/rng"
+	"deadlinedist/internal/taskgraph"
+)
+
+// measureDelta is the changed-exec-times workload behind -bench-delta: the
+// paper's default random graph (40–60 subtasks, 4 processors) with one
+// mid-graph subtask's execution time drifting +20% between re-analyses. It
+// compares a cold critical-path search per round (DistributeScratch)
+// against the delta entry point (DistributeDelta) on alternating
+// base/drifted graphs, plus the identical-rerun upper bound, mirroring
+// BenchmarkDistributeDelta so the checked-in BENCH_core.json carries the
+// same falsifiable numbers CI measures. PURE's per-node virtual costs let
+// a localized drift replay most of the search; ADAPT inflates against
+// graph-wide statistics, so any drift legitimately invalidates every
+// evaluation and the delta path reports its honest overhead instead.
+func measureDelta(iters int) ([]metrics.DeltaBench, error) {
+	base, err := generator.Random(generator.Default(generator.MDET), rng.New(42))
+	if err != nil {
+		return nil, err
+	}
+	sys, err := platform.New(4)
+	if err != nil {
+		return nil, err
+	}
+	var subs []taskgraph.NodeID
+	for _, n := range base.Nodes() {
+		if n.Kind == taskgraph.KindSubtask {
+			subs = append(subs, n.ID)
+		}
+	}
+	target := subs[len(subs)*3/10]
+	drift := base.Clone()
+	if err := drift.SetCost(target, base.Node(target).Cost*1.2); err != nil {
+		return nil, err
+	}
+	pick := func(i int) *taskgraph.Graph {
+		if i%2 == 1 {
+			return drift
+		}
+		return base
+	}
+
+	var out []metrics.DeltaBench
+	for _, m := range []core.Metric{core.PURE(), core.ADAPT(1.25)} {
+		d := core.Distributor{Metric: m, Estimator: core.CCNE()}
+		db := metrics.DeltaBench{Metric: m.Name()}
+
+		sc := core.NewScratch()
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := d.DistributeScratch(pick(i), sys, nil, sc); err != nil {
+				return nil, err
+			}
+		}
+		db.ColdNsOp = float64(time.Since(t0).Nanoseconds()) / float64(iters)
+
+		sc = core.NewScratch()
+		var reused, examined int
+		t0 = time.Now()
+		for i := 0; i < iters; i++ {
+			res, err := d.DistributeDelta(pick(i), sys, nil, sc)
+			if err != nil {
+				return nil, err
+			}
+			reused += res.Search.DeltaReuses
+			examined += res.Search.StartsExamined
+		}
+		db.DriftNsOp = float64(time.Since(t0).Nanoseconds()) / float64(iters)
+		if examined > 0 {
+			db.DeltaReuseRate = float64(reused) / float64(examined)
+		}
+		if db.DriftNsOp > 0 {
+			db.DriftSpeedup = db.ColdNsOp / db.DriftNsOp
+		}
+
+		sc = core.NewScratch()
+		t0 = time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := d.DistributeDelta(base, sys, nil, sc); err != nil {
+				return nil, err
+			}
+		}
+		db.IdenticalNsOp = float64(time.Since(t0).Nanoseconds()) / float64(iters)
+
+		out = append(out, db)
+	}
+	return out, nil
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+
+	"deadlinedist/internal/platform"
+	"deadlinedist/internal/taskgraph"
+)
+
+// deltaMetrics is the strategy battery for the delta-reuse equivalence
+// tests. The two THRES variants share a Name() — the regression case for
+// the carry-over guard, which must compare metric values, not names.
+func deltaMetrics() []Metric {
+	return []Metric{NORM(), PURE(), THRES(1, 1.25), THRES(2, 1.25), ADAPT(1.25)}
+}
+
+// deltaStep is one DistributeDelta call of a carry-over sequence.
+type deltaStep struct {
+	name string
+	g    *taskgraph.Graph
+	sys  *platform.System
+}
+
+// runDeltaSequence drives one scratch through the steps, checking every
+// output against a cold DistributeScratch on the same inputs, and returns
+// the total carried-candidate reuses.
+func runDeltaSequence(t *testing.T, d Distributor, steps []deltaStep) int {
+	t.Helper()
+	sc := NewScratch()
+	reuses := 0
+	for _, step := range steps {
+		got, err := d.DistributeDelta(step.g, step.sys, nil, sc)
+		if err != nil {
+			t.Fatalf("%s: delta: %v", step.name, err)
+		}
+		want, err := d.Distribute(step.g, step.sys)
+		if err != nil {
+			t.Fatalf("%s: cold: %v", step.name, err)
+		}
+		if diff := sameResult(got, want); diff != "" {
+			t.Fatalf("%s: delta run differs from cold run: %s", step.name, diff)
+		}
+		reuses += got.Search.DeltaReuses
+	}
+	return reuses
+}
+
+// TestDistributeDeltaMatchesCold is the correctness property of delta
+// re-slicing: across identical reruns, changed execution times, changed
+// deadlines, changed system sizes and changed graph structure, a
+// DistributeDelta carrying candidates on one scratch produces tables
+// bit-for-bit identical to a cold run — and the identical rerun must
+// actually reuse carried candidates rather than silently recompute.
+func TestDistributeDeltaMatchesCold(t *testing.T) {
+	sys4, err := platform.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys8, err := platform.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range equivalenceGraphs(t, 7) {
+		// Delta workloads: one subtask's execution time drifts; one
+		// end-to-end deadline tightens.
+		sub := taskgraph.None
+		for _, n := range g.Nodes() {
+			if n.Kind == taskgraph.KindSubtask && len(g.Succ(n.ID)) > 0 && len(g.Pred(n.ID)) > 0 {
+				sub = n.ID
+				break
+			}
+		}
+		gCost := g.Clone()
+		if sub != taskgraph.None {
+			if err := gCost.SetCost(sub, g.Node(sub).Cost*1.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gDL := g.Clone()
+		out := g.Outputs()[0]
+		if err := gDL.SetEndToEnd(out, g.Node(out).EndToEnd*0.9); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range deltaMetrics() {
+			d := Distributor{Metric: m, Estimator: CCNE()}
+			t.Run(name+"/"+m.Name(), func(t *testing.T) {
+				steps := []deltaStep{
+					{"cold", g, sys4},
+					{"identical rerun", g, sys4},
+					{"changed exec time", gCost, sys4},
+					{"changed exec time rerun", gCost, sys4},
+					{"changed deadline", gDL, sys4},
+					{"changed system size", g, sys8},
+					{"back to original", g, sys4},
+				}
+				if runDeltaSequence(t, d, steps) == 0 {
+					t.Error("sequence with identical reruns never reused a carried candidate")
+				}
+			})
+		}
+	}
+}
+
+// TestDistributeDeltaMetricSwitch pins the carry-over guard against the
+// Name() collision: THRES(1, f) and THRES(2, f) both report "THRES", so a
+// name-based guard would leak candidates ranked under the wrong surplus
+// count across the switch. Every step must still match a cold run.
+func TestDistributeDeltaMetricSwitch(t *testing.T) {
+	sys, err := platform.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := equivalenceGraphs(t, 11)["random"]
+	sc := NewScratch()
+	for _, m := range []Metric{THRES(1, 1.25), THRES(2, 1.25), THRES(1, 1.25), ADAPT(1.25), PURE()} {
+		d := Distributor{Metric: m, Estimator: CCNE()}
+		got, err := d.DistributeDelta(g, sys, nil, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		want, err := d.Distribute(g, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := sameResult(got, want); diff != "" {
+			t.Fatalf("after switch to %s: %s", m.Name(), diff)
+		}
+	}
+}
+
+// TestDistributeDeltaArcChange covers the cross-graph structural delta: an
+// added arc (which also appends a message node) must invalidate exactly the
+// candidates that could observe it, leaving output identical to cold.
+func TestDistributeDeltaArcChange(t *testing.T) {
+	build := func(extra bool) *taskgraph.Graph {
+		b := taskgraph.NewBuilder()
+		a1 := b.AddSubtask("a1", 10)
+		a2 := b.AddSubtask("a2", 20)
+		a3 := b.AddSubtask("a3", 10)
+		b1 := b.AddSubtask("b1", 15)
+		b2 := b.AddSubtask("b2", 15)
+		b.Connect(a1, a2, 2)
+		b.Connect(a2, a3, 2)
+		b.Connect(b1, b2, 2)
+		if extra {
+			b.Connect(a1, b2, 1)
+		}
+		b.SetEndToEnd(a3, 200)
+		b.SetEndToEnd(b2, 180)
+		g, err := b.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	sys, err := platform.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Distributor{Metric: ADAPT(1.25), Estimator: CCNE()}
+	steps := []deltaStep{
+		{"without extra arc", build(false), sys},
+		{"with extra arc", build(true), sys},
+		{"without again", build(false), sys},
+	}
+	runDeltaSequence(t, d, steps)
+}
+
+// TestDistributeDeltaNilScratch checks the degenerate entry point: without
+// a scratch there is nothing to carry, and DistributeDelta must behave
+// exactly like Distribute.
+func TestDistributeDeltaNilScratch(t *testing.T) {
+	sys, err := platform.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := equivalenceGraphs(t, 3)["random"]
+	d := Distributor{Metric: PURE(), Estimator: CCNE()}
+	got, err := d.DistributeDelta(g, sys, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Distribute(g, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := sameResult(got, want); diff != "" {
+		t.Fatalf("nil-scratch delta differs from plain distribute: %s", diff)
+	}
+	if got.Search.DeltaReuses != 0 {
+		t.Errorf("nil-scratch delta reported %d carried reuses", got.Search.DeltaReuses)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"reflect"
 
 	"deadlinedist/internal/platform"
 	"deadlinedist/internal/taskgraph"
@@ -73,6 +74,31 @@ func NewScratch() *Scratch { return &Scratch{} }
 // set. Passing nil sc allocates a fresh working set, exactly as
 // DistributeInto. The output is bit-for-bit independent of scratch reuse.
 func (d Distributor) DistributeScratch(g *taskgraph.Graph, sys *platform.System, recycle *Result, sc *Scratch) (*Result, error) {
+	return d.distribute(g, sys, recycle, sc, false)
+}
+
+// DistributeDelta is DistributeScratch with cross-run carry-over: every
+// per-start evaluation of the previous DistributeDelta call on the same
+// Scratch is recorded in a history log, and the new run replays a logged
+// evaluation instead of re-running its DP whenever revalidation proves a
+// recomputation would return the identical candidate (see deltaValid for
+// the exact rules). The intended workload is a graph that is a small delta
+// of the previous call's — changed execution times or deadlines on a few
+// nodes, or a different system size perturbing only part of the virtual
+// costs — where most of the per-start DP sweeps of a cold run reproduce the
+// previous run's answers. For cross-graph deltas the graphs must be
+// structurally identical (same nodes, arcs and topological order — e.g. a
+// Graph.Clone with SetCost/SetEndToEnd edits); a structural change such as
+// an added or removed arc safely disables carry for that run pair.
+//
+// The output is bit-for-bit identical to DistributeScratch on the same
+// inputs; only Result.Search differs (DeltaReuses replaces some DPRuns).
+// Passing nil sc runs without carry-over, exactly as DistributeScratch.
+func (d Distributor) DistributeDelta(g *taskgraph.Graph, sys *platform.System, recycle *Result, sc *Scratch) (*Result, error) {
+	return d.distribute(g, sys, recycle, sc, sc != nil)
+}
+
+func (d Distributor) distribute(g *taskgraph.Graph, sys *platform.System, recycle *Result, sc *Scratch, delta bool) (*Result, error) {
 	if d.Metric == nil || d.Estimator == nil {
 		return nil, ErrNilStrategy
 	}
@@ -119,6 +145,7 @@ func (d Distributor) DistributeScratch(g *taskgraph.Graph, sys *platform.System,
 		st = &sc.st
 	}
 	st.g, st.sys, st.metric, st.vc, st.vcWin, st.res = g, sys, d.Metric, vc, vcWin, res
+	st.deltaMode = delta
 	st.prepare()
 
 	for st.unassigned > 0 {
@@ -130,6 +157,15 @@ func (d Distributor) DistributeScratch(g *taskgraph.Graph, sys *platform.System,
 		st.slice(path, ratio)
 		res.Paths = append(res.Paths, path)
 		res.Search.Iterations++
+	}
+	if delta {
+		// Snapshot the carry-over context for the next DistributeDelta on
+		// this scratch: the graph, its virtual costs and the metric the
+		// surviving candidates were ranked under.
+		st.deltaG = g
+		st.deltaVC = append(st.deltaVC[:0], vc...)
+		st.deltaMetric = d.Metric
+		st.deltaRun = st.runID
 	}
 	st.release()
 	return res, nil
@@ -153,6 +189,53 @@ type startCand struct {
 	// reach is the start's reachable set (through unassigned nodes) at the
 	// time the candidate was computed, in topological order.
 	reach []taskgraph.NodeID
+	// path is the backtracked node sequence of the best candidate, kept so a
+	// winning memoized candidate can be sliced without re-running its DP
+	// just to rebuild the par table.
+	path []taskgraph.NodeID
+
+	// Delta carry-over context, recorded only in delta mode. Together with
+	// reach it captures every input the candidate's DP and scan read, so
+	// deltaValid can prove a recomputation would reproduce the candidate.
+	//
+	// relAnchor is the release anchor the candidate was ranked against.
+	relAnchor float64
+	// border lists the assigned nodes that truncated the DP's reachable
+	// set: every assigned successor of a reach node. If these are assigned
+	// and all of reach is unassigned, a fresh traversal from the start
+	// reproduces reach exactly.
+	border []taskgraph.NodeID
+	// ends lists the deadline-anchored path ends the scan compared, with
+	// the anchor values they were compared under.
+	ends []endAnchor
+}
+
+// copyFrom deep-copies src into c, reusing c's slice capacity.
+func (c *startCand) copyFrom(src *startCand) {
+	c.valid, c.found = src.valid, src.found
+	c.end, c.k, c.ratio = src.end, src.k, src.ratio
+	c.reach = append(c.reach[:0], src.reach...)
+	c.path = append(c.path[:0], src.path...)
+	c.relAnchor = src.relAnchor
+	c.border = append(c.border[:0], src.border...)
+	c.ends = append(c.ends[:0], src.ends...)
+}
+
+// logEntry is one evaluation recorded in a delta run's history log: the
+// candidate a start produced at some point of the run, with the validation
+// context that lets the next run replay it. Entries for the same start are
+// chained via next in recorded (state-time) order.
+type logEntry struct {
+	start taskgraph.NodeID
+	next  int
+	cand  startCand
+}
+
+// endAnchor is one deadline-anchored candidate end and the anchor value it
+// was ranked against.
+type endAnchor struct {
+	id taskgraph.NodeID
+	dl float64
 }
 
 // distState is the per-distribution working set.
@@ -186,8 +269,6 @@ type distState struct {
 	// touched lists the rows written by the current DP run, in first-write
 	// order (the candidate enumeration order of the reference search).
 	touched []taskgraph.NodeID
-	// lastDP is the start whose tables currently populate dp/par, or None.
-	lastDP taskgraph.NodeID
 
 	// reach prunes each DP to the nodes reachable from its start.
 	reach *taskgraph.Reach
@@ -213,6 +294,27 @@ type distState struct {
 	// before moving on, so the LongestPath scan amortizes to once per graph.
 	prevG     *taskgraph.Graph
 	prevWidth int
+
+	// Delta carry-over state (DistributeDelta). deltaG/deltaVC/deltaMetric
+	// snapshot the previous delta run's inputs; deltaRun stamps that run, and
+	// runID counts prepared runs so only a run's immediate successor replays
+	// its log. log accumulates every evaluation of the current delta run;
+	// prevLog holds the previous run's log, chained per start through head.
+	// bmark/borderbuf collect the current DP's border (assigned successors of
+	// reach nodes), generation-stamped like the DP rows.
+	deltaMode  bool
+	deltaCarry bool
+	runID      uint64
+	deltaRun   uint64
+	deltaG     *taskgraph.Graph
+	deltaVC    []float64
+	deltaMetric Metric
+	bmark      []uint64
+	borderbuf  []taskgraph.NodeID
+	log        []logEntry
+	prevLog    []logEntry
+	head       []int
+	tailbuf    []int
 }
 
 // prepare sizes the working set for the bound graph, reusing any buffers
@@ -243,15 +345,52 @@ func (st *distState) prepare() {
 		st.par[i] = parFlat[i*width : (i+1)*width]
 	}
 	st.rowGen = resizeSlice(st.rowGen, n)
-	st.lastDP = taskgraph.None
 	if st.reach == nil {
 		st.reach = taskgraph.NewReach(st.g)
 	} else {
 		st.reach.Reset(st.g)
 	}
+	// No candidate survives prepare directly: the memo array is cleared, and
+	// cross-run reuse goes through the history log instead. When the
+	// previous run on this scratch was the immediately preceding delta run
+	// under a DeepEqual metric (Metric.Name does not encode parameters, so
+	// names are not enough), its log becomes prevLog and its entries are
+	// replayed by per-entry revalidation (deltaValid); otherwise the stale
+	// log is dropped. The run stamp excludes logs from older runs, whose
+	// ranking inputs the scratch no longer holds.
+	st.runID++
+	st.deltaCarry = st.deltaMode && st.deltaG != nil && st.deltaRun == st.runID-1 &&
+		reflect.DeepEqual(st.metric, st.deltaMetric) && st.sameStructure()
+	st.log, st.prevLog = st.prevLog[:0], st.log
+	if !st.deltaCarry {
+		st.prevLog = st.prevLog[:0]
+	}
+	st.head = resizeSlice(st.head, n)
+	for i := range st.head {
+		st.head[i] = -1
+	}
+	if len(st.prevLog) > 0 {
+		st.tailbuf = resizeSlice(st.tailbuf, n)
+		for i := range st.prevLog {
+			e := &st.prevLog[i]
+			e.next = -1
+			if int(e.start) >= n {
+				continue
+			}
+			if st.head[e.start] < 0 {
+				st.head[e.start] = i
+			} else {
+				st.prevLog[st.tailbuf[e.start]].next = i
+			}
+			st.tailbuf[e.start] = i
+		}
+	}
 	st.cand = resizeSlice(st.cand, n)
 	for i := range st.cand {
 		st.cand[i].valid = false
+	}
+	if st.deltaMode {
+		st.bmark = resizeSlice(st.bmark, n)
 	}
 	st.assigned = resizeSlice(st.assigned, n)
 	clear(st.assigned)
@@ -322,33 +461,64 @@ func (st *distState) deadlineAnchor(id taskgraph.NodeID) (float64, bool) {
 // in ID order, then the first candidate in DP first-write order, reaching
 // the minimum — exactly the reference search's choice.
 func (st *distState) findCriticalPath() ([]taskgraph.NodeID, float64, error) {
-	var (
-		best      *startCand
-		bestStart = taskgraph.None
-	)
+	var best *startCand
 	for _, s := range st.startCandidates() {
 		st.res.Search.StartsExamined++
 		c := &st.cand[s]
-		if c.valid && st.reachUnassigned(c.reach) {
+		switch {
+		case c.valid && st.reachUnassigned(c.reach):
 			st.res.Search.CacheReuses++
-		} else {
+		case st.deltaCarry && st.replay(s, c):
+			st.res.Search.DeltaReuses++
+		default:
 			st.runDP(s)
 			st.evalStart(s, c)
 		}
 		if c.found && (best == nil || c.ratio < best.ratio) {
-			best, bestStart = c, s
+			best = c
 		}
 	}
 	if best == nil {
 		return nil, 0, ErrNoCritical
 	}
 
-	// Backtrack from the winning start's dp/par tables; they are still in
-	// place unless a later start's DP (or a cache miss) overwrote them.
-	if st.lastDP != bestStart {
-		st.runDP(bestStart)
+	// The winner's path was backtracked when its candidate was evaluated
+	// (or carried over with it), so no DP tables need rebuilding here. The
+	// copy detaches the result from the memo's reused buffer.
+	return append([]taskgraph.NodeID(nil), best.path...), best.ratio, nil
+}
+
+// replay tries to reuse an evaluation of start s recorded in the previous
+// delta run's history log. Entries are tried in recorded (state-time)
+// order; the first that deltaValid proves reproducible under the current
+// state is promoted into the live memo and re-logged for the next run.
+// Dead entries fail fast: once a recorded reach contains an assigned node
+// it can never validate again this run, so the scan skips it cheaply.
+func (st *distState) replay(s taskgraph.NodeID, c *startCand) bool {
+	for i := st.head[s]; i >= 0; i = st.prevLog[i].next {
+		e := &st.prevLog[i]
+		if !st.deltaValid(s, &e.cand) {
+			continue
+		}
+		c.copyFrom(&e.cand)
+		c.valid = true
+		st.logAppend(s, c)
+		return true
 	}
-	return st.backtrack(best.end, best.k), best.ratio, nil
+	return false
+}
+
+// logAppend records an evaluation (fresh or replayed) of start s in the
+// current run's history log, recycling entry buffers across runs.
+func (st *distState) logAppend(s taskgraph.NodeID, c *startCand) {
+	if len(st.log) < cap(st.log) {
+		st.log = st.log[:len(st.log)+1]
+	} else {
+		st.log = append(st.log, logEntry{})
+	}
+	e := &st.log[len(st.log)-1]
+	e.start = s
+	e.cand.copyFrom(c)
 }
 
 // reachUnassigned reports whether every node of a cached reachable set is
@@ -362,6 +532,102 @@ func (st *distState) reachUnassigned(reach []taskgraph.NodeID) bool {
 	return true
 }
 
+// deltaValid reports whether a logged candidate for start s would be
+// reproduced bit-for-bit by a fresh DP and scan under the current inputs,
+// by checking every input they would read against the recorded context
+// (cheapest checks first, since most log entries are dead at any given
+// state and should fail fast):
+//
+//   - every reach node is still unassigned with an unchanged virtual cost —
+//     combined with the run-wide structural-identity gate (sameStructure), a
+//     fresh traversal from s visits the same nodes in the same order and
+//     the DP writes the same cells in the same sequence, reproducing values
+//     and first-write tie-breaks alike;
+//   - every border node is still assigned — so the traversal is truncated
+//     exactly where it was, neither growing nor shrinking the reach, and
+//     the set of deadline-anchored ends is unchanged;
+//   - the release anchor of s and the deadline anchor of every recorded end
+//     equal the values the candidate was ranked against — so every ratio
+//     the scan would compare is numerically identical.
+//
+// The metric was already checked run-wide in prepare. Window-sizing costs
+// (WindowCoster) are deliberately not checked: slice reads them fresh, so a
+// reused candidate is always sliced under current costs.
+func (st *distState) deltaValid(s taskgraph.NodeID, c *startCand) bool {
+	rel, ok := st.releaseAnchor(s)
+	if !ok || rel != c.relAnchor {
+		return false
+	}
+	for _, id := range c.border {
+		if !st.assigned[id] {
+			return false
+		}
+	}
+	for _, e := range c.ends {
+		dl, ok := st.deadlineAnchor(e.id)
+		if !ok || dl != e.dl {
+			return false
+		}
+	}
+	for _, id := range c.reach {
+		if st.assigned[id] || !floatEq(st.vc[id], st.deltaVC[id]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameStructure reports whether the current graph is structurally identical
+// to the previous delta run's: same node count, same topological order,
+// same successor lists. Node costs and deadlines may differ — those are
+// validated per entry by deltaValid. Cross-run carry requires structural
+// identity because a replayed candidate memoizes the tie-breaks of its DP's
+// first-write order, and that order is determined exactly by the
+// topological order and the successor lists (given the border and reach
+// checks). A structural change (added or removed arc, different node set)
+// disables carry for that run pair; the output is still exact, just cold.
+func (st *distState) sameStructure() bool {
+	g, old := st.g, st.deltaG
+	if g == old {
+		return true
+	}
+	n := g.NumNodes()
+	if n != old.NumNodes() {
+		return false
+	}
+	gt, ot := g.TopoOrder(), old.TopoOrder()
+	for i := range gt {
+		if gt[i] != ot[i] {
+			return false
+		}
+	}
+	for id := 0; id < n; id++ {
+		if !equalSucc(g.Succ(taskgraph.NodeID(id)), old.Succ(taskgraph.NodeID(id))) {
+			return false
+		}
+	}
+	return true
+}
+
+// equalSucc reports whether two successor lists are identical.
+func equalSucc(a, b []taskgraph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// floatEq is float equality with NaNs comparing equal to each other
+// (virtual costs can legitimately carry NaNs; see equalFP in the engine).
+func floatEq(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
 // evalStart scans the just-run DP for start s and memoizes the best
 // (deadline-anchored) candidate into c, together with the reachable set
 // that conditions its validity.
@@ -369,10 +635,18 @@ func (st *distState) evalStart(s taskgraph.NodeID, c *startCand) {
 	relAnchor, _ := st.releaseAnchor(s)
 	c.valid = true
 	c.found = false
+	if st.deltaMode {
+		c.relAnchor = relAnchor
+		c.border = append(c.border[:0], st.borderbuf...)
+		c.ends = c.ends[:0]
+	}
 	for _, id := range st.touched {
 		dl, ok := st.deadlineAnchor(id)
 		if !ok {
 			continue
+		}
+		if st.deltaMode {
+			c.ends = append(c.ends, endAnchor{id: id, dl: dl})
 		}
 		row := st.dp[id]
 		for k := range row {
@@ -387,6 +661,16 @@ func (st *distState) evalStart(s taskgraph.NodeID, c *startCand) {
 		}
 	}
 	c.reach = append(c.reach[:0], st.touched...)
+	// Backtrack the winning (end, k) now, while this start's dp/par tables
+	// are still in place: the memoized candidate then carries its own path
+	// and never needs the tables again.
+	c.path = c.path[:0]
+	if c.found {
+		c.path = st.backtrackInto(c.path, c.end, c.k)
+	}
+	if st.deltaMode {
+		st.logAppend(s, c)
+	}
 }
 
 // startCandidates fills the reused buffer with the unassigned nodes whose
@@ -411,7 +695,6 @@ func (st *distState) startCandidates() []taskgraph.NodeID {
 func (st *distState) runDP(s taskgraph.NodeID) {
 	st.gen++
 	st.touched = st.touched[:0]
-	st.lastDP = s
 	st.res.Search.DPRuns++
 
 	ws := 0
@@ -421,10 +704,20 @@ func (st *distState) runDP(s taskgraph.NodeID) {
 	st.clearRow(s)
 	st.dp[s][ws] = st.vc[s]
 
+	if st.deltaMode {
+		st.borderbuf = st.borderbuf[:0]
+	}
 	for _, u := range st.reach.From(s, st.skipAssigned) {
 		row := st.dp[u]
 		for _, v := range st.g.Succ(u) {
 			if st.assigned[v] {
+				// In delta mode the assigned successors truncating this
+				// traversal are recorded: they condition the carried
+				// candidate's validity next run (see startCand.border).
+				if st.deltaMode && st.bmark[v] != st.gen {
+					st.bmark[v] = st.gen
+					st.borderbuf = append(st.borderbuf, v)
+				}
 				continue
 			}
 			wv := 0
@@ -473,22 +766,23 @@ func (st *distState) clearRow(id taskgraph.NodeID) {
 	st.touched = append(st.touched, id)
 }
 
-// backtrack reconstructs the path ending at (end, k) from the par table.
-func (st *distState) backtrack(end taskgraph.NodeID, k int) []taskgraph.NodeID {
-	var rev []taskgraph.NodeID
+// backtrackInto reconstructs the path ending at (end, k) from the par
+// table, appending into dst (reused across evaluations).
+func (st *distState) backtrackInto(dst []taskgraph.NodeID, end taskgraph.NodeID, k int) []taskgraph.NodeID {
+	first := len(dst)
 	id := end
 	for id != taskgraph.None {
-		rev = append(rev, id)
+		dst = append(dst, id)
 		prev := st.par[id][k]
 		if st.vc[id] > 0 {
 			k--
 		}
 		id = prev
 	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
+	for i, j := first, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
 	}
-	return rev
+	return dst
 }
 
 // slice distributes the critical path's end-to-end deadline over the

@@ -37,9 +37,9 @@ type Result struct {
 // of one distribution: how many start candidates were examined across all
 // slicing iterations, how many per-start DP sweeps actually ran, and how
 // many starts reused their memoized candidate instead. High CacheReuses
-// relative to StartsExamined is what makes the search incremental; DPRuns
-// also counts the occasional re-run needed to backtrack a winning path
-// whose tables were overwritten.
+// relative to StartsExamined is what makes the search incremental; every
+// candidate memoizes its own backtracked path, so winners never re-run a
+// DP just to rebuild their tables.
 type SearchStats struct {
 	// Iterations is the number of slicing iterations (= len(Paths)).
 	Iterations int
@@ -50,6 +50,10 @@ type SearchStats struct {
 	// CacheReuses is the number of starts whose memoized candidate was
 	// still valid and reused without a DP sweep.
 	CacheReuses int
+	// DeltaReuses is the number of starts whose candidate was carried over
+	// from the previous DistributeDelta run on the same scratch and
+	// revalidated against the new inputs instead of being recomputed.
+	DeltaReuses int
 }
 
 // Add accumulates other into s.
@@ -58,6 +62,7 @@ func (s *SearchStats) Add(other SearchStats) {
 	s.StartsExamined += other.StartsExamined
 	s.DPRuns += other.DPRuns
 	s.CacheReuses += other.CacheReuses
+	s.DeltaReuses += other.DeltaReuses
 }
 
 // Laxity returns the pre-scheduling laxity of node id: the window slack

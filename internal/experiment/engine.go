@@ -89,6 +89,11 @@ func (a slicingAssigner) AssignInto(g *taskgraph.Graph, sys *platform.System,
 	return a.dist.DistributeScratch(g, sys, recycle, sc)
 }
 
+func (a slicingAssigner) AssignDelta(g *taskgraph.Graph, sys *platform.System,
+	recycle *core.Result, sc *core.Scratch) (*core.Result, error) {
+	return a.dist.DistributeDelta(g, sys, recycle, sc)
+}
+
 // resultRecycler is an optional Assigner capability: strategies that can
 // overwrite a spent Result instead of allocating a fresh one, and run off a
 // pooled distributor working set, implement it. The engine only offers
@@ -97,6 +102,16 @@ func (a slicingAssigner) AssignInto(g *taskgraph.Graph, sys *platform.System,
 // argument may be nil.
 type resultRecycler interface {
 	AssignInto(g *taskgraph.Graph, sys *platform.System, recycle *core.Result, sc *core.Scratch) (*core.Result, error)
+}
+
+// deltaAssigner is an optional Assigner capability: strategies whose
+// distribution can replay memoized critical-path evaluations carried on the
+// scratch from the previous call (core.DistributeDelta) implement it. The
+// result is bit-for-bit identical to AssignInto on the same inputs — only
+// the amount of recomputation changes — so the engine may substitute it
+// freely when Config.DeltaReuse is set.
+type deltaAssigner interface {
+	AssignDelta(g *taskgraph.Graph, sys *platform.System, recycle *core.Result, sc *core.Scratch) (*core.Result, error)
 }
 
 // dynSlicingAssigner is a slicing assigner whose estimator depends on the
@@ -141,6 +156,15 @@ func (a dynSlicingAssigner) AssignInto(g *taskgraph.Graph, sys *platform.System,
 		return nil, err
 	}
 	return core.Distributor{Metric: a.metric, Estimator: e}.DistributeScratch(g, sys, recycle, sc)
+}
+
+func (a dynSlicingAssigner) AssignDelta(g *taskgraph.Graph, sys *platform.System,
+	recycle *core.Result, sc *core.Scratch) (*core.Result, error) {
+	e, err := a.est(sys)
+	if err != nil {
+		return nil, err
+	}
+	return core.Distributor{Metric: a.metric, Estimator: e}.DistributeDelta(g, sys, recycle, sc)
 }
 
 // baselineAssigner adapts a strategy.Strategy (platform-independent).
@@ -201,6 +225,11 @@ func (a assignFirst) Assign(g *taskgraph.Graph, sys *platform.System) (*core.Res
 func (a assignFirst) AssignInto(g *taskgraph.Graph, sys *platform.System,
 	recycle *core.Result, sc *core.Scratch) (*core.Result, error) {
 	return core.Distributor{Metric: a.metric, Estimator: core.CCKnown(nil)}.DistributeScratch(g, sys, recycle, sc)
+}
+
+func (a assignFirst) AssignDelta(g *taskgraph.Graph, sys *platform.System,
+	recycle *core.Result, sc *core.Scratch) (*core.Result, error) {
+	return core.Distributor{Metric: a.metric, Estimator: core.CCKnown(nil)}.DistributeDelta(g, sys, recycle, sc)
 }
 
 // improvedAssigner wraps a slicing distribution with the reference-[3]
@@ -289,6 +318,14 @@ type Config struct {
 	Network func(n int) (*channel.Network, error)
 	// Measure maps a run to the observed value (default MaxLateness).
 	Measure Measure
+	// DeltaReuse lets slicing assigners carry memoized critical-path search
+	// state across the consecutive distributions each worker runs
+	// (core.DistributeDelta): when a graph is a small delta of the one the
+	// worker just sliced under the same metric, still-valid evaluations are
+	// replayed instead of recomputed. Tables are bit-for-bit identical with
+	// the flag on or off (TestRunDeltaReuseMatches); only the amount of
+	// recomputation changes.
+	DeltaReuse bool
 	// Workers bounds the number of concurrent graph pipelines
 	// (default GOMAXPROCS). Ignored when Orchestrator is set — the shared
 	// pool's size governs instead.
@@ -380,6 +417,16 @@ func (l labelled) AssignInto(g *taskgraph.Graph, sys *platform.System,
 		return r.AssignInto(g, sys, recycle, sc)
 	}
 	return l.Assign(g, sys)
+}
+
+// AssignDelta forwards delta re-slicing to the wrapped assigner when it
+// supports it, falling back to a plain assignment otherwise.
+func (l labelled) AssignDelta(g *taskgraph.Graph, sys *platform.System,
+	recycle *core.Result, sc *core.Scratch) (*core.Result, error) {
+	if d, ok := l.Assigner.(deltaAssigner); ok {
+		return d.AssignDelta(g, sys, recycle, sc)
+	}
+	return l.AssignInto(g, sys, recycle, sc)
 }
 
 // Default returns the paper's experimental setup (Section 5) for the given
@@ -477,6 +524,11 @@ func (cfg Config) RunContext(ctx context.Context, title string, assigners ...Ass
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if orc := cfg.Orchestrator; orc != nil {
+		cfg.Metrics.SetPoolWorkers(orc.Workers())
+	} else {
+		cfg.Metrics.SetPoolWorkers(workers)
 	}
 
 	// rctx is the run's context: the caller's, tightened by the per-table
@@ -1033,19 +1085,19 @@ func runGraph(ctx context.Context, cfg Config, g *taskgraph.Graph, systems []*pl
 				if crossOK && known && transformer == nil {
 					// Transformed graphs are per-size values, so only
 					// untransformed runs key the cross-table cache.
-					res, shared, err = orc.assignment(ctx, gg, sys, asg, label, fp, rec, w)
+					res, shared, err = orc.assignment(ctx, gg, sys, asg, label, fp, rec, w, cfg.DeltaReuse)
 					// "cross": the cross-table cache answered (by hit or by
 					// this worker computing and publishing — the span length
 					// tells which).
 					sp.stage("assign", label, sys.NumProcs(), at0, "cross")
 				} else {
 					t0 = rec.Start()
-					res, err = assignWith(asg, gg, sys, w)
+					res, err = assignWith(asg, gg, sys, w, cfg.DeltaReuse)
 					rec.Done(metrics.StageAssign, t0)
 					sp.stage("assign", label, sys.NumProcs(), at0, "miss")
 					if err == nil {
 						st := res.Search
-						rec.AddSearch(st.Iterations, st.StartsExamined, st.DPRuns, st.CacheReuses)
+						rec.AddSearch(st.Iterations, st.StartsExamined, st.DPRuns, st.CacheReuses, st.DeltaReuses)
 					}
 				}
 				if err != nil {
@@ -1113,8 +1165,16 @@ func runGraph(ctx context.Context, cfg Config, g *taskgraph.Graph, systems []*pl
 }
 
 // assignWith runs one assignment, offering the worker's spare Result and
-// pooled distributor scratch when the assigner supports them.
-func assignWith(asg Assigner, g *taskgraph.Graph, sys *platform.System, w *poolWorker) (*core.Result, error) {
+// pooled distributor scratch when the assigner supports them, and routing
+// through the delta entry point when the run opted into carry-over reuse.
+func assignWith(asg Assigner, g *taskgraph.Graph, sys *platform.System, w *poolWorker, delta bool) (*core.Result, error) {
+	if delta {
+		if d, ok := asg.(deltaAssigner); ok {
+			recycle := w.spare
+			w.spare = nil
+			return d.AssignDelta(g, sys, recycle, w.dist)
+		}
+	}
 	if r, ok := asg.(resultRecycler); ok {
 		recycle := w.spare
 		w.spare = nil

@@ -446,7 +446,7 @@ func TestAssignmentErrorReleasesCacheSlot(t *testing.T) {
 	w := newPoolWorker()
 
 	for call := 1; call <= 2; call++ {
-		_, shared, err := orc.assignment(context.Background(), g, sys, fa, "FAIL", nil, nil, w)
+		_, shared, err := orc.assignment(context.Background(), g, sys, fa, "FAIL", nil, nil, w, false)
 		if err == nil {
 			t.Fatalf("call %d: erroring assignment succeeded", call)
 		}
@@ -467,7 +467,7 @@ func TestAssignmentErrorReleasesCacheSlot(t *testing.T) {
 	// A successful assignment afterwards occupies exactly one slot.
 	ok := Slicing(core.PURE(), core.CCNE())
 	fp, _ := ok.Fingerprint(g, sys)
-	if _, shared, err := orc.assignment(context.Background(), g, sys, ok, ok.Label(), fp, nil, w); err != nil || !shared {
+	if _, shared, err := orc.assignment(context.Background(), g, sys, ok, ok.Label(), fp, nil, w, false); err != nil || !shared {
 		t.Fatalf("successful assignment: shared=%v err=%v", shared, err)
 	}
 	orc.mu.Lock()
@@ -498,7 +498,7 @@ func TestAssignmentPanicReleasesCacheSlot(t *testing.T) {
 				t.Fatal("panic did not propagate")
 			}
 		}()
-		orc.assignment(context.Background(), g, sys, pa, "PANIC", nil, nil, w)
+		orc.assignment(context.Background(), g, sys, pa, "PANIC", nil, nil, w, false)
 	}()
 	orc.mu.Lock()
 	n := len(orc.assigns)
@@ -506,7 +506,7 @@ func TestAssignmentPanicReleasesCacheSlot(t *testing.T) {
 	if n != 0 {
 		t.Fatalf("panicking assignment pinned %d cache slots", n)
 	}
-	if _, _, err := orc.assignment(context.Background(), g, sys, pa, "PANIC", nil, nil, w); err != nil {
+	if _, _, err := orc.assignment(context.Background(), g, sys, pa, "PANIC", nil, nil, w, false); err != nil {
 		t.Fatalf("second attempt after the panic failed: %v", err)
 	}
 }

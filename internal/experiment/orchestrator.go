@@ -46,17 +46,26 @@ import (
 //
 // An Orchestrator is safe for concurrent use by any number of runs.
 type Orchestrator struct {
-	jobs chan poolJob
-	wg   sync.WaitGroup
+	jobs    chan poolJob
+	wg      sync.WaitGroup
+	workers int
 
 	mu      sync.Mutex
 	batches map[generator.BatchID]*batchEntry
 	assigns map[assignKey]*assignEntry
+	// maxAssign caps assigns (maxAssignEntries outside tests); rejected
+	// counts publishes refused since the last capacity reset.
+	maxAssign int
+	rejected  int
 }
 
 // maxAssignEntries bounds the assignment cache; beyond it, results are
 // computed without being published (correctness is unaffected — a miss
-// recomputes a bit-identical result).
+// recomputes a bit-identical result). A saturated cache is not permanently
+// closed: once a full cache's worth of publishes has been refused, the
+// cache is flushed and admission resumes (see assignment), so a long-lived
+// process keeps caching its current working set instead of pinning the
+// first 2^16 results forever.
 const maxAssignEntries = 1 << 16
 
 // poolJob is one unit of pool work: a graph pipeline plus the recorder of
@@ -128,9 +137,11 @@ func NewOrchestrator(workers int) *Orchestrator {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	o := &Orchestrator{
-		jobs:    make(chan poolJob),
-		batches: make(map[generator.BatchID]*batchEntry),
-		assigns: make(map[assignKey]*assignEntry),
+		jobs:      make(chan poolJob),
+		workers:   workers,
+		batches:   make(map[generator.BatchID]*batchEntry),
+		assigns:   make(map[assignKey]*assignEntry),
+		maxAssign: maxAssignEntries,
 	}
 	for i := 0; i < workers; i++ {
 		o.wg.Add(1)
@@ -138,6 +149,10 @@ func NewOrchestrator(workers int) *Orchestrator {
 	}
 	return o
 }
+
+// Workers returns the effective pool size (after the GOMAXPROCS default is
+// applied), so runs can record how much concurrency was actually available.
+func (o *Orchestrator) Workers() int { return o.workers }
 
 // Close shuts the pool down and waits for the workers to exit. No run may
 // be active or submitted afterwards.
@@ -246,7 +261,7 @@ func (o *Orchestrator) batch(ctx context.Context, key generator.BatchID, rec *me
 // their own run's context, so one run's cancellation never strands another.
 func (o *Orchestrator) assignment(ctx context.Context, gg *taskgraph.Graph, sys *platform.System,
 	asg Assigner, label string, fp []float64, rec *metrics.Recorder,
-	w *poolWorker) (*core.Result, bool, error) {
+	w *poolWorker, delta bool) (*core.Result, bool, error) {
 
 	key := assignKey{g: gg, label: label, fp: fpBits(fp)}
 	o.mu.Lock()
@@ -261,9 +276,26 @@ func (o *Orchestrator) assignment(ctx context.Context, gg *taskgraph.Graph, sys 
 		}
 	}
 	var e *assignEntry
-	if len(o.assigns) < maxAssignEntries {
+	if len(o.assigns) < o.maxAssign {
 		e = &assignEntry{ready: make(chan struct{})}
 		o.assigns[key] = e
+	} else {
+		// At capacity: count the refused publish, and once an entire
+		// cache's worth has been refused, flush and re-admit — the old
+		// generation has proven useless for the current working set, and a
+		// fresh map restores admission at the cost of bounded recomputation
+		// (misses recompute bit-identical results). In-flight owners keep
+		// their entry pointers, so waiters still settle; their deferred
+		// key-deletes hit the new map and are harmless no-ops.
+		o.rejected++
+		rec.CrossRejected()
+		if o.rejected >= o.maxAssign {
+			o.assigns = make(map[assignKey]*assignEntry)
+			o.rejected = 0
+			rec.CrossFlush()
+			e = &assignEntry{ready: make(chan struct{})}
+			o.assigns[key] = e
+		}
 	}
 	o.mu.Unlock()
 	rec.CrossMiss()
@@ -293,15 +325,24 @@ func (o *Orchestrator) assignment(ctx context.Context, gg *taskgraph.Graph, sys 
 	t0 := rec.Start()
 	// Compute with the worker's pooled scratch but never its spare Result:
 	// a published Result is shared cache storage and must own fresh slices.
-	if r, ok := asg.(resultRecycler); ok {
-		res, err = r.AssignInto(gg, sys, nil, w.dist)
-	} else {
-		res, err = asg.Assign(gg, sys)
+	switch {
+	case delta:
+		if d, ok := asg.(deltaAssigner); ok {
+			res, err = d.AssignDelta(gg, sys, nil, w.dist)
+			break
+		}
+		fallthrough
+	default:
+		if r, ok := asg.(resultRecycler); ok {
+			res, err = r.AssignInto(gg, sys, nil, w.dist)
+		} else {
+			res, err = asg.Assign(gg, sys)
+		}
 	}
 	rec.Done(metrics.StageAssign, t0)
 	if err == nil {
 		st := res.Search
-		rec.AddSearch(st.Iterations, st.StartsExamined, st.DPRuns, st.CacheReuses)
+		rec.AddSearch(st.Iterations, st.StartsExamined, st.DPRuns, st.CacheReuses, st.DeltaReuses)
 	}
 	if e == nil || err != nil {
 		return res, false, err // the deferred release unpins the slot on error

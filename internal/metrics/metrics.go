@@ -12,6 +12,7 @@ import (
 	"io"
 	"math"
 	"math/bits"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -87,20 +88,24 @@ type Recorder struct {
 	// Cross-sweep orchestration traffic: the content-addressed batch cache
 	// and the cross-table assignment cache (see
 	// internal/experiment.Orchestrator), plus shared-pool occupancy.
-	batchHits   atomic.Int64
-	batchMisses atomic.Int64
-	crossHits   atomic.Int64
-	crossMisses atomic.Int64
-	poolJobs    atomic.Int64
-	poolBusy    atomic.Int64
-	poolPeak    atomic.Int64
+	batchHits     atomic.Int64
+	batchMisses   atomic.Int64
+	crossHits     atomic.Int64
+	crossMisses   atomic.Int64
+	crossRejected atomic.Int64
+	crossFlushes  atomic.Int64
+	poolJobs      atomic.Int64
+	poolBusy      atomic.Int64
+	poolPeak      atomic.Int64
+	poolWorkers   atomic.Int64
 
 	// Critical-path search counters, accumulated from the distribution
 	// core's per-run SearchStats.
-	searchIterations atomic.Int64
-	searchStarts     atomic.Int64
-	searchDPRuns     atomic.Int64
-	searchReuses     atomic.Int64
+	searchIterations  atomic.Int64
+	searchStarts      atomic.Int64
+	searchDPRuns      atomic.Int64
+	searchReuses      atomic.Int64
+	searchDeltaReuses atomic.Int64
 
 	// Fault-tolerance counters of the run layer: recovered unit panics,
 	// attempts abandoned by the per-unit deadline, retries issued, and
@@ -195,6 +200,39 @@ func (r *Recorder) CrossMiss() {
 	}
 }
 
+// CrossRejected records a cross-table assignment-cache publish refused
+// because the cache was at capacity (see experiment.Orchestrator): the
+// distribution was computed but later tables cannot reuse it.
+func (r *Recorder) CrossRejected() {
+	if r != nil {
+		r.crossRejected.Add(1)
+	}
+}
+
+// CrossFlush records a capacity reset of the cross-table assignment cache:
+// a saturated cache dropped its entries so admission could resume.
+func (r *Recorder) CrossFlush() {
+	if r != nil {
+		r.crossFlushes.Add(1)
+	}
+}
+
+// SetPoolWorkers records the effective shared-pool worker count, so
+// snapshots can report peak occupancy against the pool's actual size
+// rather than leaving readers to guess it from the host. The largest pool
+// observed wins (several runs may share a recorder).
+func (r *Recorder) SetPoolWorkers(n int) {
+	if r == nil {
+		return
+	}
+	for {
+		cur := r.poolWorkers.Load()
+		if int64(n) <= cur || r.poolWorkers.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
 // PoolJobStart records a shared-pool worker picking up a job: it bumps the
 // job count and the busy gauge, tracking the peak occupancy. Pair with
 // PoolJobEnd.
@@ -221,9 +259,10 @@ func (r *Recorder) PoolJobEnd() {
 
 // AddSearch accumulates one distribution's critical-path search counters:
 // slicing iterations, start candidates examined, per-start DP sweeps run,
-// and memoized candidates reused without a sweep. (Plain ints so callers
+// memoized candidates reused without a sweep, and delta-mode evaluations
+// replayed from the previous run's history log. (Plain ints so callers
 // need not depend on the distribution core's stats type.)
-func (r *Recorder) AddSearch(iterations, startsExamined, dpRuns, cacheReuses int) {
+func (r *Recorder) AddSearch(iterations, startsExamined, dpRuns, cacheReuses, deltaReuses int) {
 	if r == nil {
 		return
 	}
@@ -231,6 +270,7 @@ func (r *Recorder) AddSearch(iterations, startsExamined, dpRuns, cacheReuses int
 	r.searchStarts.Add(int64(startsExamined))
 	r.searchDPRuns.Add(int64(dpRuns))
 	r.searchReuses.Add(int64(cacheReuses))
+	r.searchDeltaReuses.Add(int64(deltaReuses))
 }
 
 // UnitPanic records a recovered graph-pipeline panic.
@@ -361,6 +401,7 @@ type SearchCounters struct {
 	StartsExamined int64 `json:"startsExamined"`
 	DPRuns         int64 `json:"dpRuns"`
 	CacheReuses    int64 `json:"cacheReuses"`
+	DeltaReuses    int64 `json:"deltaReuses,omitempty"`
 }
 
 // ReuseRate returns CacheReuses/StartsExamined, or 0 without search
@@ -382,10 +423,20 @@ type Snapshot struct {
 	CacheMisses int64        `json:"cacheMisses"`
 	BatchHits   int64        `json:"batchHits,omitempty"`
 	BatchMisses int64        `json:"batchMisses,omitempty"`
-	CrossHits   int64        `json:"crossHits,omitempty"`
-	CrossMisses int64        `json:"crossMisses,omitempty"`
-	PoolJobs    int64        `json:"poolJobs,omitempty"`
-	PoolPeak    int64        `json:"poolPeak,omitempty"`
+	CrossHits     int64        `json:"crossHits,omitempty"`
+	CrossMisses   int64        `json:"crossMisses,omitempty"`
+	CrossRejected int64        `json:"crossRejected,omitempty"`
+	CrossFlushes  int64        `json:"crossFlushes,omitempty"`
+	PoolJobs      int64        `json:"poolJobs,omitempty"`
+	PoolPeak      int64        `json:"poolPeak,omitempty"`
+
+	// Hardware context, read at snapshot time: without it, poolPeak and
+	// throughput numbers are uninterpretable (a recorded poolPeak of 1 can
+	// mean a serialization bug or a 1-core host). PoolWorkers is the
+	// effective size of the shared worker pool, when one was used.
+	Cpus        int   `json:"cpus"`
+	Gomaxprocs  int   `json:"gomaxprocs"`
+	PoolWorkers int64 `json:"poolWorkers,omitempty"`
 
 	UnitPanics     int64 `json:"unitPanics,omitempty"`
 	UnitTimeouts   int64 `json:"unitTimeouts,omitempty"`
@@ -443,8 +494,13 @@ func (r *Recorder) Snapshot() Snapshot {
 	snap.BatchMisses = r.batchMisses.Load()
 	snap.CrossHits = r.crossHits.Load()
 	snap.CrossMisses = r.crossMisses.Load()
+	snap.CrossRejected = r.crossRejected.Load()
+	snap.CrossFlushes = r.crossFlushes.Load()
 	snap.PoolJobs = r.poolJobs.Load()
 	snap.PoolPeak = r.poolPeak.Load()
+	snap.Cpus = runtime.NumCPU()
+	snap.Gomaxprocs = runtime.GOMAXPROCS(0)
+	snap.PoolWorkers = r.poolWorkers.Load()
 	snap.UnitPanics = r.unitPanics.Load()
 	snap.UnitTimeouts = r.unitTimeouts.Load()
 	snap.UnitRetries = r.unitRetries.Load()
@@ -456,6 +512,7 @@ func (r *Recorder) Snapshot() Snapshot {
 		StartsExamined: r.searchStarts.Load(),
 		DPRuns:         r.searchDPRuns.Load(),
 		CacheReuses:    r.searchReuses.Load(),
+		DeltaReuses:    r.searchDeltaReuses.Load(),
 	}
 	return snap
 }
@@ -506,10 +563,16 @@ func (s Snapshot) String() string {
 	if s.CrossHits+s.CrossMisses > 0 {
 		fmt.Fprintf(&b, "\ncross-table cache: %d hits, %d misses (%.1f%% hit rate)",
 			s.CrossHits, s.CrossMisses, 100*s.CrossHitRate())
+		if s.CrossRejected+s.CrossFlushes > 0 {
+			fmt.Fprintf(&b, ", %d publishes rejected at capacity, %d flushes",
+				s.CrossRejected, s.CrossFlushes)
+		}
 	}
 	if s.PoolJobs > 0 {
-		fmt.Fprintf(&b, "\nshared pool: %d jobs, peak occupancy %d", s.PoolJobs, s.PoolPeak)
+		fmt.Fprintf(&b, "\nshared pool: %d jobs, peak occupancy %d of %d workers",
+			s.PoolJobs, s.PoolPeak, s.PoolWorkers)
 	}
+	fmt.Fprintf(&b, "\nhardware: %d cpus, gomaxprocs %d", s.Cpus, s.Gomaxprocs)
 	if s.UnitPanics+s.UnitTimeouts+s.UnitRetries+s.FaultsInjected > 0 {
 		fmt.Fprintf(&b, "\nfault tolerance: %d panics recovered, %d deadline timeouts, %d retries, %d faults injected",
 			s.UnitPanics, s.UnitTimeouts, s.UnitRetries, s.FaultsInjected)
@@ -521,6 +584,9 @@ func (s Snapshot) String() string {
 	if sc := s.Search; sc.StartsExamined > 0 {
 		fmt.Fprintf(&b, "\ncritical-path search: %d iterations, %d starts, %d DP runs, %d memo reuses (%.1f%% reuse)",
 			sc.Iterations, sc.StartsExamined, sc.DPRuns, sc.CacheReuses, 100*sc.ReuseRate())
+		if sc.DeltaReuses > 0 {
+			fmt.Fprintf(&b, ", %d delta replays", sc.DeltaReuses)
+		}
 	}
 	return b.String()
 }
@@ -542,6 +608,11 @@ type Bench struct {
 	CrossHits       int64          `json:"crossHits,omitempty"`
 	CrossMisses     int64          `json:"crossMisses,omitempty"`
 	CrossHitRate    float64        `json:"crossHitRate,omitempty"`
+	CrossRejected   int64          `json:"crossRejected,omitempty"`
+	CrossFlushes    int64          `json:"crossFlushes,omitempty"`
+	Cpus            int            `json:"cpus"`
+	Gomaxprocs      int            `json:"gomaxprocs"`
+	PoolWorkers     int64          `json:"poolWorkers,omitempty"`
 	PoolJobs        int64          `json:"poolJobs,omitempty"`
 	PoolPeak        int64          `json:"poolPeak,omitempty"`
 	UnitPanics      int64          `json:"unitPanics,omitempty"`
@@ -550,7 +621,24 @@ type Bench struct {
 	JournalReplays  int64          `json:"journalReplays,omitempty"`
 	JournalComputes int64          `json:"journalComputes,omitempty"`
 	Search          SearchCounters `json:"search"`
-	Stages          []StageStats   `json:"stages"`
+	// Delta, when present, records the measured cost of incremental
+	// re-slicing on a changed-exec-times workload (dlexp -bench-delta):
+	// per metric, the nanoseconds per distribution of a cold search, of a
+	// delta search across alternating base/drifted graphs, and of a delta
+	// search re-running an identical graph, with the drift speedup
+	// (cold/drift) made explicit.
+	Delta  []DeltaBench `json:"distributeDelta,omitempty"`
+	Stages []StageStats `json:"stages"`
+}
+
+// DeltaBench is one metric's measured delta re-slicing cost (see Bench.Delta).
+type DeltaBench struct {
+	Metric         string  `json:"metric"`
+	ColdNsOp       float64 `json:"coldNsOp"`
+	DriftNsOp      float64 `json:"driftNsOp"`
+	IdenticalNsOp  float64 `json:"identicalNsOp"`
+	DriftSpeedup   float64 `json:"driftSpeedup"`
+	DeltaReuseRate float64 `json:"deltaReuseRate"`
 }
 
 // NewBench assembles a Bench from a snapshot and the run's wall time.
@@ -566,6 +654,11 @@ func NewBench(name string, snap Snapshot, wall time.Duration) Bench {
 		CrossHits:       snap.CrossHits,
 		CrossMisses:     snap.CrossMisses,
 		CrossHitRate:    snap.CrossHitRate(),
+		CrossRejected:   snap.CrossRejected,
+		CrossFlushes:    snap.CrossFlushes,
+		Cpus:            snap.Cpus,
+		Gomaxprocs:      snap.Gomaxprocs,
+		PoolWorkers:     snap.PoolWorkers,
 		PoolJobs:        snap.PoolJobs,
 		PoolPeak:        snap.PoolPeak,
 		UnitPanics:      snap.UnitPanics,

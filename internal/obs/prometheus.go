@@ -35,10 +35,23 @@ func WritePrometheus(w io.Writer, snap metrics.Snapshot, prog ProgressSnapshot) 
 	writeCounter(b, `dlexp_cache_requests_total{cache="cross_table",result="hit"}`, snap.CrossHits)
 	writeCounter(b, `dlexp_cache_requests_total{cache="cross_table",result="miss"}`, snap.CrossMisses)
 
+	writeHeader(b, "dlexp_cross_table_rejected_total", "counter",
+		"Assignment publishes refused because the cross-table cache was at capacity.")
+	writeCounter(b, "dlexp_cross_table_rejected_total", snap.CrossRejected)
+	writeHeader(b, "dlexp_cross_table_flushes_total", "counter",
+		"Capacity resets of the cross-table cache (flush-and-readmit).")
+	writeCounter(b, "dlexp_cross_table_flushes_total", snap.CrossFlushes)
+
 	writeHeader(b, "dlexp_pool_jobs_total", "counter", "Jobs executed by the shared worker pool.")
 	writeCounter(b, "dlexp_pool_jobs_total", snap.PoolJobs)
 	writeHeader(b, "dlexp_pool_peak_occupancy", "gauge", "Peak concurrent busy workers observed.")
 	writeCounter(b, "dlexp_pool_peak_occupancy", snap.PoolPeak)
+	writeHeader(b, "dlexp_pool_workers", "gauge", "Effective worker-pool size of the run.")
+	writeCounter(b, "dlexp_pool_workers", snap.PoolWorkers)
+	writeHeader(b, "dlexp_host_cpus", "gauge", "Logical CPUs visible to the process (runtime.NumCPU).")
+	writeCounter(b, "dlexp_host_cpus", int64(snap.Cpus))
+	writeHeader(b, "dlexp_host_gomaxprocs", "gauge", "GOMAXPROCS at snapshot time.")
+	writeCounter(b, "dlexp_host_gomaxprocs", int64(snap.Gomaxprocs))
 
 	writeHeader(b, "dlexp_unit_events_total", "counter",
 		"Fault-tolerance events of the run layer, by kind.")
@@ -58,6 +71,7 @@ func WritePrometheus(w io.Writer, snap metrics.Snapshot, prog ProgressSnapshot) 
 	writeCounter(b, `dlexp_search_work_total{counter="starts_examined"}`, snap.Search.StartsExamined)
 	writeCounter(b, `dlexp_search_work_total{counter="dp_runs"}`, snap.Search.DPRuns)
 	writeCounter(b, `dlexp_search_work_total{counter="memo_reuses"}`, snap.Search.CacheReuses)
+	writeCounter(b, `dlexp_search_work_total{counter="delta_reuses"}`, snap.Search.DeltaReuses)
 
 	writeHeader(b, "dlexp_units", "gauge", "Units of pool work by state, whole invocation.")
 	writeCounter(b, `dlexp_units{state="done"}`, int64(prog.UnitsDone))

@@ -377,6 +377,25 @@ func (g *Graph) SetPinned(id NodeID, proc int) error {
 	return nil
 }
 
+// SetCost overwrites the worst-case execution time of subtask id (or the
+// message size of message id). Intended for annotating clones, e.g. when
+// re-distributing a workload whose measured execution times drifted — the
+// delta workload of core.DistributeDelta.
+func (g *Graph) SetCost(id NodeID, cost float64) error {
+	if id < 0 || int(id) >= len(g.nodes) {
+		return fmt.Errorf("set cost %d: %w", id, ErrBadND)
+	}
+	if cost < 0 {
+		return fmt.Errorf("set cost %d: %w", id, ErrNegativeCost)
+	}
+	if g.nodes[id].Kind == KindSubtask {
+		g.nodes[id].Cost = cost
+	} else {
+		g.nodes[id].Size = cost
+	}
+	return nil
+}
+
 // SetEndToEnd overwrites the end-to-end deadline of output subtask id.
 // It returns an error if id is not an output subtask.
 func (g *Graph) SetEndToEnd(id NodeID, deadline float64) error {
