@@ -84,8 +84,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		benchJSON  = fs.Bool("bench-json", false, "write an engine performance snapshot (see -bench-out)")
 		benchOut   = fs.String("bench-out", "BENCH_experiment.json", "path of the -bench-json snapshot")
 		benchDelta = fs.Bool("bench-delta", false, "include a measured delta re-slicing section (changed-exec-times workload) in the -bench-json snapshot")
+		benchScale = fs.Bool("bench-scaling", false, "include a worker-scaling section (figure 5 sweep at 1/2/4/8 workers) in the -bench-json snapshot")
+		crossCap   = fs.Int("cross-cap", 0, "cross-table assignment cache capacity in entries (0 = default 65536)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		mutexProf  = fs.String("mutexprofile", "", "write a mutex-contention profile to this file at exit")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		workers    = fs.Int("workers", 0, "size of the worker pool shared by all figures (default GOMAXPROCS)")
 		delta      = fs.Bool("delta", false, "carry memoized critical-path search state across consecutive distributions per worker (bit-identical output)")
@@ -106,6 +109,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	prof, err := profiling.Start(profiling.Options{
 		CPUProfile: *cpuProfile, MemProfile: *memProfile, PprofAddr: *pprofAddr,
+		MutexProfile: *mutexProf,
 	})
 	if err != nil {
 		return err
@@ -152,6 +156,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	orc := experiment.NewOrchestrator(*workers)
 	defer orc.Close()
 	base.Orchestrator = orc
+	if *crossCap > 0 {
+		base.CrossCacheCap = *crossCap
+		orc.SetCrossCacheCap(*crossCap)
+	}
 
 	// The ops endpoint and the progress line are fed by the same recorder
 	// as -stats, so asking for either turns recording on.
@@ -205,6 +213,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			bench := metrics.NewBench("experiment", snap, wall)
 			if *benchDelta {
 				if bench.Delta, err = measureDelta(2000); err != nil {
+					return err
+				}
+			}
+			if *benchScale {
+				if bench.WorkerScaling, err = measureScaling(ctx, base); err != nil {
 					return err
 				}
 			}

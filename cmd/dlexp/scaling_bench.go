@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"time"
+
+	"deadlinedist/internal/experiment"
+	"deadlinedist/internal/metrics"
+)
+
+// scalingWorkerCounts are the pool sizes the -bench-scaling section
+// measures. On hosts with fewer CPUs the larger pools legitimately degrade
+// to the hardware's parallelism; the snapshot's cpus/gomaxprocs fields say
+// which regime the numbers were recorded in.
+var scalingWorkerCounts = []int{1, 2, 4, 8}
+
+// measureScaling is the workload behind -bench-scaling: the Figure 5 sweep
+// re-run under each pool size with a fresh orchestrator and recorder, so
+// every point pays the same cache-cold costs and the only variable is
+// worker parallelism. Tables are bit-for-bit identical across pool sizes
+// (the engine's determinism contract), so the run is pure measurement.
+// Graphs counts measure-stage observations, matching Bench.Graphs.
+func measureScaling(ctx context.Context, base experiment.Config) ([]metrics.WorkerScalingPoint, error) {
+	cfg := base
+	// Strip the per-invocation plumbing: the scaling sweep is a standalone
+	// measurement, not part of the figure run being snapshotted.
+	cfg.Journal = nil
+	cfg.Trace = nil
+	cfg.Progress = nil
+	cfg.Faults = nil
+	if cfg.Graphs > 64 {
+		cfg.Graphs = 64 // keep the 4-point sweep bounded on big -graphs runs
+	}
+
+	points := make([]metrics.WorkerScalingPoint, 0, len(scalingWorkerCounts))
+	for _, workers := range scalingWorkerCounts {
+		orc := experiment.NewOrchestrator(workers)
+		rec := metrics.New()
+		cfg.Orchestrator = orc
+		cfg.Metrics = rec
+		t0 := time.Now()
+		_, err := experiment.Figure5(ctx, cfg)
+		wall := time.Since(t0)
+		orc.Close()
+		if err != nil {
+			return nil, err
+		}
+		snap := rec.Snapshot()
+		p := metrics.WorkerScalingPoint{
+			Workers:     workers,
+			WallSeconds: wall.Seconds(),
+			PoolPeak:    snap.PoolPeak,
+		}
+		for _, st := range snap.Stages {
+			if st.Stage == metrics.StageMeasure.String() {
+				p.Graphs = st.Count
+			}
+		}
+		if p.WallSeconds > 0 {
+			p.GraphsPerSec = float64(p.Graphs) / p.WallSeconds
+		}
+		points = append(points, p)
+	}
+	base1 := points[0].GraphsPerSec
+	for i := range points {
+		if base1 > 0 {
+			points[i].Speedup = points[i].GraphsPerSec / base1
+			points[i].Efficiency = points[i].Speedup / float64(points[i].Workers)
+		}
+	}
+	return points, nil
+}

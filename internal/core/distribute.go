@@ -245,6 +245,13 @@ type distState struct {
 	metric Metric
 	vc     []float64
 
+	// CSR adjacency of g, bound by prepare so the DP and slicing inner
+	// loops iterate flat arrays instead of calling through the Graph API.
+	succOff []int32
+	succAdj []taskgraph.NodeID
+	predOff []int32
+	predAdj []taskgraph.NodeID
+
 	// vcWin are the window-sizing costs (same slice as vc unless the
 	// metric implements WindowCoster).
 	vcWin []float64
@@ -302,19 +309,19 @@ type distState struct {
 	// prevLog holds the previous run's log, chained per start through head.
 	// bmark/borderbuf collect the current DP's border (assigned successors of
 	// reach nodes), generation-stamped like the DP rows.
-	deltaMode  bool
-	deltaCarry bool
-	runID      uint64
-	deltaRun   uint64
-	deltaG     *taskgraph.Graph
-	deltaVC    []float64
+	deltaMode   bool
+	deltaCarry  bool
+	runID       uint64
+	deltaRun    uint64
+	deltaG      *taskgraph.Graph
+	deltaVC     []float64
 	deltaMetric Metric
-	bmark      []uint64
-	borderbuf  []taskgraph.NodeID
-	log        []logEntry
-	prevLog    []logEntry
-	head       []int
-	tailbuf    []int
+	bmark       []uint64
+	borderbuf   []taskgraph.NodeID
+	log         []logEntry
+	prevLog     []logEntry
+	head        []int
+	tailbuf     []int
 }
 
 // prepare sizes the working set for the bound graph, reusing any buffers
@@ -322,6 +329,8 @@ type distState struct {
 // generation stamp; everything else is explicitly reset here.
 func (st *distState) prepare() {
 	n := st.g.NumNodes()
+	st.succOff, st.succAdj = st.g.SuccCSR()
+	st.predOff, st.predAdj = st.g.PredCSR()
 	// The windowed-node count of any path is bounded by the longest path's
 	// node count, which is far smaller than the node count for layered
 	// graphs; sizing rows accordingly keeps the DP inner loop tight.
@@ -399,7 +408,7 @@ func (st *distState) prepare() {
 	st.isStart = resizeSlice(st.isStart, n)
 	st.unassigned = n
 	for id := 0; id < n; id++ {
-		st.pending[id] = len(st.g.Pred(taskgraph.NodeID(id)))
+		st.pending[id] = int(st.predOff[id+1] - st.predOff[id])
 		st.isStart[id] = st.pending[id] == 0
 	}
 }
@@ -413,15 +422,17 @@ func (st *distState) release() {
 	st.metric = nil
 	st.vc, st.vcWin = nil, nil
 	st.res = nil
+	st.succOff, st.succAdj = nil, nil
+	st.predOff, st.predAdj = nil, nil
 }
 
 // releaseAnchor returns the path-start release time of node id, valid only
 // when every predecessor has been assigned: the latest absolute deadline of
 // any predecessor, or the node's own application release time for inputs.
 func (st *distState) releaseAnchor(id taskgraph.NodeID) (float64, bool) {
-	preds := st.g.Pred(id)
+	preds := st.predAdj[st.predOff[id]:st.predOff[id+1]]
 	if len(preds) == 0 {
-		return st.g.Node(id).Release, true
+		return st.g.ReleaseOf(id), true
 	}
 	anchor := math.Inf(-1)
 	for _, p := range preds {
@@ -439,9 +450,9 @@ func (st *distState) releaseAnchor(id taskgraph.NodeID) (float64, bool) {
 // only when every successor has been assigned: the earliest release time of
 // any successor, or the end-to-end deadline for outputs.
 func (st *distState) deadlineAnchor(id taskgraph.NodeID) (float64, bool) {
-	succs := st.g.Succ(id)
+	succs := st.succAdj[st.succOff[id]:st.succOff[id+1]]
 	if len(succs) == 0 {
-		return st.g.Node(id).EndToEnd, true
+		return st.g.EndToEndOf(id), true
 	}
 	anchor := math.Inf(1)
 	for _, s := range succs {
@@ -709,7 +720,7 @@ func (st *distState) runDP(s taskgraph.NodeID) {
 	}
 	for _, u := range st.reach.From(s, st.skipAssigned) {
 		row := st.dp[u]
-		for _, v := range st.g.Succ(u) {
+		for _, v := range st.succAdj[st.succOff[u]:st.succOff[u+1]] {
 			if st.assigned[v] {
 				// In delta mode the assigned successors truncating this
 				// traversal are recorded: they condition the carried
@@ -888,7 +899,7 @@ func (st *distState) slice(path []taskgraph.NodeID, ratio float64) {
 	// Maintain the incremental start set: a successor with its last
 	// unassigned predecessor now sliced becomes a start candidate.
 	for _, id := range path {
-		for _, v := range st.g.Succ(id) {
+		for _, v := range st.succAdj[st.succOff[id]:st.succOff[id+1]] {
 			st.pending[v]--
 			if st.pending[v] == 0 && !st.assigned[v] {
 				st.isStart[v] = true

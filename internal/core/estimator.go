@@ -97,9 +97,10 @@ func (cchop) Name() string { return "CCHOP" }
 func (e cchop) Estimate(g *taskgraph.Graph, _ *platform.System) []float64 {
 	est := make([]float64, g.NumNodes())
 	unit := e.net.MeanRouteCost()
-	for _, n := range g.Nodes() {
-		if n.Kind == taskgraph.KindMessage {
-			est[n.ID] = unit * n.Size
+	kinds, costs := g.Kinds(), g.Costs()
+	for id, k := range kinds {
+		if k == taskgraph.KindMessage {
+			est[id] = unit * costs[id]
 		}
 	}
 	return est
@@ -159,9 +160,10 @@ func estimateScaled(g *taskgraph.Graph, sys *platform.System, scale float64) []f
 		return est
 	}
 	unit := meanPairCost(sys)
-	for _, n := range g.Nodes() {
-		if n.Kind == taskgraph.KindMessage {
-			est[n.ID] = scale * unit * n.Size
+	kinds, costs := g.Kinds(), g.Costs()
+	for id, k := range kinds {
+		if k == taskgraph.KindMessage {
+			est[id] = scale * unit * costs[id]
 		}
 	}
 	return est

@@ -60,14 +60,17 @@ type WindowCoster interface {
 }
 
 // subtaskCosts copies real execution times for subtasks and estimated
-// communication costs for messages.
+// communication costs for messages. It runs per (graph, size) cell in both
+// the fingerprint and assignment stages, so it reads the graph's flat
+// kind/cost views instead of materializing a Node-slice copy.
 func subtaskCosts(g *taskgraph.Graph, estComm []float64) []float64 {
+	kinds, costs := g.Kinds(), g.Costs()
 	vc := make([]float64, g.NumNodes())
-	for _, n := range g.Nodes() {
-		if n.Kind == taskgraph.KindSubtask {
-			vc[n.ID] = n.Cost
+	for id, k := range kinds {
+		if k == taskgraph.KindSubtask {
+			vc[id] = costs[id]
 		} else {
-			vc[n.ID] = estComm[n.ID]
+			vc[id] = estComm[id]
 		}
 	}
 	return vc
@@ -240,16 +243,17 @@ func (ablationMetric) Window(c, r float64) float64 { return c + r }
 // c_thres = thresFactor × mean subtask execution time.
 func inflate(g *taskgraph.Graph, estComm []float64, thresFactor, delta float64) []float64 {
 	cthres := thresFactor * g.MeanSubtaskCost()
+	kinds, costs := g.Kinds(), g.Costs()
 	vc := make([]float64, g.NumNodes())
-	for _, n := range g.Nodes() {
-		if n.Kind != taskgraph.KindSubtask {
-			vc[n.ID] = estComm[n.ID]
+	for id, k := range kinds {
+		if k != taskgraph.KindSubtask {
+			vc[id] = estComm[id]
 			continue
 		}
-		if n.Cost >= cthres {
-			vc[n.ID] = n.Cost * (1 + delta)
+		if c := costs[id]; c >= cthres {
+			vc[id] = c * (1 + delta)
 		} else {
-			vc[n.ID] = n.Cost
+			vc[id] = c
 		}
 	}
 	return vc

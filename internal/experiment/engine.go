@@ -330,6 +330,12 @@ type Config struct {
 	// (default GOMAXPROCS). Ignored when Orchestrator is set — the shared
 	// pool's size governs instead.
 	Workers int
+	// CrossCacheCap overrides the orchestrator's cross-table assignment
+	// cache capacity (entries; default 2^16). Applied to Orchestrator when
+	// the run starts; since the cache is shared, the last run to set it
+	// wins. 0 keeps the current capacity. Only meaningful with
+	// Orchestrator set.
+	CrossCacheCap int
 	// Orchestrator, when non-nil, runs this sweep through the shared
 	// cross-table pool and caches: graph pipelines are submitted as jobs to
 	// the shared worker pool (so tables overlap instead of draining the
@@ -527,6 +533,9 @@ func (cfg Config) RunContext(ctx context.Context, title string, assigners ...Ass
 	}
 	if orc := cfg.Orchestrator; orc != nil {
 		cfg.Metrics.SetPoolWorkers(orc.Workers())
+		if cfg.CrossCacheCap > 0 {
+			orc.SetCrossCacheCap(cfg.CrossCacheCap)
+		}
 	} else {
 		cfg.Metrics.SetPoolWorkers(workers)
 	}
@@ -835,10 +844,12 @@ func (e *unitEnv) runUnit(ctx context.Context, gi int, box *workerBox) error {
 				break
 			}
 		}
-		out := make([][]float64, len(e.assigners))
-		for a := range out {
-			out[a] = make([]float64, len(e.cfg.Sizes))
-		}
+		// The attempt's buffer comes from the current worker's arena: it is
+		// still private to the attempt (commit copies it out before the
+		// worker takes another job), and an abandoned or panicked attempt
+		// swaps in a fresh worker, so a retry can never share a backing
+		// array with the goroutine it abandoned.
+		out := box.w.outMatrix(len(e.assigners), len(e.cfg.Sizes))
 		tried = k
 		// The attempt's worker id and start time are captured up front: a
 		// timed-out or panicked attempt swaps box.w for a fresh worker, and

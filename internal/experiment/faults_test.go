@@ -453,9 +453,7 @@ func TestAssignmentErrorReleasesCacheSlot(t *testing.T) {
 		if shared {
 			t.Fatalf("call %d: errored result reported as shared cache storage", call)
 		}
-		orc.mu.Lock()
-		n := len(orc.assigns)
-		orc.mu.Unlock()
+		n := orc.assignEntryCount()
 		if n != 0 {
 			t.Fatalf("call %d: errored assignment pinned %d cache slots", call, n)
 		}
@@ -470,9 +468,7 @@ func TestAssignmentErrorReleasesCacheSlot(t *testing.T) {
 	if _, shared, err := orc.assignment(context.Background(), g, sys, ok, ok.Label(), fp, nil, w, false); err != nil || !shared {
 		t.Fatalf("successful assignment: shared=%v err=%v", shared, err)
 	}
-	orc.mu.Lock()
-	n := len(orc.assigns)
-	orc.mu.Unlock()
+	n := orc.assignEntryCount()
 	if n != 1 {
 		t.Errorf("successful assignment occupies %d slots, want 1", n)
 	}
@@ -500,9 +496,7 @@ func TestAssignmentPanicReleasesCacheSlot(t *testing.T) {
 		}()
 		orc.assignment(context.Background(), g, sys, pa, "PANIC", nil, nil, w, false)
 	}()
-	orc.mu.Lock()
-	n := len(orc.assigns)
-	orc.mu.Unlock()
+	n := orc.assignEntryCount()
 	if n != 0 {
 		t.Fatalf("panicking assignment pinned %d cache slots", n)
 	}

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// renderFigure runs one registered figure under a dedicated pool of the
+// given size and renders every resulting table in both text and CSV form.
+// The concatenated bytes are the determinism witness: any worker-count
+// dependence in scheduling, caching, or float accumulation shows up here.
+func renderFigure(t *testing.T, key string, workers, graphs int) string {
+	t.Helper()
+	orc := NewOrchestrator(workers)
+	defer orc.Close()
+	cfg := figBase(graphs, 2, 6)
+	cfg.Orchestrator = orc
+	tables, err := Figures()[key](context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("figure %s with %d workers: %v", key, workers, err)
+	}
+	var sb strings.Builder
+	for _, tb := range tables {
+		sb.WriteString(tb.String())
+		sb.WriteByte('\n')
+		sb.WriteString(tb.CSV())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestFiguresByteIdenticalAcrossWorkers is the golden determinism test for
+// the contention-free hot path: every figure in the registry must render
+// byte-identical tables whether the sweep runs on one worker or four. The
+// sharded caches, per-worker arenas, and CSR traversals may change timing
+// and memory behaviour, never results.
+func TestFiguresByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, key := range FigureOrder() {
+		t.Run(key, func(t *testing.T) {
+			t.Parallel()
+			serial := renderFigure(t, key, 1, 2)
+			pooled := renderFigure(t, key, 4, 2)
+			if serial == "" {
+				t.Fatalf("figure %s rendered no output", key)
+			}
+			if serial != pooled {
+				t.Errorf("figure %s tables differ between 1 and 4 workers:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+					key, serial, pooled)
+			}
+		})
+	}
+}

@@ -128,7 +128,7 @@ func TestCrossCacheSaturationFlush(t *testing.T) {
 
 	orc := NewOrchestrator(2)
 	defer orc.Close()
-	orc.maxAssign = 4
+	orc.SetCrossCacheCap(4)
 	rec := metrics.New()
 	c := cfg
 	c.Orchestrator = orc

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"hash/maphash"
 	"math"
 	"runtime"
 	"sync"
@@ -44,26 +45,75 @@ import (
 // Entries are never invalidated — all inputs of an entry are immutable for
 // the orchestrator's lifetime.
 //
+// Both caches are split into power-of-two shards, each with its own mutex
+// and singleflight slots, keyed by a seeded hash of the cache key. With a
+// multi-core pool every worker resolves its cache traffic against an
+// (almost always) different shard, so the steady state takes no contended
+// lock; the per-shard critical sections are map operations only. The
+// hit/miss/rejected/flush counters are process-wide atomics (plus the
+// per-run Recorder's own atomics), so stats reads never touch a shard lock.
+//
 // An Orchestrator is safe for concurrent use by any number of runs.
 type Orchestrator struct {
 	jobs    chan poolJob
 	wg      sync.WaitGroup
 	workers int
 
+	// seed keys the shard hash. Per-process random: shard placement is an
+	// implementation detail and never observable in results.
+	seed maphash.Seed
+
+	// maxAssign caps the assignment cache across all shards
+	// (maxAssignEntries by default; SetCrossCacheCap overrides). Stored
+	// atomically so admission reads race-free against reconfiguration.
+	maxAssign atomic.Int64
+
+	batchShards  [cacheShards]batchShard
+	assignShards [cacheShards]assignShard
+
+	// Process-wide cache counters, independent of any run's Recorder.
+	batchHits     atomic.Int64
+	batchMisses   atomic.Int64
+	crossHits     atomic.Int64
+	crossMisses   atomic.Int64
+	crossRejected atomic.Int64
+	crossFlushes  atomic.Int64
+}
+
+// cacheShards is the shard count of both orchestrator caches. 16 shards
+// keep the worst-case collision probability low for pools up to a few dozen
+// workers (the birthday bound: 8 workers hitting 16 shards collide on ~1/4
+// of concurrent pairs) while keeping the per-shard cap meaningful for small
+// configured capacities. Must stay a power of two: shard selection masks
+// the key hash.
+const (
+	cacheShardBits = 4
+	cacheShards    = 1 << cacheShardBits
+)
+
+// batchShard is one batch-cache shard: a mutex-guarded singleflight map.
+// The trailing pad keeps adjacent shards' mutexes on different cache lines.
+type batchShard struct {
 	mu      sync.Mutex
-	batches map[generator.BatchID]*batchEntry
-	assigns map[assignKey]*assignEntry
-	// maxAssign caps assigns (maxAssignEntries outside tests); rejected
-	// counts publishes refused since the last capacity reset.
-	maxAssign int
-	rejected  int
+	entries map[generator.BatchID]*batchEntry
+	_       [40]byte
+}
+
+// assignShard is one assignment-cache shard. rejected counts publishes
+// refused since the shard's last flush; when it reaches the per-shard cap
+// the shard flushes and re-admits (see assignment).
+type assignShard struct {
+	mu       sync.Mutex
+	entries  map[assignKey]*assignEntry
+	rejected int
+	_        [32]byte
 }
 
 // maxAssignEntries bounds the assignment cache; beyond it, results are
 // computed without being published (correctness is unaffected — a miss
 // recomputes a bit-identical result). A saturated cache is not permanently
-// closed: once a full cache's worth of publishes has been refused, the
-// cache is flushed and admission resumes (see assignment), so a long-lived
+// closed: once a full shard's worth of publishes has been refused, that
+// shard is flushed and admission resumes (see assignment), so a long-lived
 // process keeps caching its current working set instead of pinning the
 // first 2^16 results forever.
 const maxAssignEntries = 1 << 16
@@ -84,16 +134,44 @@ type workerBox struct{ w *poolWorker }
 // poolWorker is the per-goroutine scratch state of an engine worker: the
 // scheduler scratch (with schedule recycling on — the engine measures each
 // schedule before requesting the next from the same worker), the pooled
-// distributor working set, and a spare Result available for recycling by
-// assigners that support it. id names the worker in trace spans; it is
-// process-unique (replacement workers swapped in after a panicking or
-// abandoned attempt get fresh ids, so a trace row never mixes two scratch
-// lifetimes).
+// distributor working set, a spare Result available for recycling by
+// assigners that support it, and the result-matrix arena backing each unit
+// attempt's out matrix. Everything here is worker-owned: the steady state
+// writes no cross-core memory outside the sharded caches. id names the
+// worker in trace spans; it is process-unique (replacement workers swapped
+// in after a panicking or abandoned attempt get fresh ids, so a trace row
+// never mixes two scratch lifetimes).
 type poolWorker struct {
 	id      int
 	scratch *scheduler.Scratch
 	dist    *core.Scratch
 	spare   *core.Result
+
+	// Result-matrix arena: outRows/outFlat are reused by outMatrix across
+	// unit attempts on this worker. Safe because an abandoned (panicked or
+	// deadline-exceeded) attempt causes the runner to swap in a fresh
+	// worker — the hung goroutine keeps the old arena, so buffers are never
+	// shared between a live attempt and an abandoned one.
+	outRows [][]float64
+	outFlat []float64
+}
+
+// outMatrix returns a zeroed rows×cols float64 matrix backed by the
+// worker's arena, valid until the next outMatrix call on this worker.
+func (w *poolWorker) outMatrix(rows, cols int) [][]float64 {
+	if cap(w.outRows) < rows {
+		w.outRows = make([][]float64, rows)
+	}
+	if cap(w.outFlat) < rows*cols {
+		w.outFlat = make([]float64, rows*cols)
+	}
+	out := w.outRows[:rows]
+	flat := w.outFlat[:rows*cols]
+	clear(flat)
+	for i := range out {
+		out[i] = flat[i*cols : (i+1)*cols]
+	}
+	return out
 }
 
 // workerIDs issues poolWorker ids, starting at 1 (0 is the trace's run row).
@@ -137,11 +215,16 @@ func NewOrchestrator(workers int) *Orchestrator {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	o := &Orchestrator{
-		jobs:      make(chan poolJob),
-		workers:   workers,
-		batches:   make(map[generator.BatchID]*batchEntry),
-		assigns:   make(map[assignKey]*assignEntry),
-		maxAssign: maxAssignEntries,
+		jobs:    make(chan poolJob),
+		workers: workers,
+		seed:    maphash.MakeSeed(),
+	}
+	o.maxAssign.Store(maxAssignEntries)
+	for i := range o.batchShards {
+		o.batchShards[i].entries = make(map[generator.BatchID]*batchEntry)
+	}
+	for i := range o.assignShards {
+		o.assignShards[i].entries = make(map[assignKey]*assignEntry)
 	}
 	for i := 0; i < workers; i++ {
 		o.wg.Add(1)
@@ -153,6 +236,77 @@ func NewOrchestrator(workers int) *Orchestrator {
 // Workers returns the effective pool size (after the GOMAXPROCS default is
 // applied), so runs can record how much concurrency was actually available.
 func (o *Orchestrator) Workers() int { return o.workers }
+
+// SetCrossCacheCap overrides the total assignment-cache capacity (entries
+// across all shards; default maxAssignEntries = 2^16). It governs future
+// admissions only — existing entries are kept — so callers normally set it
+// once, right after construction. n <= 0 is ignored.
+func (o *Orchestrator) SetCrossCacheCap(n int) {
+	if n > 0 {
+		o.maxAssign.Store(int64(n))
+	}
+}
+
+// CrossCacheCap returns the current total assignment-cache capacity.
+func (o *Orchestrator) CrossCacheCap() int { return int(o.maxAssign.Load()) }
+
+// shardCap returns the per-shard assignment-cache capacity: the total cap
+// split evenly over the shards, with a floor of one entry so tiny test caps
+// still admit.
+func (o *Orchestrator) shardCap() int {
+	c := int(o.maxAssign.Load()) >> cacheShardBits
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// CacheStats is a point-in-time snapshot of the orchestrator's process-wide
+// cache counters, accumulated across every run that used it. All fields are
+// read from atomics; taking a snapshot never touches a shard lock.
+type CacheStats struct {
+	BatchHits     int64
+	BatchMisses   int64
+	CrossHits     int64
+	CrossMisses   int64
+	CrossRejected int64
+	CrossFlushes  int64
+}
+
+// CacheStats returns the orchestrator's cache counters.
+func (o *Orchestrator) CacheStats() CacheStats {
+	return CacheStats{
+		BatchHits:     o.batchHits.Load(),
+		BatchMisses:   o.batchMisses.Load(),
+		CrossHits:     o.crossHits.Load(),
+		CrossMisses:   o.crossMisses.Load(),
+		CrossRejected: o.crossRejected.Load(),
+		CrossFlushes:  o.crossFlushes.Load(),
+	}
+}
+
+// assignEntryCount returns the live assignment-cache entry count across all
+// shards. Test and debug seam; takes every shard lock.
+func (o *Orchestrator) assignEntryCount() int {
+	n := 0
+	for i := range o.assignShards {
+		s := &o.assignShards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// batchShardFor returns the shard owning a batch key.
+func (o *Orchestrator) batchShardFor(key generator.BatchID) *batchShard {
+	return &o.batchShards[maphash.Comparable(o.seed, key)&(cacheShards-1)]
+}
+
+// assignShardFor returns the shard owning an assignment key.
+func (o *Orchestrator) assignShardFor(key assignKey) *assignShard {
+	return &o.assignShards[maphash.Comparable(o.seed, key)&(cacheShards-1)]
+}
 
 // Close shuts the pool down and waits for the workers to exit. No run may
 // be active or submitted afterwards.
@@ -215,9 +369,11 @@ func (o *Orchestrator) submit(j poolJob, cancel <-chan struct{}) bool {
 func (o *Orchestrator) batch(ctx context.Context, key generator.BatchID, rec *metrics.Recorder,
 	gen func() ([]*taskgraph.Graph, error)) ([]*taskgraph.Graph, error) {
 
-	o.mu.Lock()
-	if e, ok := o.batches[key]; ok {
-		o.mu.Unlock()
+	s := o.batchShardFor(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		o.batchHits.Add(1)
 		rec.BatchHit()
 		select {
 		case <-e.ready:
@@ -227,17 +383,18 @@ func (o *Orchestrator) batch(ctx context.Context, key generator.BatchID, rec *me
 		}
 	}
 	e := &batchEntry{ready: make(chan struct{})}
-	o.batches[key] = e
-	o.mu.Unlock()
+	s.entries[key] = e
+	s.mu.Unlock()
+	o.batchMisses.Add(1)
 	rec.BatchMiss()
 	settled := false
 	defer func() {
 		if settled {
 			return
 		}
-		o.mu.Lock()
-		delete(o.batches, key)
-		o.mu.Unlock()
+		s.mu.Lock()
+		delete(s.entries, key)
+		s.mu.Unlock()
 		e.err = Transient(errors.New("batch generation abandoned by a panicking owner"))
 		close(e.ready)
 	}()
@@ -250,8 +407,9 @@ func (o *Orchestrator) batch(ctx context.Context, key generator.BatchID, rec *me
 // assignment resolves one (graph, assigner, fingerprint) assignment through
 // the cross-table cache: a hit returns the shared Result; a miss computes it
 // (recording assign-stage time and search counters on rec) and publishes it
-// unless the cache is full. The second return reports whether the Result is
-// shared cache storage — shared results must not be recycled by the caller.
+// unless the owning shard is full. The second return reports whether the
+// Result is shared cache storage — shared results must not be recycled by
+// the caller.
 //
 // Only successful assignments occupy cache entries. An Assign that errors
 // (or panics) releases its singleflight slot on the way out: the key is
@@ -264,9 +422,12 @@ func (o *Orchestrator) assignment(ctx context.Context, gg *taskgraph.Graph, sys 
 	w *poolWorker, delta bool) (*core.Result, bool, error) {
 
 	key := assignKey{g: gg, label: label, fp: fpBits(fp)}
-	o.mu.Lock()
-	if e, ok := o.assigns[key]; ok {
-		o.mu.Unlock()
+	s := o.assignShardFor(key)
+	shardCap := o.shardCap()
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		o.crossHits.Add(1)
 		rec.CrossHit()
 		select {
 		case <-e.ready:
@@ -276,28 +437,31 @@ func (o *Orchestrator) assignment(ctx context.Context, gg *taskgraph.Graph, sys 
 		}
 	}
 	var e *assignEntry
-	if len(o.assigns) < o.maxAssign {
+	if len(s.entries) < shardCap {
 		e = &assignEntry{ready: make(chan struct{})}
-		o.assigns[key] = e
+		s.entries[key] = e
 	} else {
 		// At capacity: count the refused publish, and once an entire
-		// cache's worth has been refused, flush and re-admit — the old
-		// generation has proven useless for the current working set, and a
-		// fresh map restores admission at the cost of bounded recomputation
-		// (misses recompute bit-identical results). In-flight owners keep
-		// their entry pointers, so waiters still settle; their deferred
-		// key-deletes hit the new map and are harmless no-ops.
-		o.rejected++
+		// shard's worth has been refused, flush the shard and re-admit —
+		// the old generation has proven useless for the current working
+		// set, and a fresh map restores admission at the cost of bounded
+		// recomputation (misses recompute bit-identical results). In-flight
+		// owners keep their entry pointers, so waiters still settle; their
+		// deferred key-deletes hit the new map and are harmless no-ops.
+		s.rejected++
+		o.crossRejected.Add(1)
 		rec.CrossRejected()
-		if o.rejected >= o.maxAssign {
-			o.assigns = make(map[assignKey]*assignEntry)
-			o.rejected = 0
+		if s.rejected >= shardCap {
+			s.entries = make(map[assignKey]*assignEntry)
+			s.rejected = 0
+			o.crossFlushes.Add(1)
 			rec.CrossFlush()
 			e = &assignEntry{ready: make(chan struct{})}
-			o.assigns[key] = e
+			s.entries[key] = e
 		}
 	}
-	o.mu.Unlock()
+	s.mu.Unlock()
+	o.crossMisses.Add(1)
 	rec.CrossMiss()
 	settled := false
 	var (
@@ -309,9 +473,9 @@ func (o *Orchestrator) assignment(ctx context.Context, gg *taskgraph.Graph, sys 
 			if settled {
 				return
 			}
-			o.mu.Lock()
-			delete(o.assigns, key)
-			o.mu.Unlock()
+			s.mu.Lock()
+			delete(s.entries, key)
+			s.mu.Unlock()
 			if err != nil {
 				e.err = err
 			} else {

@@ -190,7 +190,9 @@ func Random(cfg Config, src *rng.Source) (*taskgraph.Graph, error) {
 		widths[src.IntN(depth)]++
 	}
 
-	b := taskgraph.NewBuilder()
+	// n subtasks plus one message node per arc; each non-terminal subtask
+	// fans out to ~(MinFanout+MaxFanout)/2 successors.
+	b := taskgraph.NewBuilderHint(n + n*(cfg.MinFanout+cfg.MaxFanout+1)/2)
 	levels := make([][]taskgraph.NodeID, depth)
 	for l := 0; l < depth; l++ {
 		levels[l] = make([]taskgraph.NodeID, widths[l])

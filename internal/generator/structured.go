@@ -87,7 +87,11 @@ func Structured(cfg StructuredConfig, src *rng.Source) (*taskgraph.Graph, error)
 		return nil, fmt.Errorf("structured width %d: %w", cfg.Width, errBadConfig)
 	}
 
-	s := &structuredBuilder{cfg: cfg.Workload, src: src, b: taskgraph.NewBuilder()}
+	hint := cfg.Depth * 2 // chain: one subtask + one message per level
+	if needsWidth {
+		hint = cfg.Depth * cfg.Width * 3
+	}
+	s := &structuredBuilder{cfg: cfg.Workload, src: src, b: taskgraph.NewBuilderHint(hint)}
 	switch cfg.Shape {
 	case ShapeChain:
 		s.chain(cfg.Depth)

@@ -418,11 +418,11 @@ func (s SearchCounters) ReuseRate() float64 {
 // counter is read atomically; counters of an in-flight observation may be
 // split across two snapshots).
 type Snapshot struct {
-	Stages      []StageStats `json:"stages"`
-	CacheHits   int64        `json:"cacheHits"`
-	CacheMisses int64        `json:"cacheMisses"`
-	BatchHits   int64        `json:"batchHits,omitempty"`
-	BatchMisses int64        `json:"batchMisses,omitempty"`
+	Stages        []StageStats `json:"stages"`
+	CacheHits     int64        `json:"cacheHits"`
+	CacheMisses   int64        `json:"cacheMisses"`
+	BatchHits     int64        `json:"batchHits,omitempty"`
+	BatchMisses   int64        `json:"batchMisses,omitempty"`
 	CrossHits     int64        `json:"crossHits,omitempty"`
 	CrossMisses   int64        `json:"crossMisses,omitempty"`
 	CrossRejected int64        `json:"crossRejected,omitempty"`
@@ -627,8 +627,28 @@ type Bench struct {
 	// delta search across alternating base/drifted graphs, and of a delta
 	// search re-running an identical graph, with the drift speedup
 	// (cold/drift) made explicit.
-	Delta  []DeltaBench `json:"distributeDelta,omitempty"`
-	Stages []StageStats `json:"stages"`
+	Delta []DeltaBench `json:"distributeDelta,omitempty"`
+	// WorkerScaling, when present, records the same sweep re-run under
+	// different pool sizes (dlexp -bench-scaling): graphs/sec per worker
+	// count and the parallel efficiency relative to the 1-worker run. On a
+	// single-CPU host the points legitimately sit near 1× — Cpus and
+	// Gomaxprocs above say what hardware the snapshot was recorded on.
+	WorkerScaling []WorkerScalingPoint `json:"workerScaling,omitempty"`
+	Stages        []StageStats         `json:"stages"`
+}
+
+// WorkerScalingPoint is one pool size's measured throughput on a fixed
+// sweep (see Bench.WorkerScaling).
+type WorkerScalingPoint struct {
+	Workers      int     `json:"workers"`
+	Graphs       int64   `json:"graphs"`
+	WallSeconds  float64 `json:"wallSeconds"`
+	GraphsPerSec float64 `json:"graphsPerSec"`
+	// Speedup is GraphsPerSec relative to the 1-worker point; Efficiency
+	// is Speedup/Workers (1.0 = perfectly linear scaling).
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+	PoolPeak   int64   `json:"poolPeak,omitempty"`
 }
 
 // DeltaBench is one metric's measured delta re-slicing cost (see Bench.Delta).

@@ -75,7 +75,13 @@ func Unroll(tasks []Task) (*taskgraph.Graph, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	b := taskgraph.NewBuilder()
+	hint := 0
+	for _, t := range tasks {
+		if t.Graph != nil && t.Period > 0 {
+			hint += (hyper / t.Period) * (t.Graph.NumNodes() + t.Graph.NumMessages())
+		}
+	}
+	b := taskgraph.NewBuilderHint(hint)
 	for ti, t := range tasks {
 		if t.Graph == nil {
 			return nil, 0, fmt.Errorf("task %d: %w", ti, ErrNilGraph)

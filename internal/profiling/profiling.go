@@ -27,21 +27,40 @@ type Options struct {
 	// eagerly so a bad address fails at startup, not silently in a
 	// goroutine.
 	PprofAddr string
+	// MutexProfile is a file path to write a mutex-contention profile at
+	// Stop ("" disables). Sampling is enabled at Start via
+	// runtime.SetMutexProfileFraction, so the profile covers the whole
+	// run; the previous fraction is restored at Stop.
+	MutexProfile string
+	// MutexFraction is the sampling rate passed to
+	// SetMutexProfileFraction when MutexProfile is set: on average 1 of
+	// every MutexFraction contention events is reported. <= 0 means 1
+	// (record every event — the sweeps' lock paths are cheap enough).
+	MutexFraction int
 }
 
 // Session holds the active profiling sinks. The zero value is a stopped
 // session.
 type Session struct {
-	cpuFile *os.File
-	memPath string
-	ln      net.Listener
-	stopped bool
+	cpuFile   *os.File
+	memPath   string
+	mutexPath string
+	prevFrac  int
+	ln        net.Listener
+	stopped   bool
 }
 
 // Start activates the sinks selected in opts. On error everything already
 // started is torn down again.
 func Start(opts Options) (*Session, error) {
-	s := &Session{memPath: opts.MemProfile}
+	s := &Session{memPath: opts.MemProfile, mutexPath: opts.MutexProfile}
+	if opts.MutexProfile != "" {
+		frac := opts.MutexFraction
+		if frac <= 0 {
+			frac = 1
+		}
+		s.prevFrac = runtime.SetMutexProfileFraction(frac)
+	}
 	if opts.CPUProfile != "" {
 		f, err := os.Create(opts.CPUProfile)
 		if err != nil {
@@ -103,6 +122,22 @@ func (s *Session) Stop() error {
 				firstErr = err
 			}
 		}
+	}
+	if s.mutexPath != "" {
+		f, err := os.Create(s.mutexPath)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("mutex profile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		runtime.SetMutexProfileFraction(s.prevFrac)
 	}
 	if s.ln != nil {
 		if err := s.ln.Close(); err != nil && firstErr == nil {

@@ -2,7 +2,10 @@ package taskgraph
 
 // This file contains structural analyses used both by the workload
 // generators (depth, parallelism) and by the deadline-distribution
-// algorithms (longest paths, end-to-end deadline derivation).
+// algorithms (longest paths, end-to-end deadline derivation). The loops
+// iterate the flat CSR arrays and the kind/cost views directly: these
+// analyses run inside the per-cell fingerprint and assignment stages, so
+// they must not allocate Node copies per visit.
 
 // CostFunc maps a node to the cost it contributes to a path. Typical
 // instances charge Node.Cost for subtasks and either zero (communication
@@ -27,13 +30,13 @@ func (g *Graph) Depth() int {
 	maxDepth := 0
 	for _, id := range g.topo {
 		d := depth[id]
-		if g.nodes[id].Kind == KindSubtask {
+		if g.kinds[id] == KindSubtask {
 			d++
 		}
 		if d > maxDepth {
 			maxDepth = d
 		}
-		for _, s := range g.succ[id] {
+		for _, s := range g.succAdj[g.succOff[id]:g.succOff[id+1]] {
 			if d > depth[s] {
 				depth[s] = d
 			}
@@ -51,12 +54,12 @@ func (g *Graph) Level() []int {
 	level := make([]int, len(g.nodes))
 	for _, id := range g.topo {
 		l := 0
-		for _, p := range g.pred[id] {
+		for _, p := range g.predAdj[g.predOff[id]:g.predOff[id+1]] {
 			if level[p] > l {
 				l = level[p]
 			}
 		}
-		if g.nodes[id].Kind == KindSubtask {
+		if g.kinds[id] == KindSubtask {
 			l++
 		}
 		level[id] = l
@@ -68,9 +71,9 @@ func (g *Graph) Level() []int {
 // (the "task graph workload" of the paper).
 func (g *Graph) TotalWork() float64 {
 	sum := 0.0
-	for i := range g.nodes {
-		if g.nodes[i].Kind == KindSubtask {
-			sum += g.nodes[i].Cost
+	for i, k := range g.kinds {
+		if k == KindSubtask {
+			sum += g.costs[i]
 		}
 	}
 	return sum
@@ -86,7 +89,31 @@ func (g *Graph) LongestPath(cost CostFunc) float64 {
 		if v > best {
 			best = v
 		}
-		for _, s := range g.succ[id] {
+		for _, s := range g.succAdj[g.succOff[id]:g.succOff[id+1]] {
+			if v > acc[s] {
+				acc[s] = v
+			}
+		}
+		acc[id] = v
+	}
+	return best
+}
+
+// execLongestPath is LongestPath(ExecCost) on the flat views, without the
+// per-node closure call and Node copy. It backs AvgParallelism, which runs
+// per (graph, size) cell inside the ADAPT fingerprint hot path.
+func (g *Graph) execLongestPath() float64 {
+	best := 0.0
+	acc := make([]float64, len(g.nodes))
+	for _, id := range g.topo {
+		v := acc[id]
+		if g.kinds[id] == KindSubtask {
+			v += g.costs[id]
+		}
+		if v > best {
+			best = v
+		}
+		for _, s := range g.succAdj[g.succOff[id]:g.succOff[id+1]] {
 			if v > acc[s] {
 				acc[s] = v
 			}
@@ -102,13 +129,13 @@ func (g *Graph) LongestPath(cost CostFunc) float64 {
 func (g *Graph) LongestPathTo(cost CostFunc) []float64 {
 	acc := make([]float64, len(g.nodes))
 	for i := range g.nodes {
-		if len(g.pred[i]) == 0 {
+		if g.InDegree(NodeID(i)) == 0 {
 			acc[i] = g.nodes[i].Release
 		}
 	}
 	for _, id := range g.topo {
 		v := acc[id] + cost(g.nodes[id])
-		for _, s := range g.succ[id] {
+		for _, s := range g.succAdj[g.succOff[id]:g.succOff[id+1]] {
 			if v > acc[s] {
 				acc[s] = v
 			}
@@ -126,7 +153,7 @@ func (g *Graph) LongestPathFrom(cost CostFunc) []float64 {
 	for i := len(g.topo) - 1; i >= 0; i-- {
 		id := g.topo[i]
 		best := 0.0
-		for _, s := range g.succ[id] {
+		for _, s := range g.succAdj[g.succOff[id]:g.succOff[id+1]] {
 			if acc[s] > best {
 				best = acc[s]
 			}
@@ -141,7 +168,7 @@ func (g *Graph) LongestPathFrom(cost CostFunc) []float64 {
 // the graph. It is the adaptivity signal of the ADAPT metric. An empty or
 // zero-work graph has parallelism 0.
 func (g *Graph) AvgParallelism() float64 {
-	lp := g.LongestPath(ExecCost)
+	lp := g.execLongestPath()
 	if lp <= 0 {
 		return 0
 	}
@@ -152,9 +179,9 @@ func (g *Graph) AvgParallelism() float64 {
 // (the MET of the paper), or 0 for an empty graph.
 func (g *Graph) MeanSubtaskCost() float64 {
 	sum, n := 0.0, 0
-	for i := range g.nodes {
-		if g.nodes[i].Kind == KindSubtask {
-			sum += g.nodes[i].Cost
+	for i, k := range g.kinds {
+		if k == KindSubtask {
+			sum += g.costs[i]
 			n++
 		}
 	}
@@ -168,9 +195,9 @@ func (g *Graph) MeanSubtaskCost() float64 {
 // if the graph has none.
 func (g *Graph) MeanMessageSize() float64 {
 	sum, n := 0.0, 0
-	for i := range g.nodes {
-		if g.nodes[i].Kind == KindMessage {
-			sum += g.nodes[i].Size
+	for i, k := range g.kinds {
+		if k == KindMessage {
+			sum += g.costs[i]
 			n++
 		}
 	}
@@ -189,7 +216,7 @@ func (g *Graph) MeanMessageSize() float64 {
 func (g *Graph) AssignDeadlinesByOLR(olr float64) {
 	to := g.LongestPathTo(ExecCost)
 	for i := range g.nodes {
-		if g.nodes[i].Kind == KindSubtask && len(g.succ[i]) == 0 {
+		if g.kinds[i] == KindSubtask && g.OutDegree(NodeID(i)) == 0 {
 			g.nodes[i].EndToEnd = olr * to[i]
 		}
 	}
@@ -201,7 +228,7 @@ func (g *Graph) AssignDeadlinesByOLR(olr float64) {
 func (g *Graph) AssignDeadlinesByTotalWork(olr float64) {
 	d := olr * g.TotalWork()
 	for i := range g.nodes {
-		if g.nodes[i].Kind == KindSubtask && len(g.succ[i]) == 0 {
+		if g.kinds[i] == KindSubtask && g.OutDegree(NodeID(i)) == 0 {
 			g.nodes[i].EndToEnd = d
 		}
 	}

@@ -55,8 +55,8 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 		if m.Kind != KindMessage {
 			continue
 		}
-		from := g.nodes[g.pred[m.ID][0]]
-		to := g.nodes[g.succ[m.ID][0]]
+		from := g.nodes[g.Pred(m.ID)[0]]
+		to := g.nodes[g.Succ(m.ID)[0]]
 		out.Arcs = append(out.Arcs, arcJSON{From: from.Name, To: to.Name, Size: m.Size})
 	}
 	return json.Marshal(out)
@@ -115,10 +115,10 @@ func (g *Graph) DOT() string {
 			continue
 		}
 		extra := ""
-		if len(g.pred[n.ID]) == 0 && n.Release != 0 {
+		if g.InDegree(n.ID) == 0 && n.Release != 0 {
 			extra = fmt.Sprintf("\\nr=%.4g", n.Release)
 		}
-		if len(g.succ[n.ID]) == 0 && n.EndToEnd != 0 {
+		if g.OutDegree(n.ID) == 0 && n.EndToEnd != 0 {
 			extra += fmt.Sprintf("\\nD=%.4g", n.EndToEnd)
 		}
 		fmt.Fprintf(&sb, "  %q [label=\"%s\\nc=%.4g%s\"];\n", n.Name, n.Name, n.Cost, extra)
@@ -131,8 +131,8 @@ func (g *Graph) DOT() string {
 			continue
 		}
 		edges = append(edges, edge{
-			from:  g.nodes[g.pred[m.ID][0]].Name,
-			to:    g.nodes[g.succ[m.ID][0]].Name,
+			from:  g.nodes[g.Pred(m.ID)[0]].Name,
+			to:    g.nodes[g.Succ(m.ID)[0]].Name,
 			label: fmt.Sprintf("%.4g", m.Size),
 		})
 	}

@@ -87,10 +87,26 @@ const Unpinned = -1
 
 // Graph is an immutable-after-build directed acyclic task graph. Build one
 // with a Builder. The zero value is an empty graph.
+//
+// Adjacency is stored in compressed sparse row (CSR) form: the successors
+// of node id are succAdj[succOff[id]:succOff[id+1]], likewise for
+// predecessors. The flat layout keeps the distribution DP's inner loops on
+// contiguous memory (no per-node slice headers, no pointer chasing) and
+// makes Clone cheap: topology is immutable after Finalize, so clones share
+// the offset/edge/topo arrays and copy only the mutable per-node fields.
 type Graph struct {
 	nodes []Node
-	succ  [][]NodeID
-	pred  [][]NodeID
+
+	succOff []int32
+	succAdj []NodeID
+	predOff []int32
+	predAdj []NodeID
+
+	// Flat views of the hot per-node fields, indexed by NodeID. kinds is
+	// immutable and shared across clones; costs mirrors Node.Cost for
+	// subtasks and Node.Size for messages and is kept in sync by SetCost.
+	kinds []Kind
+	costs []float64
 
 	topo []NodeID // cached topological order, set by finalize
 }
@@ -106,17 +122,40 @@ var (
 	ErrNegativeCost = errors.New("negative execution time or message size")
 )
 
+// builderArc records one Connect call: subtask u -> message m -> subtask v.
+// Finalize replays the list in insertion order to fill the CSR arrays, so
+// per-node adjacency order matches the historical append order exactly.
+type builderArc struct {
+	u, v, m NodeID
+}
+
 // Builder incrementally constructs a Graph. It is not safe for concurrent
 // use. After Finalize succeeds the builder must not be reused.
 type Builder struct {
 	g    Graph
-	arcs map[[2]NodeID]bool
+	arcs map[[2]NodeID]bool // duplicate-arc dedup, allocated on first Connect
+	list []builderArc
 	err  error
 }
 
 // NewBuilder returns an empty Builder.
 func NewBuilder() *Builder {
-	return &Builder{arcs: make(map[[2]NodeID]bool)}
+	return &Builder{}
+}
+
+// NewBuilderHint returns an empty Builder presized for roughly nodes total
+// nodes (subtasks plus materialized messages). Generators that know their
+// counts up front use it to avoid append regrowth; the hint is only a
+// capacity and never limits the graph.
+func NewBuilderHint(nodes int) *Builder {
+	if nodes < 0 {
+		nodes = 0
+	}
+	b := &Builder{}
+	b.g.nodes = make([]Node, 0, nodes)
+	// Roughly half the nodes of a typical graph are messages, one per arc.
+	b.list = make([]builderArc, 0, nodes/2+1)
+	return b
 }
 
 // AddSubtask adds an ordinary subtask with the given name and worst-case
@@ -131,8 +170,6 @@ func (b *Builder) AddSubtask(name string, cost float64) NodeID {
 		b.err = fmt.Errorf("subtask %q: cost %v: %w", name, cost, ErrNegativeCost)
 	}
 	b.g.nodes = append(b.g.nodes, Node{ID: id, Kind: KindSubtask, Name: name, Cost: cost, Pinned: Unpinned})
-	b.g.succ = append(b.g.succ, nil)
-	b.g.pred = append(b.g.pred, nil)
 	return id
 }
 
@@ -158,18 +195,15 @@ func (b *Builder) Connect(u, v NodeID, size float64) NodeID {
 	if b.err != nil {
 		return None
 	}
+	if b.arcs == nil {
+		b.arcs = make(map[[2]NodeID]bool)
+	}
 	b.arcs[[2]NodeID{u, v}] = true
 
 	m := NodeID(len(b.g.nodes))
 	name := "m" + strconv.Itoa(int(u)) + "_" + strconv.Itoa(int(v))
 	b.g.nodes = append(b.g.nodes, Node{ID: m, Kind: KindMessage, Name: name, Size: size, Pinned: Unpinned})
-	b.g.succ = append(b.g.succ, nil)
-	b.g.pred = append(b.g.pred, nil)
-
-	b.g.succ[u] = append(b.g.succ[u], m)
-	b.g.pred[m] = append(b.g.pred[m], u)
-	b.g.succ[m] = append(b.g.succ[m], v)
-	b.g.pred[v] = append(b.g.pred[v], m)
+	b.list = append(b.list, builderArc{u: u, v: v, m: m})
 	return m
 }
 
@@ -222,8 +256,8 @@ func (b *Builder) valid(id NodeID) bool {
 	return id >= 0 && int(id) < len(b.g.nodes)
 }
 
-// Finalize validates the constructed graph and returns it. The returned
-// Graph must not be modified.
+// Finalize validates the constructed graph, compacts its adjacency into the
+// CSR layout, and returns it. The returned Graph must not be modified.
 func (b *Builder) Finalize() (*Graph, error) {
 	if b.err != nil {
 		return nil, b.err
@@ -232,20 +266,69 @@ func (b *Builder) Finalize() (*Graph, error) {
 	if g.NumSubtasks() == 0 {
 		return nil, ErrEmpty
 	}
+	g.buildCSR(b.list)
 	topo, err := g.computeTopo()
 	if err != nil {
 		return nil, err
 	}
 	g.topo = topo
 	for _, n := range g.nodes {
-		if n.Kind == KindSubtask && n.Release != 0 && len(g.pred[n.ID]) != 0 {
+		if n.Kind == KindSubtask && n.Release != 0 && g.InDegree(n.ID) != 0 {
 			return nil, fmt.Errorf("subtask %q has a release time but is not an input subtask", n.Name)
 		}
-		if n.EndToEnd != 0 && len(g.succ[n.ID]) != 0 {
+		if n.EndToEnd != 0 && g.OutDegree(n.ID) != 0 {
 			return nil, fmt.Errorf("subtask %q has an end-to-end deadline but is not an output subtask", n.Name)
 		}
 	}
 	return g, nil
+}
+
+// buildCSR compacts the builder's arc list into offset+flat-edge arrays and
+// materializes the flat kind/cost views. Each Connect contributed two
+// half-edges (u->m and m->v); replaying arcs in insertion order fills every
+// node's region left to right, preserving historical adjacency order.
+func (g *Graph) buildCSR(arcs []builderArc) {
+	n := len(g.nodes)
+	g.succOff = make([]int32, n+1)
+	g.predOff = make([]int32, n+1)
+	for _, a := range arcs {
+		g.succOff[a.u+1]++
+		g.succOff[a.m+1]++
+		g.predOff[a.m+1]++
+		g.predOff[a.v+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.succOff[i+1] += g.succOff[i]
+		g.predOff[i+1] += g.predOff[i]
+	}
+	edges := 2 * len(arcs)
+	g.succAdj = make([]NodeID, edges)
+	g.predAdj = make([]NodeID, edges)
+	sNext := make([]int32, n)
+	pNext := make([]int32, n)
+	copy(sNext, g.succOff[:n])
+	copy(pNext, g.predOff[:n])
+	for _, a := range arcs {
+		g.succAdj[sNext[a.u]] = a.m
+		sNext[a.u]++
+		g.succAdj[sNext[a.m]] = a.v
+		sNext[a.m]++
+		g.predAdj[pNext[a.m]] = a.u
+		pNext[a.m]++
+		g.predAdj[pNext[a.v]] = a.m
+		pNext[a.v]++
+	}
+
+	g.kinds = make([]Kind, n)
+	g.costs = make([]float64, n)
+	for i := range g.nodes {
+		g.kinds[i] = g.nodes[i].Kind
+		if g.nodes[i].Kind == KindSubtask {
+			g.costs[i] = g.nodes[i].Cost
+		} else {
+			g.costs[i] = g.nodes[i].Size
+		}
+	}
 }
 
 // NumNodes returns the total node count (subtasks + messages).
@@ -275,20 +358,60 @@ func (g *Graph) Nodes() []Node {
 	return out
 }
 
-// Succ returns the successor IDs of id. The returned slice must not be
-// modified.
-func (g *Graph) Succ(id NodeID) []NodeID { return g.succ[id] }
+// Kinds returns the node kinds indexed by NodeID. The returned slice is a
+// shared view and must not be modified.
+func (g *Graph) Kinds() []Kind { return g.kinds }
 
-// Pred returns the predecessor IDs of id. The returned slice must not be
+// Costs returns the hot cost field per node — Node.Cost for subtasks,
+// Node.Size for messages — indexed by NodeID. The returned slice is a view
+// kept in sync by SetCost and must not be modified.
+func (g *Graph) Costs() []float64 { return g.costs }
+
+// ReleaseOf returns the application release time of id without copying the
+// whole Node, for anchor computations in the distribution hot path.
+func (g *Graph) ReleaseOf(id NodeID) float64 { return g.nodes[id].Release }
+
+// EndToEndOf returns the end-to-end deadline of id without copying the
+// whole Node.
+func (g *Graph) EndToEndOf(id NodeID) float64 { return g.nodes[id].EndToEnd }
+
+// Succ returns the successor IDs of id. The returned slice is a CSR
+// sub-slice and must not be modified.
+func (g *Graph) Succ(id NodeID) []NodeID {
+	return g.succAdj[g.succOff[id]:g.succOff[id+1]]
+}
+
+// Pred returns the predecessor IDs of id. The returned slice is a CSR
+// sub-slice and must not be modified.
+func (g *Graph) Pred(id NodeID) []NodeID {
+	return g.predAdj[g.predOff[id]:g.predOff[id+1]]
+}
+
+// OutDegree returns the number of successors of id.
+func (g *Graph) OutDegree(id NodeID) int {
+	return int(g.succOff[id+1] - g.succOff[id])
+}
+
+// InDegree returns the number of predecessors of id.
+func (g *Graph) InDegree(id NodeID) int {
+	return int(g.predOff[id+1] - g.predOff[id])
+}
+
+// SuccCSR exposes the raw successor CSR arrays (offsets and flat edges) for
+// hot loops that iterate many adjacency lists — the distribution DP and
+// reachability search. Neither slice may be modified.
+func (g *Graph) SuccCSR() ([]int32, []NodeID) { return g.succOff, g.succAdj }
+
+// PredCSR exposes the raw predecessor CSR arrays. Neither slice may be
 // modified.
-func (g *Graph) Pred(id NodeID) []NodeID { return g.pred[id] }
+func (g *Graph) PredCSR() ([]int32, []NodeID) { return g.predOff, g.predAdj }
 
 // Inputs returns the IDs of all input subtasks (ordinary subtasks with no
 // predecessors), in ID order.
 func (g *Graph) Inputs() []NodeID {
 	var out []NodeID
 	for i := range g.nodes {
-		if g.nodes[i].Kind == KindSubtask && len(g.pred[i]) == 0 {
+		if g.kinds[i] == KindSubtask && g.InDegree(NodeID(i)) == 0 {
 			out = append(out, NodeID(i))
 		}
 	}
@@ -300,7 +423,7 @@ func (g *Graph) Inputs() []NodeID {
 func (g *Graph) Outputs() []NodeID {
 	var out []NodeID
 	for i := range g.nodes {
-		if g.nodes[i].Kind == KindSubtask && len(g.succ[i]) == 0 {
+		if g.kinds[i] == KindSubtask && g.OutDegree(NodeID(i)) == 0 {
 			out = append(out, NodeID(i))
 		}
 	}
@@ -311,12 +434,13 @@ func (g *Graph) Outputs() []NodeID {
 // must not be modified.
 func (g *Graph) TopoOrder() []NodeID { return g.topo }
 
-// computeTopo runs Kahn's algorithm, returning ErrCycle on failure.
+// computeTopo runs Kahn's algorithm over the CSR arrays, returning ErrCycle
+// on failure.
 func (g *Graph) computeTopo() ([]NodeID, error) {
 	n := len(g.nodes)
-	indeg := make([]int, n)
+	indeg := make([]int32, n)
 	for i := 0; i < n; i++ {
-		indeg[i] = len(g.pred[i])
+		indeg[i] = g.predOff[i+1] - g.predOff[i]
 	}
 	queue := make([]NodeID, 0, n)
 	for i := 0; i < n; i++ {
@@ -329,7 +453,7 @@ func (g *Graph) computeTopo() ([]NodeID, error) {
 		u := queue[0]
 		queue = queue[1:]
 		order = append(order, u)
-		for _, v := range g.succ[u] {
+		for _, v := range g.succAdj[g.succOff[u]:g.succOff[u+1]] {
 			indeg[v]--
 			if indeg[v] == 0 {
 				queue = append(queue, v)
@@ -342,21 +466,24 @@ func (g *Graph) computeTopo() ([]NodeID, error) {
 	return order, nil
 }
 
-// Clone returns a deep copy of the graph. The copy may be annotated (e.g.
-// end-to-end deadlines overwritten) without affecting the original.
+// Clone returns a copy of the graph that may be annotated (end-to-end
+// deadlines, pins, costs overwritten) without affecting the original.
+// Topology is immutable after Finalize, so the CSR arrays, topological
+// order, and kind view are shared; only the mutable per-node state (nodes,
+// costs) is copied.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		nodes: make([]Node, len(g.nodes)),
-		succ:  make([][]NodeID, len(g.succ)),
-		pred:  make([][]NodeID, len(g.pred)),
-		topo:  make([]NodeID, len(g.topo)),
+		nodes:   make([]Node, len(g.nodes)),
+		succOff: g.succOff,
+		succAdj: g.succAdj,
+		predOff: g.predOff,
+		predAdj: g.predAdj,
+		kinds:   g.kinds,
+		costs:   make([]float64, len(g.costs)),
+		topo:    g.topo,
 	}
 	copy(c.nodes, g.nodes)
-	copy(c.topo, g.topo)
-	for i := range g.succ {
-		c.succ[i] = append([]NodeID(nil), g.succ[i]...)
-		c.pred[i] = append([]NodeID(nil), g.pred[i]...)
-	}
+	copy(c.costs, g.costs)
 	return c
 }
 
@@ -393,6 +520,7 @@ func (g *Graph) SetCost(id NodeID, cost float64) error {
 	} else {
 		g.nodes[id].Size = cost
 	}
+	g.costs[id] = cost
 	return nil
 }
 
@@ -402,7 +530,7 @@ func (g *Graph) SetEndToEnd(id NodeID, deadline float64) error {
 	if id < 0 || int(id) >= len(g.nodes) {
 		return fmt.Errorf("set end-to-end %d: %w", id, ErrBadND)
 	}
-	if g.nodes[id].Kind != KindSubtask || len(g.succ[id]) != 0 {
+	if g.nodes[id].Kind != KindSubtask || g.OutDegree(id) != 0 {
 		return fmt.Errorf("set end-to-end %d: not an output subtask", id)
 	}
 	g.nodes[id].EndToEnd = deadline

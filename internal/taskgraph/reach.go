@@ -8,12 +8,14 @@ package taskgraph
 //
 // A Reach is not safe for concurrent use; create one per goroutine.
 type Reach struct {
-	g     *Graph
-	index []int // topological position per node
-	mark  []uint64
-	gen   uint64
-	buf   []NodeID
-	stack []NodeID
+	g       *Graph
+	succOff []int32  // CSR successor offsets of g, bound by Reset
+	succAdj []NodeID // CSR flat successor edges of g
+	index   []int    // topological position per node
+	mark    []uint64
+	gen     uint64
+	buf     []NodeID
+	stack   []NodeID
 }
 
 // NewReach returns a reusable reachability scratch for g.
@@ -29,6 +31,7 @@ func NewReach(g *Graph) *Reach {
 func (r *Reach) Reset(g *Graph) {
 	n := g.NumNodes()
 	r.g = g
+	r.succOff, r.succAdj = g.SuccCSR()
 	if cap(r.index) < n {
 		r.index = make([]int, n)
 		r.mark = make([]uint64, n)
@@ -57,7 +60,7 @@ func (r *Reach) From(start NodeID, skip func(NodeID) bool) []NodeID {
 	for len(r.stack) > 0 {
 		u := r.stack[len(r.stack)-1]
 		r.stack = r.stack[:len(r.stack)-1]
-		for _, v := range r.g.Succ(u) {
+		for _, v := range r.succAdj[r.succOff[u]:r.succOff[u+1]] {
 			if r.mark[v] == r.gen || skip(v) {
 				continue
 			}
