@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"runtime"
 	"time"
 
 	"deadlinedist/internal/experiment"
@@ -47,9 +48,10 @@ func measureScaling(ctx context.Context, base experiment.Config) ([]metrics.Work
 		}
 		snap := rec.Snapshot()
 		p := metrics.WorkerScalingPoint{
-			Workers:     workers,
-			WallSeconds: wall.Seconds(),
-			PoolPeak:    snap.PoolPeak,
+			Workers:        workers,
+			WallSeconds:    wall.Seconds(),
+			PoolPeak:       snap.PoolPeak,
+			Oversubscribed: workers > runtime.NumCPU(),
 		}
 		for _, st := range snap.Stages {
 			if st.Stage == metrics.StageMeasure.String() {

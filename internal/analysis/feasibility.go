@@ -43,7 +43,7 @@ func CheckFeasibility(g *taskgraph.Graph, sys *platform.System) Feasibility {
 	// execution path reaching it.
 	to := g.LongestPathTo(taskgraph.ExecCost)
 	latest := 0.0
-	for _, out := range g.Outputs() {
+	for _, out := range g.OutputsView() {
 		n := g.Node(out)
 		if n.EndToEnd <= 0 {
 			continue
@@ -76,7 +76,7 @@ func CheckFeasibility(g *taskgraph.Graph, sys *platform.System) Feasibility {
 
 	// Condition 3: per-processor pinned demand.
 	pinned := make([]float64, sys.NumProcs())
-	for _, n := range g.Nodes() {
+	for _, n := range g.NodesView() {
 		if n.Kind != taskgraph.KindSubtask || n.Pinned == taskgraph.Unpinned {
 			continue
 		}

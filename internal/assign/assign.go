@@ -64,7 +64,7 @@ func Cluster(g *taskgraph.Graph, sys *platform.System) (Assignment, error) {
 	for i := range rootPin {
 		rootPin[i] = taskgraph.Unpinned
 	}
-	for _, node := range g.Nodes() {
+	for _, node := range g.NodesView() {
 		if node.Kind == taskgraph.KindSubtask {
 			rootPin[node.ID] = node.Pinned
 		}
@@ -76,7 +76,7 @@ func Cluster(g *taskgraph.Graph, sys *platform.System) (Assignment, error) {
 	// layered graphs into one or two clusters).
 	rootLoad := make([]float64, n)
 	maxCost := 0.0
-	for _, node := range g.Nodes() {
+	for _, node := range g.NodesView() {
 		if node.Kind == taskgraph.KindSubtask {
 			rootLoad[node.ID] = node.Cost
 			if node.Cost > maxCost {
@@ -118,7 +118,7 @@ func Cluster(g *taskgraph.Graph, sys *platform.System) (Assignment, error) {
 
 	// Edge zeroing in decreasing message-size order.
 	var msgs []taskgraph.NodeID
-	for _, node := range g.Nodes() {
+	for _, node := range g.NodesView() {
 		if node.Kind == taskgraph.KindMessage {
 			msgs = append(msgs, node.ID)
 		}
@@ -180,7 +180,7 @@ func mapClusters(g *taskgraph.Graph, sys *platform.System,
 		ids  []taskgraph.NodeID
 	}
 	clusters := make(map[taskgraph.NodeID]*cluster)
-	for _, node := range g.Nodes() {
+	for _, node := range g.NodesView() {
 		if node.Kind != taskgraph.KindSubtask {
 			continue
 		}
@@ -244,7 +244,7 @@ func Apply(g *taskgraph.Graph, a Assignment) (*taskgraph.Graph, error) {
 		return nil, fmt.Errorf("assignment for %d nodes, graph has %d", len(a), g.NumNodes())
 	}
 	c := g.Clone()
-	for _, node := range g.Nodes() {
+	for _, node := range g.NodesView() {
 		if node.Kind != taskgraph.KindSubtask {
 			continue
 		}

@@ -39,6 +39,25 @@ var (
 	ErrNoCritical  = errors.New("internal: no critical path candidate found")
 )
 
+// Cached sentinel constants for the hot loops: for every float64 f,
+// f == negInf ⇔ math.IsInf(f, -1) and f != f ⇔ math.IsNaN(f), so direct
+// comparisons replace the function calls bit-for-bit (NaN compares false
+// against negInf exactly as IsInf reports false for NaN).
+var (
+	negInf = math.Inf(-1)
+	posInf = math.Inf(1)
+)
+
+// Ratio fast-path kinds recognized by prepare: every stock metric's Ratio
+// reduces to one of two closed forms, which evalStart inlines instead of
+// calling through the interface. ratioGeneric keeps the interface call for
+// unknown metrics, so external Metric implementations stay exact.
+const (
+	ratioGeneric = iota
+	ratioPure    // PURE/THRES/ADAPT/ablation: (d-sumC)/n, +Inf when n <= 0
+	ratioNorm    // NORM: (d-sumC)/sumC, +Inf when sumC <= 0
+)
+
 // Distribute annotates every node of g with a release time and a relative
 // deadline. It never modifies g.
 func (d Distributor) Distribute(g *taskgraph.Graph, sys *platform.System) (*Result, error) {
@@ -102,20 +121,44 @@ func (d Distributor) distribute(g *taskgraph.Graph, sys *platform.System, recycl
 	if d.Metric == nil || d.Estimator == nil {
 		return nil, ErrNilStrategy
 	}
-	for _, out := range g.Outputs() {
+	for _, out := range g.OutputsView() {
 		if g.Node(out).EndToEnd <= 0 {
 			return nil, fmt.Errorf("subtask %q: %w", g.Node(out).Name, ErrNoDeadline)
 		}
 	}
 
-	est := d.Estimator.Estimate(g, sys)
-	vc := d.Metric.VirtualCosts(g, sys, est)
-	vcWin := vc
+	n := g.NumNodes()
+
+	// Cost vectors: with a Scratch, the stock estimators and metrics fill
+	// scratch-owned buffers (values identical to their allocating entry
+	// points); without one, or for external implementations, the public
+	// allocating methods run unchanged.
+	var est, vc, vcWin []float64
+	sin := sc != nil
+	estScratch := false
+	if ei, ok := d.Estimator.(estimatorInto); ok && sin {
+		sc.st.estBuf = ei.estimateInto(resizeSlice(sc.st.estBuf, n), g, sys)
+		est = sc.st.estBuf
+		estScratch = true
+	} else {
+		est = d.Estimator.Estimate(g, sys)
+	}
+	if mi, ok := d.Metric.(costerInto); ok && sin {
+		sc.st.vcBuf = mi.virtualCostsInto(resizeSlice(sc.st.vcBuf, n), g, sys, est)
+		vc = sc.st.vcBuf
+	} else {
+		vc = d.Metric.VirtualCosts(g, sys, est)
+	}
+	vcWin = vc
 	if wc, ok := d.Metric.(WindowCoster); ok {
-		vcWin = wc.WindowCosts(g, sys, est)
+		if wi, ok := d.Metric.(windowCosterInto); ok && sin {
+			sc.st.vcWinBuf = wi.windowCostsInto(resizeSlice(sc.st.vcWinBuf, n), g, sys, est)
+			vcWin = sc.st.vcWinBuf
+		} else {
+			vcWin = wc.WindowCosts(g, sys, est)
+		}
 	}
 
-	n := g.NumNodes()
 	res := recycle
 	if res == nil {
 		res = &Result{
@@ -136,7 +179,12 @@ func (d Distributor) distribute(g *taskgraph.Graph, sys *platform.System, recycl
 		res.Paths = res.Paths[:0]
 		res.Search = SearchStats{}
 	}
-	res.EstimatedComm = est
+	if estScratch {
+		// est lives in the scratch, which outlives this Result: detach.
+		res.EstimatedComm = append(res.EstimatedComm[:0], est...)
+	} else {
+		res.EstimatedComm = est
+	}
 	res.Metric = d.Metric.Name()
 	res.Estimator = d.Estimator.Name()
 
@@ -149,13 +197,22 @@ func (d Distributor) distribute(g *taskgraph.Graph, sys *platform.System, recycl
 	st.prepare()
 
 	for st.unassigned > 0 {
-		path, ratio, err := st.findCriticalPath()
+		best, err := st.findCriticalPath()
 		if err != nil {
 			st.release()
 			return nil, err
 		}
-		st.slice(path, ratio)
-		res.Paths = append(res.Paths, path)
+		// Detach the winner's path from the memo's reused buffer into
+		// result-owned storage, recycling the inner slice capacity a
+		// recycled Result's truncated Paths still holds.
+		np := len(res.Paths)
+		var path []taskgraph.NodeID
+		if cap(res.Paths) > np {
+			path = res.Paths[:np+1][np][:0]
+		}
+		path = append(path, best.path...)
+		res.Paths = append(res.Paths[:np], path)
+		st.slice(path, best.ratio)
 		res.Search.Iterations++
 	}
 	if delta {
@@ -189,6 +246,10 @@ type startCand struct {
 	// reach is the start's reachable set (through unassigned nodes) at the
 	// time the candidate was computed, in topological order.
 	reach []taskgraph.NodeID
+	// reachBits is the same set as a bitset, so the per-iteration validity
+	// check (is all of reach still unassigned?) is a word-AND sweep
+	// against the assigned bitset instead of a per-node walk.
+	reachBits []uint64
 	// path is the backtracked node sequence of the best candidate, kept so a
 	// winning memoized candidate can be sliced without re-running its DP
 	// just to rebuild the par table.
@@ -215,6 +276,7 @@ func (c *startCand) copyFrom(src *startCand) {
 	c.valid, c.found = src.valid, src.found
 	c.end, c.k, c.ratio = src.end, src.k, src.ratio
 	c.reach = append(c.reach[:0], src.reach...)
+	c.reachBits = append(c.reachBits[:0], src.reachBits...)
 	c.path = append(c.path[:0], src.path...)
 	c.relAnchor = src.relAnchor
 	c.border = append(c.border[:0], src.border...)
@@ -276,9 +338,47 @@ type distState struct {
 	// touched lists the rows written by the current DP run, in first-write
 	// order (the candidate enumeration order of the reference search).
 	touched []taskgraph.NodeID
+	// infRow is a width-sized -Inf template row: when a DP write extends a
+	// row past its high-water mark, the skipped-over gap is memmoved from
+	// it instead of stored per element.
+	infRow []float64
+	// rowMax[id] is the highest k holding a defined value in row id this
+	// generation (-1 after a logical clear). Cells at or below it are
+	// written values or explicit -Inf gap fill; cells above it are
+	// logically -Inf and never materialized — a write landing there
+	// compares against -Inf directly and gap-fills up to its position, so
+	// clearing a row is O(1) and total fill work is bounded by the cells
+	// actually reached instead of the full width.
+	rowMax []int32
 
 	// reach prunes each DP to the nodes reachable from its start.
 	reach *taskgraph.Reach
+	// assignedBits mirrors assigned as a word-packed bitset (bit id of word
+	// id/64), feeding Reach.FromBits' word-parallel sweeps.
+	assignedBits []uint64
+
+	// Anchor memos: releaseAnchor/deadlineAnchor are pure functions of the
+	// assignment state, which only changes when slice commits a path — so
+	// their results are cached per slicing round under a monotone
+	// generation (anchorGen) bumped by prepare and at the end of slice.
+	anchorGen uint64
+	relGen    []uint64
+	relVal    []float64
+	relOK     []bool
+	dlGen     []uint64
+	dlVal     []float64
+	dlOK      []bool
+
+	// ratioKind selects evalStart's inlined Ratio fast path (see the
+	// ratio* constants); set by prepare from the metric's concrete type.
+	ratioKind int
+
+	// Scratch-owned cost vectors for the estimatorInto/costerInto fast
+	// paths (stock estimators and metrics fill these instead of
+	// allocating fresh slices per run).
+	estBuf   []float64
+	vcBuf    []float64
+	vcWinBuf []float64
 
 	// cand memoizes per-start candidates across slicing iterations,
 	// indexed by NodeID.
@@ -354,10 +454,36 @@ func (st *distState) prepare() {
 		st.par[i] = parFlat[i*width : (i+1)*width]
 	}
 	st.rowGen = resizeSlice(st.rowGen, n)
+	st.rowMax = resizeSlice(st.rowMax, n)
+	if cap(st.infRow) < width {
+		st.infRow = make([]float64, width)
+		for i := range st.infRow {
+			st.infRow[i] = negInf
+		}
+	}
+	st.infRow = st.infRow[:width]
 	if st.reach == nil {
 		st.reach = taskgraph.NewReach(st.g)
 	} else {
 		st.reach.Reset(st.g)
+	}
+	words := st.reach.Words()
+	st.assignedBits = resizeSlice(st.assignedBits, words)
+	clear(st.assignedBits)
+	st.relGen = resizeSlice(st.relGen, n)
+	st.relVal = resizeSlice(st.relVal, n)
+	st.relOK = resizeSlice(st.relOK, n)
+	st.dlGen = resizeSlice(st.dlGen, n)
+	st.dlVal = resizeSlice(st.dlVal, n)
+	st.dlOK = resizeSlice(st.dlOK, n)
+	st.anchorGen++
+	switch st.metric.(type) {
+	case pureMetric, thresMetric, adaptMetric, ablationMetric:
+		st.ratioKind = ratioPure
+	case normMetric:
+		st.ratioKind = ratioNorm
+	default:
+		st.ratioKind = ratioGeneric
 	}
 	// No candidate survives prepare directly: the memo array is cleared, and
 	// cross-run reuse goes through the history log instead. When the
@@ -429,12 +555,24 @@ func (st *distState) release() {
 // releaseAnchor returns the path-start release time of node id, valid only
 // when every predecessor has been assigned: the latest absolute deadline of
 // any predecessor, or the node's own application release time for inputs.
+// Both anchors read only the assignment state, which changes exactly when
+// slice commits a path, so results are memoized per slicing round.
 func (st *distState) releaseAnchor(id taskgraph.NodeID) (float64, bool) {
+	if st.relGen[id] == st.anchorGen {
+		return st.relVal[id], st.relOK[id]
+	}
+	v, ok := st.releaseAnchorSlow(id)
+	st.relGen[id] = st.anchorGen
+	st.relVal[id], st.relOK[id] = v, ok
+	return v, ok
+}
+
+func (st *distState) releaseAnchorSlow(id taskgraph.NodeID) (float64, bool) {
 	preds := st.predAdj[st.predOff[id]:st.predOff[id+1]]
 	if len(preds) == 0 {
 		return st.g.ReleaseOf(id), true
 	}
-	anchor := math.Inf(-1)
+	anchor := negInf
 	for _, p := range preds {
 		if !st.assigned[p] {
 			return 0, false
@@ -448,13 +586,24 @@ func (st *distState) releaseAnchor(id taskgraph.NodeID) (float64, bool) {
 
 // deadlineAnchor returns the path-end absolute deadline of node id, valid
 // only when every successor has been assigned: the earliest release time of
-// any successor, or the end-to-end deadline for outputs.
+// any successor, or the end-to-end deadline for outputs. Memoized like
+// releaseAnchor.
 func (st *distState) deadlineAnchor(id taskgraph.NodeID) (float64, bool) {
+	if st.dlGen[id] == st.anchorGen {
+		return st.dlVal[id], st.dlOK[id]
+	}
+	v, ok := st.deadlineAnchorSlow(id)
+	st.dlGen[id] = st.anchorGen
+	st.dlVal[id], st.dlOK[id] = v, ok
+	return v, ok
+}
+
+func (st *distState) deadlineAnchorSlow(id taskgraph.NodeID) (float64, bool) {
 	succs := st.succAdj[st.succOff[id]:st.succOff[id+1]]
 	if len(succs) == 0 {
 		return st.g.EndToEndOf(id), true
 	}
-	anchor := math.Inf(1)
+	anchor := posInf
 	for _, s := range succs {
 		if !st.assigned[s] {
 			return 0, false
@@ -471,13 +620,13 @@ func (st *distState) deadlineAnchor(id taskgraph.NodeID) (float64, bool) {
 // are broken by discovery order (arbitrary, per the paper): the first start
 // in ID order, then the first candidate in DP first-write order, reaching
 // the minimum — exactly the reference search's choice.
-func (st *distState) findCriticalPath() ([]taskgraph.NodeID, float64, error) {
+func (st *distState) findCriticalPath() (*startCand, error) {
 	var best *startCand
 	for _, s := range st.startCandidates() {
 		st.res.Search.StartsExamined++
 		c := &st.cand[s]
 		switch {
-		case c.valid && st.reachUnassigned(c.reach):
+		case c.valid && st.reachFree(c.reachBits):
 			st.res.Search.CacheReuses++
 		case st.deltaCarry && st.replay(s, c):
 			st.res.Search.DeltaReuses++
@@ -490,13 +639,14 @@ func (st *distState) findCriticalPath() ([]taskgraph.NodeID, float64, error) {
 		}
 	}
 	if best == nil {
-		return nil, 0, ErrNoCritical
+		return nil, ErrNoCritical
 	}
 
 	// The winner's path was backtracked when its candidate was evaluated
 	// (or carried over with it), so no DP tables need rebuilding here. The
-	// copy detaches the result from the memo's reused buffer.
-	return append([]taskgraph.NodeID(nil), best.path...), best.ratio, nil
+	// caller copies best.path out of the memo's reused buffer before the
+	// memo can be overwritten.
+	return best, nil
 }
 
 // replay tries to reuse an evaluation of start s recorded in the previous
@@ -532,11 +682,13 @@ func (st *distState) logAppend(s taskgraph.NodeID, c *startCand) {
 	e.cand.copyFrom(c)
 }
 
-// reachUnassigned reports whether every node of a cached reachable set is
-// still unassigned (the memoization validity condition).
-func (st *distState) reachUnassigned(reach []taskgraph.NodeID) bool {
-	for _, id := range reach {
-		if st.assigned[id] {
+// reachFree reports whether every node of a cached reachable set (as a
+// bitset) is still unassigned — the memoization validity condition, as a
+// word-AND sweep against the assigned bitset.
+func (st *distState) reachFree(bits []uint64) bool {
+	ab := st.assignedBits
+	for i, w := range bits {
+		if w&ab[i] != 0 {
 			return false
 		}
 	}
@@ -651,6 +803,7 @@ func (st *distState) evalStart(s taskgraph.NodeID, c *startCand) {
 		c.border = append(c.border[:0], st.borderbuf...)
 		c.ends = c.ends[:0]
 	}
+	kind := st.ratioKind
 	for _, id := range st.touched {
 		dl, ok := st.deadlineAnchor(id)
 		if !ok {
@@ -660,11 +813,33 @@ func (st *distState) evalStart(s taskgraph.NodeID, c *startCand) {
 			c.ends = append(c.ends, endAnchor{id: id, dl: dl})
 		}
 		row := st.dp[id]
-		for k := range row {
-			if math.IsInf(row[k], -1) {
+		span := dl - relAnchor
+		// Cells above rowMax were never written, hence -Inf: the old
+		// full-width scan skipped them, so bounding by rowMax visits
+		// exactly the cells that contribute.
+		m := int(st.rowMax[id])
+		for k := 0; k <= m; k++ {
+			rk := row[k]
+			if rk == negInf {
 				continue
 			}
-			r := st.metric.Ratio(dl-relAnchor, row[k], k)
+			var r float64
+			switch kind {
+			case ratioPure:
+				if k <= 0 {
+					r = posInf
+				} else {
+					r = (span - rk) / float64(k)
+				}
+			case ratioNorm:
+				if rk <= 0 {
+					r = posInf
+				} else {
+					r = (span - rk) / rk
+				}
+			default:
+				r = st.metric.Ratio(span, rk, k)
+			}
 			if !c.found || r < c.ratio {
 				c.end, c.k, c.ratio = id, k, r
 				c.found = true
@@ -672,6 +847,10 @@ func (st *distState) evalStart(s taskgraph.NodeID, c *startCand) {
 		}
 	}
 	c.reach = append(c.reach[:0], st.touched...)
+	// The DP's reach bitset (left by FromBits) holds exactly the touched
+	// set: every touched row is s or an unassigned successor of a reach
+	// node, hence itself reached, and vice versa.
+	c.reachBits = append(c.reachBits[:0], st.reach.ReachedBits()...)
 	// Backtrack the winning (end, k) now, while this start's dp/par tables
 	// are still in place: the memoized candidate then carries its own path
 	// and never needs the tables again.
@@ -708,47 +887,81 @@ func (st *distState) runDP(s taskgraph.NodeID) {
 	st.touched = st.touched[:0]
 	st.res.Search.DPRuns++
 
+	vc := st.vc
 	ws := 0
-	if st.vc[s] > 0 {
+	if vc[s] > 0 {
 		ws = 1
 	}
 	st.clearRow(s)
-	st.dp[s][ws] = st.vc[s]
+	if ws > 0 {
+		st.dp[s][0] = negInf
+	}
+	st.dp[s][ws] = vc[s]
+	st.par[s][ws] = taskgraph.None
+	st.rowMax[s] = int32(ws)
 
 	if st.deltaMode {
 		st.borderbuf = st.borderbuf[:0]
 	}
-	for _, u := range st.reach.From(s, st.skipAssigned) {
-		row := st.dp[u]
-		for _, v := range st.succAdj[st.succOff[u]:st.succOff[u+1]] {
-			if st.assigned[v] {
+	succOff, succAdj := st.succOff, st.succAdj
+	assigned := st.assigned
+	dp, par := st.dp, st.par
+	rowGen, rowMax := st.rowGen, st.rowMax
+	gen := st.gen
+	for _, u := range st.reach.FromBits(s, st.assignedBits) {
+		row := dp[u]
+		// By topological order every write into row u has happened, so
+		// rowMax[u] bounds its populated cells; above it all cells are
+		// -Inf and the old full-width scan skipped them.
+		umax := int(rowMax[u])
+		for _, v := range succAdj[succOff[u]:succOff[u+1]] {
+			if assigned[v] {
 				// In delta mode the assigned successors truncating this
 				// traversal are recorded: they condition the carried
 				// candidate's validity next run (see startCand.border).
-				if st.deltaMode && st.bmark[v] != st.gen {
-					st.bmark[v] = st.gen
+				if st.deltaMode && st.bmark[v] != gen {
+					st.bmark[v] = gen
 					st.borderbuf = append(st.borderbuf, v)
 				}
 				continue
 			}
+			vcv := vc[v]
 			wv := 0
-			if st.vc[v] > 0 {
+			if vcv > 0 {
 				wv = 1
 			}
-			if st.rowGen[v] != st.gen {
+			if rowGen[v] != gen {
 				st.clearRow(v)
 			}
-			vrow, vpar := st.dp[v], st.par[v]
-			for k := range row {
-				if math.IsInf(row[k], -1) {
+			vrow, vpar := dp[v], par[v]
+			vmax := int(rowMax[v])
+			for k := 0; k <= umax; k++ {
+				rk := row[k]
+				if rk == negInf {
 					continue
 				}
 				kv := k + wv
-				if cand := row[k] + st.vc[v]; cand > vrow[kv] {
+				cand := rk + vcv
+				if kv <= vmax {
+					if cand > vrow[kv] {
+						vrow[kv] = cand
+						vpar[kv] = u
+					}
+				} else if cand > negInf {
+					// The cell is past the row's defined prefix, hence
+					// logically -Inf: the write condition is cand > -Inf
+					// (false for NaN and -Inf, exactly as the old compare
+					// against a cleared cell). Skipped-over cells become
+					// explicit -Inf so bounded scans read defined values;
+					// par gap cells stay unwritten — they are only read
+					// behind dp cells that hold finite path values.
+					copy(vrow[vmax+1:kv], st.infRow)
 					vrow[kv] = cand
 					vpar[kv] = u
+					vmax = kv
 				}
 			}
+			rowMax[v] = int32(vmax)
 		}
 	}
 }
@@ -762,17 +975,12 @@ func resizeSlice[T any](buf []T, n int) []T {
 	return buf[:n]
 }
 
-// skipAssigned is the reachability predicate: paths only run through
-// unassigned nodes.
-func (st *distState) skipAssigned(id taskgraph.NodeID) bool { return st.assigned[id] }
-
-// clearRow lazily resets a generation-stale row and records it as touched.
+// clearRow logically resets a generation-stale row and records it as
+// touched: dropping rowMax to -1 marks every cell -Inf without storing a
+// single one — readers are bounded by rowMax, and writes past it gap-fill
+// from the infRow template (see runDP's inner loop).
 func (st *distState) clearRow(id taskgraph.NodeID) {
-	row, prow := st.dp[id], st.par[id]
-	for k := range row {
-		row[k] = math.Inf(-1)
-		prow[k] = taskgraph.None
-	}
+	st.rowMax[id] = -1
 	st.rowGen[id] = st.gen
 	st.touched = append(st.touched, id)
 }
@@ -836,7 +1044,7 @@ func (st *distState) slice(path []taskgraph.NodeID, ratio float64) {
 		w := 0.0
 		if vc[id] > 0 {
 			w = st.metric.Window(vc[id], ratio)
-			if w < 0 || math.IsInf(ratio, 1) || math.IsNaN(w) {
+			if w < 0 || ratio == posInf || w != w {
 				w = 0
 				clamped = true
 			}
@@ -892,6 +1100,7 @@ func (st *distState) slice(path []taskgraph.NodeID, ratio float64) {
 		}
 		st.res.Absolute[id] = t
 		st.assigned[id] = true
+		st.assignedBits[id>>6] |= 1 << (uint(id) & 63)
 		st.isStart[id] = false
 	}
 	st.unassigned -= len(path)
@@ -906,4 +1115,7 @@ func (st *distState) slice(path []taskgraph.NodeID, ratio float64) {
 			}
 		}
 	}
+
+	// The assignment state changed: every memoized anchor is stale.
+	st.anchorGen++
 }

@@ -17,6 +17,15 @@ type CommEstimator interface {
 	Estimate(g *taskgraph.Graph, sys *platform.System) []float64
 }
 
+// estimatorInto is an internal capability of the stock estimators: fill a
+// caller-provided slice (length g.NumNodes(), contents unspecified on
+// entry) instead of allocating a fresh one. Values are identical to
+// Estimate's; the distributor's scratch path uses it to stay
+// allocation-free in steady state.
+type estimatorInto interface {
+	estimateInto(dst []float64, g *taskgraph.Graph, sys *platform.System) []float64
+}
+
 // ccne assumes communication is never inter-processor.
 type ccne struct{}
 
@@ -31,6 +40,11 @@ func (ccne) Name() string { return "CCNE" }
 
 func (ccne) Estimate(g *taskgraph.Graph, _ *platform.System) []float64 {
 	return make([]float64, g.NumNodes())
+}
+
+func (ccne) estimateInto(dst []float64, _ *taskgraph.Graph, _ *platform.System) []float64 {
+	clear(dst)
+	return dst
 }
 
 // ccaa assumes communication is always inter-processor.
@@ -50,6 +64,10 @@ func (ccaa) Estimate(g *taskgraph.Graph, sys *platform.System) []float64 {
 	return estimateScaled(g, sys, 1)
 }
 
+func (ccaa) estimateInto(dst []float64, g *taskgraph.Graph, sys *platform.System) []float64 {
+	return estimateScaledInto(dst, g, sys, 1)
+}
+
 // ccexp scales the always-assumed cost by the probability that two
 // uniformly random placements land on different processors.
 type ccexp struct{}
@@ -67,6 +85,11 @@ func (ccexp) Name() string { return "CCEXP" }
 func (ccexp) Estimate(g *taskgraph.Graph, sys *platform.System) []float64 {
 	n := float64(sys.NumProcs())
 	return estimateScaled(g, sys, 1-1/n)
+}
+
+func (ccexp) estimateInto(dst []float64, g *taskgraph.Graph, sys *platform.System) []float64 {
+	n := float64(sys.NumProcs())
+	return estimateScaledInto(dst, g, sys, 1-1/n)
 }
 
 // RouteCoster abstracts the part of a multihop network the CCHOP strategy
@@ -94,8 +117,12 @@ var _ CommEstimator = cchop{}
 
 func (cchop) Name() string { return "CCHOP" }
 
-func (e cchop) Estimate(g *taskgraph.Graph, _ *platform.System) []float64 {
-	est := make([]float64, g.NumNodes())
+func (e cchop) Estimate(g *taskgraph.Graph, sys *platform.System) []float64 {
+	return e.estimateInto(make([]float64, g.NumNodes()), g, sys)
+}
+
+func (e cchop) estimateInto(est []float64, g *taskgraph.Graph, _ *platform.System) []float64 {
+	clear(est)
 	unit := e.net.MeanRouteCost()
 	kinds, costs := g.Kinds(), g.Costs()
 	for id, k := range kinds {
@@ -127,14 +154,18 @@ var _ CommEstimator = ccKnown{}
 func (ccKnown) Name() string { return "CCKNOWN" }
 
 func (e ccKnown) Estimate(g *taskgraph.Graph, sys *platform.System) []float64 {
-	est := make([]float64, g.NumNodes())
+	return e.estimateInto(make([]float64, g.NumNodes()), g, sys)
+}
+
+func (e ccKnown) estimateInto(est []float64, g *taskgraph.Graph, sys *platform.System) []float64 {
+	clear(est)
 	procOf := func(id taskgraph.NodeID) int {
 		if int(id) < len(e.assign) && e.assign[id] >= 0 {
 			return e.assign[id]
 		}
 		return g.Node(id).Pinned
 	}
-	for _, n := range g.Nodes() {
+	for _, n := range g.NodesView() {
 		if n.Kind != taskgraph.KindMessage {
 			continue
 		}
@@ -155,7 +186,11 @@ func (e ccKnown) Estimate(g *taskgraph.Graph, sys *platform.System) []float64 {
 // estimateScaled charges every message scale × its mean cost over all
 // ordered distinct processor pairs.
 func estimateScaled(g *taskgraph.Graph, sys *platform.System, scale float64) []float64 {
-	est := make([]float64, g.NumNodes())
+	return estimateScaledInto(make([]float64, g.NumNodes()), g, sys, scale)
+}
+
+func estimateScaledInto(est []float64, g *taskgraph.Graph, sys *platform.System, scale float64) []float64 {
+	clear(est)
 	if scale == 0 {
 		return est
 	}

@@ -59,13 +59,29 @@ type WindowCoster interface {
 	WindowCosts(g *taskgraph.Graph, sys *platform.System, estComm []float64) []float64
 }
 
+// costerInto / windowCosterInto are internal capabilities of the stock
+// metrics: fill a caller-provided slice (length g.NumNodes(), contents
+// unspecified on entry) with the same values VirtualCosts/WindowCosts
+// would allocate. The distributor's scratch path uses them to stay
+// allocation-free in steady state.
+type costerInto interface {
+	virtualCostsInto(dst []float64, g *taskgraph.Graph, sys *platform.System, estComm []float64) []float64
+}
+
+type windowCosterInto interface {
+	windowCostsInto(dst []float64, g *taskgraph.Graph, sys *platform.System, estComm []float64) []float64
+}
+
 // subtaskCosts copies real execution times for subtasks and estimated
 // communication costs for messages. It runs per (graph, size) cell in both
 // the fingerprint and assignment stages, so it reads the graph's flat
 // kind/cost views instead of materializing a Node-slice copy.
 func subtaskCosts(g *taskgraph.Graph, estComm []float64) []float64 {
+	return subtaskCostsInto(make([]float64, g.NumNodes()), g, estComm)
+}
+
+func subtaskCostsInto(vc []float64, g *taskgraph.Graph, estComm []float64) []float64 {
 	kinds, costs := g.Kinds(), g.Costs()
-	vc := make([]float64, g.NumNodes())
 	for id, k := range kinds {
 		if k == taskgraph.KindSubtask {
 			vc[id] = costs[id]
@@ -92,6 +108,10 @@ func (normMetric) VirtualCosts(g *taskgraph.Graph, _ *platform.System, estComm [
 	return subtaskCosts(g, estComm)
 }
 
+func (normMetric) virtualCostsInto(dst []float64, g *taskgraph.Graph, _ *platform.System, estComm []float64) []float64 {
+	return subtaskCostsInto(dst, g, estComm)
+}
+
 func (normMetric) Ratio(d, sumC float64, _ int) float64 {
 	if sumC <= 0 {
 		return math.Inf(1)
@@ -115,6 +135,10 @@ func (pureMetric) Name() string { return "PURE" }
 
 func (pureMetric) VirtualCosts(g *taskgraph.Graph, _ *platform.System, estComm []float64) []float64 {
 	return subtaskCosts(g, estComm)
+}
+
+func (pureMetric) virtualCostsInto(dst []float64, g *taskgraph.Graph, _ *platform.System, estComm []float64) []float64 {
+	return subtaskCostsInto(dst, g, estComm)
 }
 
 func (pureMetric) Ratio(d, sumC float64, n int) float64 {
@@ -151,6 +175,10 @@ func (m thresMetric) VirtualCosts(g *taskgraph.Graph, _ *platform.System, estCom
 	return inflate(g, estComm, m.thresFactor, m.delta)
 }
 
+func (m thresMetric) virtualCostsInto(dst []float64, g *taskgraph.Graph, _ *platform.System, estComm []float64) []float64 {
+	return inflateInto(dst, g, estComm, m.thresFactor, m.delta)
+}
+
 func (thresMetric) Ratio(d, sumC float64, n int) float64 { return pureMetric{}.Ratio(d, sumC, n) }
 
 func (thresMetric) Window(c, r float64) float64 { return c + r }
@@ -175,6 +203,11 @@ func (adaptMetric) Name() string { return "ADAPT" }
 func (m adaptMetric) VirtualCosts(g *taskgraph.Graph, sys *platform.System, estComm []float64) []float64 {
 	delta := g.AvgParallelism() / float64(sys.NumProcs())
 	return inflate(g, estComm, m.thresFactor, delta)
+}
+
+func (m adaptMetric) virtualCostsInto(dst []float64, g *taskgraph.Graph, sys *platform.System, estComm []float64) []float64 {
+	delta := g.AvgParallelism() / float64(sys.NumProcs())
+	return inflateInto(dst, g, estComm, m.thresFactor, delta)
 }
 
 func (adaptMetric) Ratio(d, sumC float64, n int) float64 { return pureMetric{}.Ratio(d, sumC, n) }
@@ -234,6 +267,25 @@ func (m ablationMetric) WindowCosts(g *taskgraph.Graph, sys *platform.System, es
 	return subtaskCosts(g, estComm)
 }
 
+func (m ablationMetric) virtualInto(dst []float64, g *taskgraph.Graph, sys *platform.System, estComm []float64) []float64 {
+	delta := g.AvgParallelism() / float64(sys.NumProcs())
+	return inflateInto(dst, g, estComm, m.factor, delta)
+}
+
+func (m ablationMetric) virtualCostsInto(dst []float64, g *taskgraph.Graph, sys *platform.System, estComm []float64) []float64 {
+	if m.rank {
+		return m.virtualInto(dst, g, sys, estComm)
+	}
+	return subtaskCostsInto(dst, g, estComm)
+}
+
+func (m ablationMetric) windowCostsInto(dst []float64, g *taskgraph.Graph, sys *platform.System, estComm []float64) []float64 {
+	if m.window {
+		return m.virtualInto(dst, g, sys, estComm)
+	}
+	return subtaskCostsInto(dst, g, estComm)
+}
+
 func (ablationMetric) Ratio(d, sumC float64, n int) float64 { return pureMetric{}.Ratio(d, sumC, n) }
 
 func (ablationMetric) Window(c, r float64) float64 { return c + r }
@@ -242,9 +294,12 @@ func (ablationMetric) Window(c, r float64) float64 { return c + r }
 // ADAPT: c' = c when c < c_thres, c(1+Δ) otherwise, with
 // c_thres = thresFactor × mean subtask execution time.
 func inflate(g *taskgraph.Graph, estComm []float64, thresFactor, delta float64) []float64 {
+	return inflateInto(make([]float64, g.NumNodes()), g, estComm, thresFactor, delta)
+}
+
+func inflateInto(vc []float64, g *taskgraph.Graph, estComm []float64, thresFactor, delta float64) []float64 {
 	cthres := thresFactor * g.MeanSubtaskCost()
 	kinds, costs := g.Kinds(), g.Costs()
-	vc := make([]float64, g.NumNodes())
 	for id, k := range kinds {
 		if k != taskgraph.KindSubtask {
 			vc[id] = estComm[id]

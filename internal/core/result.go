@@ -80,7 +80,7 @@ func (r *Result) Laxity(g *taskgraph.Graph, id taskgraph.NodeID) float64 {
 // MinLaxity returns the minimum laxity over all ordinary subtasks.
 func (r *Result) MinLaxity(g *taskgraph.Graph) float64 {
 	min := math.Inf(1)
-	for _, n := range g.Nodes() {
+	for _, n := range g.NodesView() {
 		if n.Kind != taskgraph.KindSubtask {
 			continue
 		}
@@ -112,7 +112,7 @@ func (r *Result) Validate(g *taskgraph.Graph, eps float64) error {
 	if len(r.Release) != n || len(r.Relative) != n || len(r.Absolute) != n {
 		return fmt.Errorf("result sized for %d nodes, graph has %d", len(r.Release), n)
 	}
-	for _, node := range g.Nodes() {
+	for _, node := range g.NodesView() {
 		id := node.ID
 		if r.Relative[id] < 0 {
 			return fmt.Errorf("node %v: negative relative deadline %v", id, r.Relative[id])

@@ -100,7 +100,7 @@ func Run(g *taskgraph.Graph, sys *platform.System, res *core.Result, cfg Config)
 func argmaxLateness(g *taskgraph.Graph, res *core.Result, s *scheduler.Schedule) taskgraph.NodeID {
 	worst := taskgraph.None
 	worstL := math.Inf(-1)
-	for _, n := range g.Nodes() {
+	for _, n := range g.NodesView() {
 		if n.Kind != taskgraph.KindSubtask {
 			continue
 		}

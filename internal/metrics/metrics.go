@@ -649,6 +649,11 @@ type WorkerScalingPoint struct {
 	Speedup    float64 `json:"speedup"`
 	Efficiency float64 `json:"efficiency"`
 	PoolPeak   int64   `json:"poolPeak,omitempty"`
+	// Oversubscribed marks points whose pool size exceeds the host's CPU
+	// count: their throughput measures scheduler time-slicing, not
+	// parallel speedup, and readers should not treat sub-linear
+	// efficiency there as a regression.
+	Oversubscribed bool `json:"oversubscribed,omitempty"`
 }
 
 // DeltaBench is one metric's measured delta re-slicing cost (see Bench.Delta).

@@ -1,0 +1,62 @@
+package scheduler
+
+import (
+	"testing"
+
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/generator"
+	"deadlinedist/internal/platform"
+	"deadlinedist/internal/rng"
+)
+
+// TestSchedulerRunZeroAlloc pins the steady-state allocation contract of the
+// pooled dispatch path: with schedule recycling on, a warmed-up Scratch runs
+// the EDF list scheduler — in both bus modes — without allocating. The
+// producer cache, presorted message orders and bounded start-time evaluation
+// all write into Scratch-owned buffers; a fresh allocation on the dispatch
+// hot path fails this guard.
+func TestSchedulerRunZeroAlloc(t *testing.T) {
+	g, err := generator.Random(generator.Default(generator.MDET), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := func(sys *platform.System) *core.Result {
+		r, err := core.Distributor{Metric: core.ADAPT(1.25), Estimator: core.CCNE()}.Distribute(g, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cfg := Config{RespectRelease: true, Policy: PolicyEDF}
+	modes := []struct {
+		name string
+		opts []platform.Option
+	}{
+		{"uncontended", nil},
+		{"contended-bus", []platform.Option{platform.WithBusContention()}},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			sys, err := platform.New(4, mode.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := res(sys)
+			sc := NewScratch()
+			sc.ReuseSchedules(true)
+			for warm := 0; warm < 2; warm++ {
+				if _, err := sc.Run(g, sys, r, cfg); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := sc.Run(g, sys, r, cfg); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state Scratch.Run allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}

@@ -264,7 +264,7 @@ func ValidateMultihop(g *taskgraph.Graph, sys *platform.System, net *channel.Net
 	perProc := make([][]iv, sys.NumProcs())
 	perLink := make([][]iv, net.NumLinks())
 
-	for _, node := range g.Nodes() {
+	for _, node := range g.NodesView() {
 		id := node.ID
 		if node.Kind == taskgraph.KindSubtask {
 			p := s.Proc[id]

@@ -244,7 +244,7 @@ func ValidatePreemptive(g *taskgraph.Graph, sys *platform.System, res *core.Resu
 		perProc[seg.Proc] = append(perProc[seg.Proc], seg)
 	}
 
-	for _, node := range g.Nodes() {
+	for _, node := range g.NodesView() {
 		id := node.ID
 		if node.Kind != taskgraph.KindSubtask {
 			u := g.Pred(id)[0]

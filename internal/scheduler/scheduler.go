@@ -83,9 +83,15 @@ func (sc *Scratch) Run(g *taskgraph.Graph, sys *platform.System, res *core.Resul
 	if err := priorityKeysInto(sc.keys, g, res, cfg.Policy); err != nil {
 		return nil, err
 	}
-	if sys.BusContention() {
+	contended := sys.BusContention()
+	if contended {
 		sc.buildMsgOrder(g, res)
 	}
+	sc.bindProducers(g)
+	prod := sc.prod
+	kinds, costs := g.Kinds(), g.Costs()
+	succOff, succAdj := g.SuccCSR()
+	predOff, predAdj := g.PredCSR()
 
 	s := sc.schedule(&sc.sched, n)
 	for i := range s.Proc {
@@ -108,12 +114,12 @@ func (sc *Scratch) Run(g *taskgraph.Graph, sys *platform.System, res *core.Resul
 	for id := 0; id < n; id++ {
 		nid := taskgraph.NodeID(id)
 		pendingPreds[nid] = 0
-		if g.Node(nid).Kind != taskgraph.KindSubtask {
+		if kinds[id] != taskgraph.KindSubtask {
 			continue
 		}
 		numSubtasks++
-		for _, m := range g.Pred(nid) {
-			pendingPreds[nid] += len(g.Pred(m)) // each message has one producer
+		for _, m := range predAdj[predOff[id]:predOff[id+1]] {
+			pendingPreds[nid] += int(predOff[m+1] - predOff[m]) // each message has one producer
 		}
 		if pendingPreds[nid] == 0 {
 			sc.ready.push(nid)
@@ -134,17 +140,42 @@ func (sc *Scratch) Run(g *taskgraph.Graph, sys *platform.System, res *core.Resul
 		// with strict locality constraints only consider their pinned
 		// processor.
 		lo, hi := 0, sys.NumProcs()
-		if pin := g.Node(v).Pinned; pin != taskgraph.Unpinned {
+		if pin := g.PinnedOf(v); pin != taskgraph.Unpinned {
 			if pin >= sys.NumProcs() {
 				return nil, fmt.Errorf("subtask %q pinned to processor %d on a %d-processor platform: %w",
 					g.Node(v).Name, pin, sys.NumProcs(), ErrBadPin)
 			}
 			lo, hi = pin, pin+1
 		}
+
+		// Summarize where v's inputs come from: -1 when v has no
+		// predecessors, the single producer processor when all producers
+		// are co-located with each other, -2 when they are spread. A
+		// candidate matching a non-spread summary has no cross-processor
+		// messages, so its contended-bus plan is empty and stBounded skips
+		// the serialization walk entirely.
+		crossProc := -1
+		if contended {
+			for _, m := range predAdj[predOff[v]:predOff[v+1]] {
+				pu := s.Proc[prod[m]]
+				if crossProc == -1 {
+					crossProc = pu
+				} else if crossProc != pu {
+					crossProc = -2
+					break
+				}
+			}
+		}
+
 		bestProc, bestStart, bestFinish := -1, math.Inf(1), math.Inf(1)
 		for p := lo; p < hi; p++ {
-			start := sc.st(g, sys, res, s, cfg, v, p, procFree[p], busFree)
-			finish := start + sys.ExecTime(g.Node(v).Cost, p)
+			exec := sys.ExecTime(costs[v], p)
+			start, ok := sc.stBounded(g, sys, res, s, cfg, v, p, procFree[p], busFree,
+				exec, bestStart, bestFinish, contended, crossProc)
+			if !ok {
+				continue // pruned: provably cannot beat the incumbent
+			}
+			finish := start + exec
 			// Earliest finish breaks start-time ties on heterogeneous
 			// platforms; on homogeneous ones it equals earliest start.
 			if finish < bestFinish || (finish == bestFinish && start < bestStart) {
@@ -166,8 +197,8 @@ func (sc *Scratch) Run(g *taskgraph.Graph, sys *platform.System, res *core.Resul
 			s.Makespan = bestFinish
 		}
 
-		for _, m := range g.Succ(v) {
-			for _, w := range g.Succ(m) {
+		for _, m := range succAdj[succOff[v]:succOff[v+1]] {
+			for _, w := range succAdj[succOff[m]:succOff[m+1]] {
 				pendingPreds[w]--
 				if pendingPreds[w] == 0 {
 					sc.ready.push(w)
@@ -215,6 +246,102 @@ func (sc *Scratch) st(g *taskgraph.Graph, sys *platform.System, res *core.Result
 	return start
 }
 
+// stBounded computes the earliest start time of subtask v on candidate
+// processor p like st, with two dispatch-loop optimizations layered on top;
+// for any candidate it does not prune, the returned start is bit-identical
+// to st's.
+//
+// Branch-and-bound: start only accumulates through max, so it is
+// monotonically non-decreasing as constraints merge in. The moment the
+// partial start already fails the selection predicate of Run's candidate
+// loop — finish = start+exec would lose to (bestStart, bestFinish) — no
+// later constraint can win it back, and the candidate is abandoned
+// (ok=false). Both the pruned candidate and st's fully-computed one would
+// have been rejected by the same comparison, so the chosen processor is
+// unchanged. The prune compares start+exec (not start against
+// bestFinish-exec, which differs under float rounding) so the test is the
+// selection predicate itself.
+//
+// Bus-plan elision: when crossProc says every producer of v sits on p (or
+// v has no producers), the candidate's bus plan is empty and only
+// co-located producer-finish constraints apply, so the deadline-order
+// serialization walk is skipped.
+func (sc *Scratch) stBounded(g *taskgraph.Graph, sys *platform.System, res *core.Result, s *Schedule,
+	cfg Config, v taskgraph.NodeID, p int, procFree, busFree float64,
+	exec, bestStart, bestFinish float64, contended bool, crossProc int) (float64, bool) {
+
+	start := procFree
+	if cfg.RespectRelease && res.Release[v] > start {
+		start = res.Release[v]
+	}
+	if f := start + exec; f > bestFinish || (f == bestFinish && start >= bestStart) {
+		return 0, false
+	}
+	prod := sc.prod
+	costs := g.Costs()
+	if !contended {
+		for _, m := range g.Pred(v) {
+			u := prod[m]
+			arrival := s.Finish[u] + sys.CommCost(s.Proc[u], p, costs[m])
+			if arrival > start {
+				start = arrival
+				if f := start + exec; f > bestFinish || (f == bestFinish && start >= bestStart) {
+					return 0, false
+				}
+			}
+		}
+		return start, true
+	}
+	if crossProc == -1 {
+		return start, true
+	}
+	if crossProc == p {
+		// Every producer is co-located: the bus plan is empty, and each
+		// message arrives at its producer's finish.
+		for _, m := range g.Pred(v) {
+			u := prod[m]
+			if s.Finish[u] > start {
+				start = s.Finish[u]
+				if f := start + exec; f > bestFinish || (f == bestFinish && start >= bestStart) {
+					return 0, false
+				}
+			}
+		}
+		return start, true
+	}
+	// General contended case: fuse st's two walks (bus-plan finish maxes +
+	// co-located producer maxes) into one pass over the presorted message
+	// order. The serialization variable t evolves exactly as in busPlan;
+	// start is the running max of the same values st maxes over, so the
+	// final value is identical (max is order-independent).
+	t := busFree
+	for _, m := range sc.msgOrder[v] {
+		u := prod[m]
+		pu := s.Proc[u]
+		if pu == p {
+			if s.Finish[u] > start {
+				start = s.Finish[u]
+				if f := start + exec; f > bestFinish || (f == bestFinish && start >= bestStart) {
+					return 0, false
+				}
+			}
+			continue
+		}
+		bs := t
+		if s.Finish[u] > bs {
+			bs = s.Finish[u]
+		}
+		t = bs + sys.CommCost(pu, p, costs[m])
+		if t > start {
+			start = t
+			if f := start + exec; f > bestFinish || (f == bestFinish && start >= bestStart) {
+				return 0, false
+			}
+		}
+	}
+	return start, true
+}
+
 // busInterval is one planned bus reservation.
 type busInterval struct {
 	msg           taskgraph.NodeID
@@ -231,14 +358,15 @@ func (sc *Scratch) busPlan(g *taskgraph.Graph, sys *platform.System, s *Schedule
 	v taskgraph.NodeID, p int, busFree float64) []busInterval {
 
 	plan := sc.planBuf[:0]
+	costs := g.Costs()
 	t := busFree
 	for _, m := range sc.msgOrder[v] {
-		u := g.Pred(m)[0]
+		u := sc.prod[m]
 		if s.Proc[u] == p {
 			continue
 		}
 		start := math.Max(t, s.Finish[u])
-		finish := start + sys.CommCost(s.Proc[u], p, g.Node(m).Size)
+		finish := start + sys.CommCost(s.Proc[u], p, costs[m])
 		plan = append(plan, busInterval{msg: m, start: start, finish: finish})
 		t = finish
 	}
@@ -261,7 +389,7 @@ func (sc *Scratch) commitMessages(g *taskgraph.Graph, sys *platform.System, s *S
 			}
 		}
 		for _, m := range g.Pred(v) {
-			u := g.Pred(m)[0]
+			u := sc.prod[m]
 			if s.Proc[u] == p {
 				s.Start[m] = s.Finish[u]
 				s.Finish[m] = s.Finish[u]
@@ -269,10 +397,11 @@ func (sc *Scratch) commitMessages(g *taskgraph.Graph, sys *platform.System, s *S
 		}
 		return busFree
 	}
+	costs := g.Costs()
 	for _, m := range g.Pred(v) {
-		u := g.Pred(m)[0]
+		u := sc.prod[m]
 		s.Start[m] = s.Finish[u]
-		s.Finish[m] = s.Finish[u] + sys.CommCost(s.Proc[u], p, g.Node(m).Size)
+		s.Finish[m] = s.Finish[u] + sys.CommCost(s.Proc[u], p, costs[m])
 	}
 	return busFree
 }
@@ -288,7 +417,7 @@ func (s *Schedule) Lateness(res *core.Result, id taskgraph.NodeID) float64 {
 // from infeasibility the schedule is).
 func (s *Schedule) MaxLateness(g *taskgraph.Graph, res *core.Result) float64 {
 	max := math.Inf(-1)
-	for _, n := range g.Nodes() {
+	for _, n := range g.NodesView() {
 		if n.Kind != taskgraph.KindSubtask {
 			continue
 		}
@@ -303,7 +432,7 @@ func (s *Schedule) MaxLateness(g *taskgraph.Graph, res *core.Result) float64 {
 // deadline.
 func (s *Schedule) MissedDeadlines(g *taskgraph.Graph, res *core.Result) int {
 	missed := 0
-	for _, n := range g.Nodes() {
+	for _, n := range g.NodesView() {
 		if n.Kind == taskgraph.KindSubtask && s.Lateness(res, n.ID) > 1e-9 {
 			missed++
 		}
@@ -316,7 +445,7 @@ func (s *Schedule) MissedDeadlines(g *taskgraph.Graph, res *core.Result) int {
 // windows).
 func (s *Schedule) EndToEndLateness(g *taskgraph.Graph) float64 {
 	max := math.Inf(-1)
-	for _, out := range g.Outputs() {
+	for _, out := range g.OutputsView() {
 		if l := s.Finish[out] - g.Node(out).EndToEnd; l > max {
 			max = l
 		}
@@ -331,7 +460,7 @@ func (s *Schedule) Utilization(g *taskgraph.Graph, sys *platform.System) float64
 		return 0
 	}
 	busy := 0.0
-	for _, n := range g.Nodes() {
+	for _, n := range g.NodesView() {
 		if n.Kind == taskgraph.KindSubtask {
 			busy += s.Finish[n.ID] - s.Start[n.ID]
 		}

@@ -1,8 +1,6 @@
 package scheduler
 
 import (
-	"sort"
-
 	"deadlinedist/internal/core"
 	"deadlinedist/internal/taskgraph"
 )
@@ -42,6 +40,12 @@ type Scratch struct {
 	planBuf   []busInterval
 	mhPlanBuf []msgPlan
 	hopBuf    []Hop
+
+	// prod[m] is message m's producer subtask (its single predecessor),
+	// bound once per run so the dispatch inner loops stop re-deriving
+	// g.Pred(m)[0] through the CSR header per visit; taskgraph.None for
+	// non-message nodes.
+	prod []taskgraph.NodeID
 
 	// Schedule recycling (ReuseSchedules). One slot per entry point; the
 	// preemptive slot is separate because RunPreemptive calls Run first
@@ -91,43 +95,70 @@ func (sc *Scratch) schedule(slot **Schedule, n int) *Schedule {
 	return s
 }
 
+// bindProducers fills prod for the bound graph. Messages are built by
+// Builder.Connect with exactly one predecessor (the producing subtask), so
+// prod[m] = first CSR predecessor of m.
+func (sc *Scratch) bindProducers(g *taskgraph.Graph) {
+	n := g.NumNodes()
+	sc.prod = resize(sc.prod, n)
+	kinds := g.Kinds()
+	predOff, predAdj := g.PredCSR()
+	for id := 0; id < n; id++ {
+		if kinds[id] == taskgraph.KindMessage && predOff[id+1] > predOff[id] {
+			sc.prod[id] = predAdj[predOff[id]]
+		} else {
+			sc.prod[id] = taskgraph.None
+		}
+	}
+}
+
 // buildMsgOrder fills msgOrder with every subtask's predecessor messages in
 // increasing (absolute deadline, NodeID) order — the dispatch order of both
 // the contended bus and the multihop links. Deadlines are fixed for the whole
 // run, so sorting here once replaces a sort per candidate processor per step.
+// Predecessor lists are short (a handful of inbound messages), so an
+// insertion sort beats sort.Slice and keeps the run allocation-free; the
+// NodeID tie-break makes the key a strict total order, so the sorted
+// sequence is unique and algorithm-independent.
 func (sc *Scratch) buildMsgOrder(g *taskgraph.Graph, res *core.Result) {
 	n := g.NumNodes()
 	sc.msgOrder = resize(sc.msgOrder, n)
+	kinds := g.Kinds()
+	predOff, predAdj := g.PredCSR()
 	total := 0
 	for id := 0; id < n; id++ {
-		if g.Node(taskgraph.NodeID(id)).Kind == taskgraph.KindSubtask {
-			total += len(g.Pred(taskgraph.NodeID(id)))
+		if kinds[id] == taskgraph.KindSubtask {
+			total += int(predOff[id+1] - predOff[id])
 		}
 	}
 	// One flat backing sized up front: segments must not be relocated by
 	// later appends, since msgOrder aliases into it.
 	sc.msgFlat = resize(sc.msgFlat, total)
+	abs := res.Absolute
 	pos := 0
 	for id := 0; id < n; id++ {
 		nid := taskgraph.NodeID(id)
 		sc.msgOrder[nid] = nil
-		if g.Node(nid).Kind != taskgraph.KindSubtask {
+		if kinds[id] != taskgraph.KindSubtask {
 			continue
 		}
-		preds := g.Pred(nid)
+		preds := predAdj[predOff[id]:predOff[id+1]]
 		if len(preds) == 0 {
 			continue
 		}
 		seg := sc.msgFlat[pos : pos+len(preds)]
 		pos += len(preds)
 		copy(seg, preds)
-		sort.Slice(seg, func(i, j int) bool {
-			di, dj := res.Absolute[seg[i]], res.Absolute[seg[j]]
-			if di != dj {
-				return di < dj
+		for i := 1; i < len(seg); i++ {
+			m := seg[i]
+			dm := abs[m]
+			j := i - 1
+			for j >= 0 && (abs[seg[j]] > dm || (abs[seg[j]] == dm && seg[j] > m)) {
+				seg[j+1] = seg[j]
+				j--
 			}
-			return seg[i] < seg[j]
-		})
+			seg[j+1] = m
+		}
 		sc.msgOrder[nid] = seg
 	}
 }

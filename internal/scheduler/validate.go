@@ -31,7 +31,7 @@ func Validate(g *taskgraph.Graph, sys *platform.System, res *core.Result, s *Sch
 	perProc := make([][]iv, sys.NumProcs())
 	var busIvs []iv
 
-	for _, n := range g.Nodes() {
+	for _, n := range g.NodesView() {
 		id := n.ID
 		if n.Kind == taskgraph.KindSubtask {
 			p := s.Proc[id]
@@ -133,7 +133,7 @@ func Gantt(g *taskgraph.Graph, sys *platform.System, s *Schedule, width int) str
 			draw(seg.Proc, seg.Node, seg.Start, seg.End)
 		}
 	} else {
-		for _, n := range g.Nodes() {
+		for _, n := range g.NodesView() {
 			if n.Kind == taskgraph.KindSubtask && s.Proc[n.ID] >= 0 {
 				draw(s.Proc[n.ID], n.ID, s.Start[n.ID], s.Finish[n.ID])
 			}

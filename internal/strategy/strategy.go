@@ -78,7 +78,7 @@ func (s strategyImpl) Name() string { return s.name }
 
 // Assign implements Strategy.
 func (s strategyImpl) Assign(g *taskgraph.Graph) (*core.Result, error) {
-	for _, out := range g.Outputs() {
+	for _, out := range g.OutputsView() {
 		if g.Node(out).EndToEnd <= 0 {
 			return nil, fmt.Errorf("subtask %q: %w", g.Node(out).Name, ErrNoDeadline)
 		}
@@ -101,7 +101,7 @@ func (s strategyImpl) Assign(g *taskgraph.Graph) (*core.Result, error) {
 		Estimator:     "CCNE",
 	}
 
-	for _, node := range g.Nodes() {
+	for _, node := range g.NodesView() {
 		if node.Kind != taskgraph.KindSubtask {
 			continue
 		}
@@ -134,7 +134,7 @@ func (s strategyImpl) Assign(g *taskgraph.Graph) (*core.Result, error) {
 	// Messages: window from the producer's deadline to the consumer's
 	// latest start (a heuristic annotation so deadline-based message
 	// scheduling has priorities to work with).
-	for _, node := range g.Nodes() {
+	for _, node := range g.NodesView() {
 		if node.Kind != taskgraph.KindMessage {
 			continue
 		}
@@ -149,7 +149,7 @@ func (s strategyImpl) Assign(g *taskgraph.Graph) (*core.Result, error) {
 
 	// Record a trivial per-node "path" set so Result consumers relying on
 	// coverage (diagnostics) still work: baselines do not slice paths.
-	for _, node := range g.Nodes() {
+	for _, node := range g.NodesView() {
 		res.Paths = append(res.Paths, []taskgraph.NodeID{node.ID})
 	}
 	return res, nil

@@ -99,10 +99,16 @@ func (g *Graph) LongestPath(cost CostFunc) float64 {
 	return best
 }
 
-// execLongestPath is LongestPath(ExecCost) on the flat views, without the
-// per-node closure call and Node copy. It backs AvgParallelism, which runs
-// per (graph, size) cell inside the ADAPT fingerprint hot path.
-func (g *Graph) execLongestPath() float64 {
+// execLongestPath returns the execution-time longest path. The value is
+// memoized: Finalize computes it and SetCost keeps it in sync, so
+// AvgParallelism — which runs per (graph, size) cell inside the ADAPT
+// distribution hot path — costs a field read instead of an O(V+E) sweep
+// with a scratch allocation.
+func (g *Graph) execLongestPath() float64 { return g.execLP }
+
+// computeExecLongestPath is LongestPath(ExecCost) on the flat views,
+// without the per-node closure call and Node copy.
+func (g *Graph) computeExecLongestPath() float64 {
 	best := 0.0
 	acc := make([]float64, len(g.nodes))
 	for _, id := range g.topo {

@@ -183,6 +183,54 @@ func TestReachMatchesNaiveBFS(t *testing.T) {
 	}
 }
 
+// TestFromBitsMatchesFrom checks the word-parallel bitset backend against
+// both the predicate backend and the naive shadow BFS: same skip set in the
+// two encodings must yield the identical node slice (set AND order), and the
+// ReachedBits snapshot must be exactly the bitset encoding of that slice.
+// Also exercises mask memo reuse across queries, skip mutation between
+// queries, and rebinds of one Reach across graphs.
+func TestFromBitsMatchesFrom(t *testing.T) {
+	r := &Reach{}
+	for seed := int64(200); seed < 216; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, sh := randomDAG(t, rng, 4+rng.Intn(16), seed%2 == 0)
+		r.Reset(g)
+		skipBits := make([]uint64, r.Words())
+		for q := 0; q < 10; q++ {
+			start := NodeID(rng.Intn(g.NumNodes()))
+			skipped := make(map[NodeID]bool)
+			for i := range skipBits {
+				skipBits[i] = 0
+			}
+			for id := 0; id < g.NumNodes(); id++ {
+				if rng.Float64() < 0.35 {
+					skipped[NodeID(id)] = true
+					skipBits[id>>6] |= 1 << (uint(id) & 63)
+				}
+			}
+			skip := func(id NodeID) bool { return skipped[id] }
+			want := append([]NodeID(nil), r.From(start, skip)...)
+			got := r.FromBits(start, skipBits)
+			if !sameIDs(got, want) {
+				t.Fatalf("seed %d query %d: FromBits(%d) = %v, From %v", seed, q, start, got, want)
+			}
+			if naive := sh.reachFrom(g, start, skip); !sameIDs(got, naive) {
+				t.Fatalf("seed %d query %d: FromBits(%d) = %v, naive BFS %v", seed, q, start, got, naive)
+			}
+			bits := r.ReachedBits()
+			wantBits := make([]uint64, r.Words())
+			for _, id := range got {
+				wantBits[id>>6] |= 1 << (uint(id) & 63)
+			}
+			for i := range wantBits {
+				if bits[i] != wantBits[i] {
+					t.Fatalf("seed %d query %d: ReachedBits word %d = %#x, want %#x", seed, q, i, bits[i], wantBits[i])
+				}
+			}
+		}
+	}
+}
+
 // TestCloneSharesTopology checks that Clone shares the immutable CSR arrays
 // and topological order with the original while keeping costs independent.
 func TestCloneSharesTopology(t *testing.T) {

@@ -109,6 +109,14 @@ type Graph struct {
 	costs []float64
 
 	topo []NodeID // cached topological order, set by finalize
+
+	// outputs caches the output subtasks (no successors) in ID order; the
+	// node set and arcs are immutable after Finalize, so clones share it.
+	outputs []NodeID
+	// execLP caches the execution-time longest path (the denominator of
+	// AvgParallelism); it depends on subtask costs, so SetCost keeps it in
+	// sync and Clone copies the value.
+	execLP float64
 }
 
 // Errors returned by Builder.Finalize and graph validation.
@@ -272,6 +280,12 @@ func (b *Builder) Finalize() (*Graph, error) {
 		return nil, err
 	}
 	g.topo = topo
+	for i := range g.nodes {
+		if g.kinds[i] == KindSubtask && g.OutDegree(NodeID(i)) == 0 {
+			g.outputs = append(g.outputs, NodeID(i))
+		}
+	}
+	g.execLP = g.computeExecLongestPath()
 	for _, n := range g.nodes {
 		if n.Kind == KindSubtask && n.Release != 0 && g.InDegree(n.ID) != 0 {
 			return nil, fmt.Errorf("subtask %q has a release time but is not an input subtask", n.Name)
@@ -358,6 +372,13 @@ func (g *Graph) Nodes() []Node {
 	return out
 }
 
+// NodesView returns the graph's nodes in ID order without copying. The
+// returned slice is a view of the graph's own storage and must not be
+// modified; use Nodes for a private copy. Read-heavy per-run loops
+// (schedule measurement, assignment, feasibility) iterate this view —
+// the Nodes copy was the single largest allocation source of a sweep.
+func (g *Graph) NodesView() []Node { return g.nodes }
+
 // Kinds returns the node kinds indexed by NodeID. The returned slice is a
 // shared view and must not be modified.
 func (g *Graph) Kinds() []Kind { return g.kinds }
@@ -374,6 +395,10 @@ func (g *Graph) ReleaseOf(id NodeID) float64 { return g.nodes[id].Release }
 // EndToEndOf returns the end-to-end deadline of id without copying the
 // whole Node.
 func (g *Graph) EndToEndOf(id NodeID) float64 { return g.nodes[id].EndToEnd }
+
+// PinnedOf returns the strict-locality pin of id (Unpinned when free)
+// without copying the whole Node, for the dispatch hot path.
+func (g *Graph) PinnedOf(id NodeID) int { return g.nodes[id].Pinned }
 
 // Succ returns the successor IDs of id. The returned slice is a CSR
 // sub-slice and must not be modified.
@@ -419,16 +444,15 @@ func (g *Graph) Inputs() []NodeID {
 }
 
 // Outputs returns the IDs of all output subtasks (ordinary subtasks with no
-// successors), in ID order.
+// successors), in ID order. The returned slice is a copy; hot paths use
+// OutputsView instead.
 func (g *Graph) Outputs() []NodeID {
-	var out []NodeID
-	for i := range g.nodes {
-		if g.kinds[i] == KindSubtask && g.OutDegree(NodeID(i)) == 0 {
-			out = append(out, NodeID(i))
-		}
-	}
-	return out
+	return append([]NodeID(nil), g.outputs...)
 }
+
+// OutputsView is Outputs without the copy: it returns the graph's cached
+// output list directly. The returned slice must not be modified.
+func (g *Graph) OutputsView() []NodeID { return g.outputs }
 
 // TopoOrder returns a topological order over all nodes. The returned slice
 // must not be modified.
@@ -481,6 +505,8 @@ func (g *Graph) Clone() *Graph {
 		kinds:   g.kinds,
 		costs:   make([]float64, len(g.costs)),
 		topo:    g.topo,
+		outputs: g.outputs,
+		execLP:  g.execLP,
 	}
 	copy(c.nodes, g.nodes)
 	copy(c.costs, g.costs)
@@ -517,9 +543,13 @@ func (g *Graph) SetCost(id NodeID, cost float64) error {
 	}
 	if g.nodes[id].Kind == KindSubtask {
 		g.nodes[id].Cost = cost
-	} else {
-		g.nodes[id].Size = cost
+		g.costs[id] = cost
+		// Subtask execution times feed the longest-path memo; message
+		// sizes do not.
+		g.execLP = g.computeExecLongestPath()
+		return nil
 	}
+	g.nodes[id].Size = cost
 	g.costs[id] = cost
 	return nil
 }

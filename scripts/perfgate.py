@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Compare two `go test -bench` output files and fail on a geomean regression.
+
+Usage: perfgate.py BASE.txt HEAD.txt [--limit 1.10]
+
+Both files hold standard `go test -bench` output (any -count; repeated
+measurements of one benchmark are averaged before comparison). Benchmarks
+present in only one file are reported and skipped. The gate fails when the
+geometric mean of head/base ns-per-op ratios over the shared benchmarks
+exceeds the limit (default 1.10 = 10% slower), and also prints the worst
+individual offenders so a localized regression hiding inside a healthy
+geomean is still visible in the log.
+"""
+
+import argparse
+import math
+import re
+import sys
+from collections import defaultdict
+
+BENCH_RE = re.compile(r"^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op")
+
+
+def parse(path):
+    runs = defaultdict(list)
+    with open(path) as f:
+        for line in f:
+            m = BENCH_RE.match(line)
+            if m:
+                runs[m.group(1)].append(float(m.group(2)))
+    return {name: sum(v) / len(v) for name, v in runs.items()}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("base")
+    ap.add_argument("head")
+    ap.add_argument("--limit", type=float, default=1.10)
+    args = ap.parse_args()
+
+    base, head = parse(args.base), parse(args.head)
+    shared = sorted(set(base) & set(head))
+    if not shared:
+        sys.exit("perfgate: no shared benchmarks between base and head")
+    for name in sorted(set(base) ^ set(head)):
+        where = "base" if name in base else "head"
+        print(f"perfgate: {name} only in {where}, skipped")
+
+    ratios = {name: head[name] / base[name] for name in shared}
+    geomean = math.exp(sum(math.log(r) for r in ratios.values()) / len(ratios))
+
+    print(f"perfgate: {len(shared)} benchmarks, geomean head/base = {geomean:.3f} "
+          f"(limit {args.limit:.2f})")
+    for name, r in sorted(ratios.items(), key=lambda kv: -kv[1])[:5]:
+        print(f"  {r:6.3f}x  {name}  {base[name]:12.1f} -> {head[name]:12.1f} ns/op")
+
+    if geomean > args.limit:
+        sys.exit(f"perfgate: FAIL geomean regression {geomean:.3f} > {args.limit:.2f}")
+    print("perfgate: OK")
+
+
+if __name__ == "__main__":
+    main()
