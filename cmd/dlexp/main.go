@@ -145,6 +145,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 		defer jr.Close()
+		// Bind the journal to the flag identity that determines its record
+		// keys: resuming under different flags would miss on every lookup
+		// and silently recompute the whole sweep, so fail loudly instead.
+		meta := fmt.Sprintf("figure=%s|graphs=%d|seed=%d|sizes=%v", *figure, *graphs, *seed, sweep)
+		if err := jr.BindMeta(meta); err != nil {
+			return fmt.Errorf("resume %s: %w", *resumeDir, err)
+		}
 		base.Journal = jr
 		if n := jr.Len(); n > 0 {
 			fmt.Fprintf(out, "resume: %d journaled units found in %s\n", n, *resumeDir)
@@ -181,12 +188,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		base.Trace = tr
 	}
 	if *httpAddr != "" {
-		srv, err := obs.Serve(*httpAddr, rec, prog)
+		// The pool (orchestrator) is already running here, so the server is
+		// born ready; a SIGINT flips /readyz to draining while /healthz
+		// stays green through the graceful drain.
+		ready := obs.NewReadiness()
+		ready.SetStarted(true)
+		go func() {
+			<-ctx.Done()
+			ready.SetDraining(true)
+		}()
+		srv, err := obs.ServeReady(*httpAddr, rec, prog, ready)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(out, "ops server on http://%s (/metrics /progress /healthz)\n", srv.Addr())
+		fmt.Fprintf(out, "ops server on http://%s (/metrics /progress /healthz /readyz)\n", srv.Addr())
 	}
 	reporter := obs.StartReporter(os.Stderr, *progEvery, prog, rec)
 	finish := func(wall time.Duration) error {
@@ -381,47 +397,11 @@ func writeReport(path string, base experiment.Config, keys []string,
 	return f.Close()
 }
 
-// parseFaults parses the -faults chaos spec: comma-separated key=value
-// pairs with keys panic, hang, err (independent rates in [0,1]), seed
-// (uint64, default 1) and hangms (hang duration in milliseconds).
+// parseFaults parses the -faults chaos spec; the dialect (panic/hang/err
+// rates, seed, hangms, maxfaulty) is owned by experiment.ParseFaults and
+// shared with dlserve.
 func parseFaults(spec string) (*experiment.FaultPlan, error) {
-	plan := &experiment.FaultPlan{Seed: 1}
-	for _, part := range strings.Split(spec, ",") {
-		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
-		if !ok {
-			return nil, fmt.Errorf("bad fault spec %q (want key=value)", part)
-		}
-		switch k {
-		case "panic", "hang", "err":
-			rate, err := strconv.ParseFloat(v, 64)
-			if err != nil || rate < 0 || rate > 1 {
-				return nil, fmt.Errorf("bad fault rate %q (want 0..1)", part)
-			}
-			switch k {
-			case "panic":
-				plan.PanicRate = rate
-			case "hang":
-				plan.HangRate = rate
-			case "err":
-				plan.ErrorRate = rate
-			}
-		case "seed":
-			n, err := strconv.ParseUint(v, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad fault seed %q", part)
-			}
-			plan.Seed = n
-		case "hangms":
-			n, err := strconv.Atoi(v)
-			if err != nil || n < 0 {
-				return nil, fmt.Errorf("bad hang duration %q", part)
-			}
-			plan.HangDuration = time.Duration(n) * time.Millisecond
-		default:
-			return nil, fmt.Errorf("unknown fault key %q", k)
-		}
-	}
-	return plan, nil
+	return experiment.ParseFaults(spec)
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"deadlinedist/internal/experiment"
 	"deadlinedist/internal/metrics"
 )
 
@@ -313,6 +314,39 @@ func TestRunInterruptedThenResumedMatchesReference(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "resume: 4 journaled units found") {
 		t.Errorf("replay did not announce the journaled units:\n%s", buf.String())
+	}
+}
+
+// TestRunResumeMismatchedFlagsFails is the -resume misconfiguration
+// regression: a checkpoint recorded under one flag set must refuse a
+// resume under another with a clear error, instead of silently keying
+// every journal lookup into a miss and recomputing the whole sweep.
+func TestRunResumeMismatchedFlagsFails(t *testing.T) {
+	ckDir := filepath.Join(t.TempDir(), "ck")
+	var buf bytes.Buffer
+	if err := run(context.Background(),
+		[]string{"-figure", "baselines", "-graphs", "4", "-sizes", "2,4", "-resume", ckDir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, changed := range [][]string{
+		{"-figure", "baselines", "-graphs", "8", "-sizes", "2,4"}, // graphs
+		{"-figure", "baselines", "-graphs", "4", "-sizes", "2,8"}, // sizes
+		{"-figure", "baselines", "-graphs", "4", "-sizes", "2,4", "-seed", "7"}, // seed
+	} {
+		buf.Reset()
+		err := run(context.Background(), append(changed, "-resume", ckDir), &buf)
+		if !errors.Is(err, experiment.ErrJournalMismatch) {
+			t.Fatalf("resume with %v: got %v, want ErrJournalMismatch", changed, err)
+		}
+	}
+	// Unchanged flags still resume cleanly.
+	buf.Reset()
+	if err := run(context.Background(),
+		[]string{"-figure", "baselines", "-graphs", "4", "-sizes", "2,4", "-resume", ckDir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "resume: 4 journaled units found") {
+		t.Errorf("matching resume did not replay:\n%s", buf.String())
 	}
 }
 

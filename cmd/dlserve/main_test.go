@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe writer for run's banner output.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var addrRe = regexp.MustCompile(`dlserve on http://(\S+)`)
+
+// startRun boots run() on a loopback port and returns the bound address
+// plus a cancel-and-wait shutdown function returning run's error.
+func startRun(t *testing.T, args []string, out *syncBuffer) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			return m[1], func() error {
+				cancel()
+				select {
+				case err := <-done:
+					return err
+				case <-time.After(10 * time.Second):
+					t.Fatal("run did not return after cancel")
+					return nil
+				}
+			}
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited early: %v (output %q)", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("no listen banner in %q", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunServeDrain: the daemon serves a request, then a SIGTERM-style
+// context cancellation drains it cleanly (exit 0 path).
+func TestRunServeDrain(t *testing.T) {
+	var out syncBuffer
+	addr, shutdown := startRun(t, []string{"-faults", "err=0.3,seed=5", "-retries", "4"}, &out)
+
+	body := `{"graph": {"subtasks": [{"name":"a","cost":2},{"name":"b","cost":3,"endToEnd":20}],
+		"arcs": [{"from":"a","to":"b","size":1}]}, "procs": 4, "assigner": "ADAPT", "budgetMs": 500}`
+	resp, err := http.Post("http://"+addr+"/v1/assign", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("assign: %d %s", resp.StatusCode, b)
+	}
+	if !strings.Contains(string(b), `"schedulable":true`) {
+		t.Errorf("no verdict in %s", b)
+	}
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		r, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("%s: %d", path, r.StatusCode)
+		}
+	}
+	http.DefaultClient.CloseIdleConnections()
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("drain error: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"chaos mode: err=0.3,seed=5", "drain: stopped accepting", "drain: complete"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunBadFlags: flag and fault-spec errors surface as non-nil (exit 1).
+func TestRunBadFlags(t *testing.T) {
+	var out syncBuffer
+	if err := run(context.Background(), []string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(context.Background(), []string{"-faults", "bogus"}, &out); err == nil {
+		t.Error("malformed fault spec accepted")
+	}
+}

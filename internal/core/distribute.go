@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -93,7 +94,18 @@ func NewScratch() *Scratch { return &Scratch{} }
 // set. Passing nil sc allocates a fresh working set, exactly as
 // DistributeInto. The output is bit-for-bit independent of scratch reuse.
 func (d Distributor) DistributeScratch(g *taskgraph.Graph, sys *platform.System, recycle *Result, sc *Scratch) (*Result, error) {
-	return d.distribute(g, sys, recycle, sc, false)
+	return d.distribute(nil, g, sys, recycle, sc, false)
+}
+
+// DistributeScratchContext is DistributeScratch with cooperative
+// cancellation: the context is polled once per slicing round (the unit of
+// work between two critical-path selections), and a cancelled or expired
+// context aborts the run with ctx.Err() before the next round starts. A
+// nil or never-cancelled context computes the bit-identical result of
+// DistributeScratch; the poll is a single atomic load per round, so the
+// uncancelled hot path is unaffected.
+func (d Distributor) DistributeScratchContext(ctx context.Context, g *taskgraph.Graph, sys *platform.System, recycle *Result, sc *Scratch) (*Result, error) {
+	return d.distribute(ctx, g, sys, recycle, sc, false)
 }
 
 // DistributeDelta is DistributeScratch with cross-run carry-over: every
@@ -114,10 +126,18 @@ func (d Distributor) DistributeScratch(g *taskgraph.Graph, sys *platform.System,
 // inputs; only Result.Search differs (DeltaReuses replaces some DPRuns).
 // Passing nil sc runs without carry-over, exactly as DistributeScratch.
 func (d Distributor) DistributeDelta(g *taskgraph.Graph, sys *platform.System, recycle *Result, sc *Scratch) (*Result, error) {
-	return d.distribute(g, sys, recycle, sc, sc != nil)
+	return d.distribute(nil, g, sys, recycle, sc, sc != nil)
 }
 
-func (d Distributor) distribute(g *taskgraph.Graph, sys *platform.System, recycle *Result, sc *Scratch, delta bool) (*Result, error) {
+// DistributeDeltaContext is DistributeDelta with the per-round
+// cancellation contract of DistributeScratchContext. An aborted run
+// records no carry-over snapshot, so the next DistributeDelta on the same
+// scratch starts cold rather than replaying a half-built history.
+func (d Distributor) DistributeDeltaContext(ctx context.Context, g *taskgraph.Graph, sys *platform.System, recycle *Result, sc *Scratch) (*Result, error) {
+	return d.distribute(ctx, g, sys, recycle, sc, sc != nil)
+}
+
+func (d Distributor) distribute(ctx context.Context, g *taskgraph.Graph, sys *platform.System, recycle *Result, sc *Scratch, delta bool) (*Result, error) {
 	if d.Metric == nil || d.Estimator == nil {
 		return nil, ErrNilStrategy
 	}
@@ -196,7 +216,19 @@ func (d Distributor) distribute(g *taskgraph.Graph, sys *platform.System, recycl
 	st.deltaMode = delta
 	st.prepare()
 
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	for st.unassigned > 0 {
+		if done != nil {
+			select {
+			case <-done:
+				st.release()
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		best, err := st.findCriticalPath()
 		if err != nil {
 			st.release()

@@ -94,6 +94,14 @@ func (a slicingAssigner) AssignDelta(g *taskgraph.Graph, sys *platform.System,
 	return a.dist.DistributeDelta(g, sys, recycle, sc)
 }
 
+func (a slicingAssigner) AssignContext(ctx context.Context, g *taskgraph.Graph, sys *platform.System,
+	recycle *core.Result, sc *core.Scratch, delta bool) (*core.Result, error) {
+	if delta {
+		return a.dist.DistributeDeltaContext(ctx, g, sys, recycle, sc)
+	}
+	return a.dist.DistributeScratchContext(ctx, g, sys, recycle, sc)
+}
+
 // resultRecycler is an optional Assigner capability: strategies that can
 // overwrite a spent Result instead of allocating a fresh one, and run off a
 // pooled distributor working set, implement it. The engine only offers
@@ -112,6 +120,20 @@ type resultRecycler interface {
 // freely when Config.DeltaReuse is set.
 type deltaAssigner interface {
 	AssignDelta(g *taskgraph.Graph, sys *platform.System, recycle *core.Result, sc *core.Scratch) (*core.Result, error)
+}
+
+// contextAssigner is an optional Assigner capability: strategies whose
+// distribution polls a context between slicing rounds
+// (core.DistributeScratchContext) implement it, so a unit whose deadline
+// expires mid-DP is abandoned cooperatively — its goroutine errs out at
+// the next round boundary instead of computing an answer nobody can use
+// (and, in the orchestrator, instead of publishing one to the shared
+// caches). A nil or live context computes the bit-identical result of
+// AssignInto/AssignDelta. delta requests the carry-over entry point, with
+// the same fallback semantics as deltaAssigner.
+type contextAssigner interface {
+	AssignContext(ctx context.Context, g *taskgraph.Graph, sys *platform.System,
+		recycle *core.Result, sc *core.Scratch, delta bool) (*core.Result, error)
 }
 
 // dynSlicingAssigner is a slicing assigner whose estimator depends on the
@@ -165,6 +187,19 @@ func (a dynSlicingAssigner) AssignDelta(g *taskgraph.Graph, sys *platform.System
 		return nil, err
 	}
 	return core.Distributor{Metric: a.metric, Estimator: e}.DistributeDelta(g, sys, recycle, sc)
+}
+
+func (a dynSlicingAssigner) AssignContext(ctx context.Context, g *taskgraph.Graph, sys *platform.System,
+	recycle *core.Result, sc *core.Scratch, delta bool) (*core.Result, error) {
+	e, err := a.est(sys)
+	if err != nil {
+		return nil, err
+	}
+	d := core.Distributor{Metric: a.metric, Estimator: e}
+	if delta {
+		return d.DistributeDeltaContext(ctx, g, sys, recycle, sc)
+	}
+	return d.DistributeScratchContext(ctx, g, sys, recycle, sc)
 }
 
 // baselineAssigner adapts a strategy.Strategy (platform-independent).
@@ -230,6 +265,15 @@ func (a assignFirst) AssignInto(g *taskgraph.Graph, sys *platform.System,
 func (a assignFirst) AssignDelta(g *taskgraph.Graph, sys *platform.System,
 	recycle *core.Result, sc *core.Scratch) (*core.Result, error) {
 	return core.Distributor{Metric: a.metric, Estimator: core.CCKnown(nil)}.DistributeDelta(g, sys, recycle, sc)
+}
+
+func (a assignFirst) AssignContext(ctx context.Context, g *taskgraph.Graph, sys *platform.System,
+	recycle *core.Result, sc *core.Scratch, delta bool) (*core.Result, error) {
+	d := core.Distributor{Metric: a.metric, Estimator: core.CCKnown(nil)}
+	if delta {
+		return d.DistributeDeltaContext(ctx, g, sys, recycle, sc)
+	}
+	return d.DistributeScratchContext(ctx, g, sys, recycle, sc)
 }
 
 // improvedAssigner wraps a slicing distribution with the reference-[3]
@@ -431,6 +475,19 @@ func (l labelled) AssignDelta(g *taskgraph.Graph, sys *platform.System,
 	recycle *core.Result, sc *core.Scratch) (*core.Result, error) {
 	if d, ok := l.Assigner.(deltaAssigner); ok {
 		return d.AssignDelta(g, sys, recycle, sc)
+	}
+	return l.AssignInto(g, sys, recycle, sc)
+}
+
+// AssignContext forwards cooperative cancellation to the wrapped assigner
+// when it supports it, falling back to the uncancellable entry points.
+func (l labelled) AssignContext(ctx context.Context, g *taskgraph.Graph, sys *platform.System,
+	recycle *core.Result, sc *core.Scratch, delta bool) (*core.Result, error) {
+	if c, ok := l.Assigner.(contextAssigner); ok {
+		return c.AssignContext(ctx, g, sys, recycle, sc, delta)
+	}
+	if delta {
+		return l.AssignDelta(g, sys, recycle, sc)
 	}
 	return l.AssignInto(g, sys, recycle, sc)
 }
@@ -833,6 +890,7 @@ func (e *unitEnv) runUnit(ctx context.Context, gi int, box *workerBox) error {
 	rec := e.cfg.Metrics
 	tr := e.cfg.Trace
 	attempts := e.cfg.Retry.attempts()
+	seed := retrySeed(e.title, gi)
 	ref := &cellRef{}
 	var lastErr error
 	tried := 0
@@ -840,7 +898,7 @@ func (e *unitEnv) runUnit(ctx context.Context, gi int, box *workerBox) error {
 		if k > 1 {
 			rec.UnitRetry()
 			tr.Mark(e.title, gi, k, obs.OutcomeRetry, string(outcomeOf(lastErr)))
-			if err := sleepCtx(ctx, e.cfg.Retry.delay(k-1)); err != nil {
+			if err := sleepCtx(ctx, e.cfg.Retry.delay(k-1, seed)); err != nil {
 				break
 			}
 		}
@@ -937,7 +995,7 @@ func (e *unitEnv) attemptBody(ctx context.Context, gi, attempt int, w *poolWorke
 	// Fault injection sits at the unit boundary, before any cache
 	// interaction, so an injected fault can never strand a singleflight
 	// slot it holds.
-	if err := e.cfg.Faults.inject(ctx, e.title, gi, attempt, e.cfg.Metrics, e.cfg.Trace); err != nil {
+	if err := e.cfg.Faults.Inject(ctx, e.title, gi, attempt, e.cfg.Metrics, e.cfg.Trace); err != nil {
 		return err
 	}
 	return runGraph(ctx, e.cfg, e.graphs[gi], e.systems, e.nets, e.assigners, e.measure, gi, out, w, e.crossOK, ref, e.title, attempt)
@@ -1103,7 +1161,7 @@ func runGraph(ctx context.Context, cfg Config, g *taskgraph.Graph, systems []*pl
 					sp.stage("assign", label, sys.NumProcs(), at0, "cross")
 				} else {
 					t0 = rec.Start()
-					res, err = assignWith(asg, gg, sys, w, cfg.DeltaReuse)
+					res, err = assignWith(ctx, asg, gg, sys, w, cfg.DeltaReuse)
 					rec.Done(metrics.StageAssign, t0)
 					sp.stage("assign", label, sys.NumProcs(), at0, "miss")
 					if err == nil {
@@ -1175,10 +1233,35 @@ func runGraph(ctx context.Context, cfg Config, g *taskgraph.Graph, systems []*pl
 	return nil
 }
 
+// AssignContext runs one assignment on the given pooled working set with
+// cooperative cancellation, routing through asg's most capable entry
+// point: context-aware assigners abort between slicing rounds when ctx
+// settles; others compute to completion (ctx then only gates what the
+// caller does with the result). It is the serving layer's assignment
+// primitive — one request, one graph, no sweep bookkeeping. sc may be nil
+// (a fresh working set is allocated).
+func AssignContext(ctx context.Context, asg Assigner, g *taskgraph.Graph,
+	sys *platform.System, sc *core.Scratch) (*core.Result, error) {
+	if c, ok := asg.(contextAssigner); ok {
+		return c.AssignContext(ctx, g, sys, nil, sc, false)
+	}
+	if r, ok := asg.(resultRecycler); ok {
+		return r.AssignInto(g, sys, nil, sc)
+	}
+	return asg.Assign(g, sys)
+}
+
 // assignWith runs one assignment, offering the worker's spare Result and
-// pooled distributor scratch when the assigner supports them, and routing
-// through the delta entry point when the run opted into carry-over reuse.
-func assignWith(asg Assigner, g *taskgraph.Graph, sys *platform.System, w *poolWorker, delta bool) (*core.Result, error) {
+// pooled distributor scratch when the assigner supports them, routing
+// through the delta entry point when the run opted into carry-over reuse,
+// and threading the attempt context into the DP for assigners that can
+// abort between slicing rounds.
+func assignWith(ctx context.Context, asg Assigner, g *taskgraph.Graph, sys *platform.System, w *poolWorker, delta bool) (*core.Result, error) {
+	if c, ok := asg.(contextAssigner); ok {
+		recycle := w.spare
+		w.spare = nil
+		return c.AssignContext(ctx, g, sys, recycle, w.dist, delta)
+	}
 	if delta {
 		if d, ok := asg.(deltaAssigner); ok {
 			recycle := w.spare

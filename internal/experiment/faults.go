@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"deadlinedist/internal/metrics"
@@ -144,6 +146,16 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the backoff. Default 500ms.
 	MaxDelay time.Duration
+	// Jitter is the fraction of every backoff delay that is randomized so
+	// that units failing in lockstep (a shared transient fault, a thundering
+	// herd of client retries) cannot re-arrive in lockstep: retry k waits
+	// d - u·Jitter·d for a uniform u ∈ [0,1), i.e. a value in
+	// (d·(1-Jitter), d]. The randomization is deterministic — u is derived
+	// with splitmix64 from a per-unit seed and the attempt number — so a
+	// rerun of the same sweep sleeps the bit-identical schedule. 0 means
+	// the default of 0.5; negative disables jitter (full, synchronized
+	// delays); values above 1 are clamped to 1.
+	Jitter float64
 }
 
 func (p RetryPolicy) attempts() int {
@@ -153,8 +165,11 @@ func (p RetryPolicy) attempts() int {
 	return p.MaxAttempts
 }
 
-// delay returns the backoff before retry k (1-based).
-func (p RetryPolicy) delay(k int) time.Duration {
+// delay returns the backoff before retry k (1-based) of the unit keyed by
+// seed. Jitter only ever shortens the synchronized delay, so the policy's
+// documented bounds (BaseDelay << (k-1), capped at MaxDelay) stay upper
+// bounds with jitter enabled.
+func (p RetryPolicy) delay(k int, seed uint64) time.Duration {
 	base, cap := p.BaseDelay, p.MaxDelay
 	if base <= 0 {
 		base = 10 * time.Millisecond
@@ -166,7 +181,45 @@ func (p RetryPolicy) delay(k int) time.Duration {
 	if d <= 0 || d > cap { // overflow or past the cap
 		d = cap
 	}
-	return d
+	j := p.Jitter
+	if j == 0 {
+		j = 0.5
+	}
+	if j < 0 || d <= 0 {
+		return d
+	}
+	if j > 1 {
+		j = 1
+	}
+	u := float64(splitmix64(seed^uint64(k))>>11) / (1 << 53)
+	return d - time.Duration(u*j*float64(d))
+}
+
+// Delay returns the jittered backoff before retry k (1-based) of the unit
+// keyed by seed — the exported form of the engine's own backoff schedule,
+// so the serving layer retries with the identical policy (and identical
+// determinism) as the sweep runtime. Seeds come from RetrySeed.
+func (p RetryPolicy) Delay(k int, seed uint64) time.Duration { return p.delay(k, seed) }
+
+// RetrySeed derives a deterministic per-unit jitter seed from a unit
+// identity: a table title and graph index for sweeps, a request-key prefix
+// and shard for the serving layer.
+func RetrySeed(title string, gi int) uint64 { return retrySeed(title, gi) }
+
+// retrySeed derives the per-unit jitter seed from the unit's identity (its
+// table title and graph index), so distinct units desynchronize while a
+// rerun of the same unit reproduces its exact backoff schedule.
+func retrySeed(title string, gi int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(title); i++ {
+		h ^= uint64(title[i])
+		h *= prime64
+	}
+	return splitmix64(h ^ uint64(gi))
 }
 
 // sleepCtx sleeps for d or until ctx is done, returning the context error
@@ -208,12 +261,15 @@ type FaultPlan struct {
 	MaxFaultyAttempts int
 }
 
-// inject runs the fault decision for one attempt of one unit. It may
+// Inject runs the fault decision for one attempt of one unit. It may
 // panic, block (until HangDuration or ctx), or return a transient error.
 // Injections are recorded on rec and marked on tr — the panic path marks
 // before panicking, since the recover boundary only sees a generic
-// *PanicError and could not attribute it to the harness.
-func (p *FaultPlan) inject(ctx context.Context, table string, gi, attempt int,
+// *PanicError and could not attribute it to the harness. It is exported so
+// sibling layers with their own recover boundary (the dlserve request
+// pipeline) can reuse the same deterministic chaos stream; rec and tr may
+// be nil (both are nil-safe).
+func (p *FaultPlan) Inject(ctx context.Context, table string, gi, attempt int,
 	rec *metrics.Recorder, tr *obs.Tracer) error {
 	if p == nil {
 		return nil
@@ -247,6 +303,57 @@ func (p *FaultPlan) inject(ctx context.Context, table string, gi, attempt int,
 		return Transient(fmt.Errorf("faultinject: error (graph %d, attempt %d)", gi, attempt))
 	}
 	return nil
+}
+
+// ParseFaults parses a chaos spec: comma-separated key=value pairs with
+// keys panic, hang, err (independent rates in [0,1]), seed (uint64,
+// default 1), hangms (hang duration in milliseconds) and maxfaulty (the
+// MaxFaultyAttempts bound). It is the single parser behind `dlexp -faults`
+// and `dlserve -faults`, so both speak the same dialect.
+func ParseFaults(spec string) (*FaultPlan, error) {
+	plan := &FaultPlan{Seed: 1}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad fault spec %q (want key=value)", part)
+		}
+		switch k {
+		case "panic", "hang", "err":
+			rate, err := strconv.ParseFloat(v, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				return nil, fmt.Errorf("bad fault rate %q (want 0..1)", part)
+			}
+			switch k {
+			case "panic":
+				plan.PanicRate = rate
+			case "hang":
+				plan.HangRate = rate
+			case "err":
+				plan.ErrorRate = rate
+			}
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad fault seed %q", part)
+			}
+			plan.Seed = n
+		case "hangms":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad hang duration %q", part)
+			}
+			plan.HangDuration = time.Duration(n) * time.Millisecond
+		case "maxfaulty":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad maxfaulty %q", part)
+			}
+			plan.MaxFaultyAttempts = n
+		default:
+			return nil, fmt.Errorf("unknown fault key %q", k)
+		}
+	}
+	return plan, nil
 }
 
 // roll returns the uniform [0,1) decision variable for (gi, attempt).

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -42,6 +43,7 @@ type Journal struct {
 	f    *os.File
 	w    *bufio.Writer
 	done map[journalCell][]float64
+	meta string
 }
 
 type journalCell struct {
@@ -50,9 +52,14 @@ type journalCell struct {
 }
 
 type journalLine struct {
-	K string   `json:"k"`
-	G int      `json:"g"`
-	B []string `json:"b"`
+	K string   `json:"k,omitempty"`
+	G int      `json:"g,omitempty"`
+	B []string `json:"b,omitempty"`
+	// M is the run-identity meta line (at most one per journal, written by
+	// BindMeta): a human-readable description of the configuration the
+	// journal belongs to, so a resume under different flags fails loudly
+	// instead of silently recomputing everything.
+	M string `json:"m,omitempty"`
 }
 
 // OpenJournal opens (creating if needed) the journal in dir and replays any
@@ -74,6 +81,12 @@ func OpenJournal(dir string) (*Journal, error) {
 		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
 			continue // torn write from a crashed run; recompute that cell
 		}
+		if line.M != "" {
+			if j.meta == "" {
+				j.meta = line.M
+			}
+			continue
+		}
 		vals, ok := decodeBits(line.B)
 		if !ok {
 			continue
@@ -85,6 +98,40 @@ func OpenJournal(dir string) (*Journal, error) {
 		return nil, fmt.Errorf("journal replay: %w", err)
 	}
 	return j, nil
+}
+
+// ErrJournalMismatch reports a resume against a journal written under a
+// different configuration.
+var ErrJournalMismatch = errors.New("journal configuration mismatch")
+
+// BindMeta binds the journal to a run identity. On a fresh (or legacy,
+// pre-meta) journal it appends the identity as a meta line; on a journal
+// that already carries one it verifies the identities match and returns an
+// ErrJournalMismatch naming both otherwise. Callers bind before the run
+// starts, so a journal recorded under different flags fails fast instead
+// of silently keying every lookup into a miss and recomputing the sweep.
+func (j *Journal) BindMeta(meta string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.meta != "" {
+		if j.meta != meta {
+			return fmt.Errorf("%w: journal was recorded with [%s], current run is [%s]",
+				ErrJournalMismatch, j.meta, meta)
+		}
+		return nil
+	}
+	buf, err := json.Marshal(journalLine{M: meta})
+	if err != nil {
+		return err
+	}
+	if _, err := j.w.Write(append(buf, '\n')); err != nil {
+		return fmt.Errorf("journal meta append: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("journal meta flush: %w", err)
+	}
+	j.meta = meta
+	return nil
 }
 
 // lookup returns the journaled values for one unit, if present with the

@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"deadlinedist/internal/core"
+)
+
+// TestJournalBindMeta: the first bind stamps the journal, a matching
+// rebind (after reopen) succeeds, and a mismatched one fails with
+// ErrJournalMismatch naming both identities.
+func TestJournalBindMeta(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.BindMeta("figure=5|graphs=8|seed=1"); err != nil {
+		t.Fatalf("first bind: %v", err)
+	}
+	// Rebinding the same identity within one session is a no-op.
+	if err := j.BindMeta("figure=5|graphs=8|seed=1"); err != nil {
+		t.Fatalf("same-session rebind: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if err := j2.BindMeta("figure=5|graphs=8|seed=1"); err != nil {
+		t.Fatalf("matching rebind after reopen: %v", err)
+	}
+	err = j2.BindMeta("figure=5|graphs=16|seed=1")
+	if !errors.Is(err, ErrJournalMismatch) {
+		t.Fatalf("mismatched bind: got %v, want ErrJournalMismatch", err)
+	}
+}
+
+// TestJournalMetaDoesNotDisturbRecords: the meta line coexists with unit
+// records — records journaled before the bind replay afterwards, and a
+// legacy journal (no meta line) binds without error.
+func TestJournalMetaDoesNotDisturbRecords(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.commit("k1", 0, []float64{1.5, 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.BindMeta("figure=all"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.commit("k1", 1, []float64{3.5, 4.5}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if n := j2.Len(); n != 2 {
+		t.Fatalf("replayed %d records around a meta line, want 2", n)
+	}
+	if _, ok := j2.lookup("k1", 1, 2); !ok {
+		t.Fatal("record journaled after the bind did not replay")
+	}
+	if err := j2.BindMeta("figure=all"); err != nil {
+		t.Fatalf("rebind over mixed journal: %v", err)
+	}
+
+	// Legacy journal: records only, no meta line — binding adopts it.
+	legacy := t.TempDir()
+	if err := os.WriteFile(filepath.Join(legacy, "journal.jsonl"),
+		[]byte(`{"k":"old","g":0,"b":["3ff8000000000000"]}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenJournal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if n := j3.Len(); n != 1 {
+		t.Fatalf("legacy replay: %d records, want 1", n)
+	}
+	if err := j3.BindMeta("figure=5"); err != nil {
+		t.Fatalf("legacy bind: %v", err)
+	}
+}
+
+// TestResumeMismatchedJournalFails is the end-to-end regression for the
+// dlexp -resume contract: a journal recorded under one configuration must
+// refuse a resume under another instead of silently recomputing.
+func TestResumeMismatchedJournalFails(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.BindMeta("figure=5|graphs=8|seed=1|sizes=[2 5]"); err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaosCfg()
+	cfg.Journal = j
+	if _, err := cfg.Run("resume-ok", Slicing(core.PURE(), core.CCNE())); err != nil {
+		t.Fatalf("bound run: %v", err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	err = j2.BindMeta("figure=5|graphs=16|seed=1|sizes=[2 5]")
+	if !errors.Is(err, ErrJournalMismatch) {
+		t.Fatalf("resume under changed flags: got %v, want ErrJournalMismatch", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"hash/maphash"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -476,9 +477,16 @@ func (o *Orchestrator) assignment(ctx context.Context, gg *taskgraph.Graph, sys 
 			s.mu.Lock()
 			delete(s.entries, key)
 			s.mu.Unlock()
-			if err != nil {
+			switch {
+			case err != nil && isCancellation(err):
+				// The owner's own deadline expired mid-DP; that is no verdict
+				// on the assignment itself, so waiters (whose contexts may be
+				// healthy) retry and recompute rather than inherit a foreign
+				// cancellation.
+				e.err = Transient(errors.New("assignment abandoned by a cancelled owner"))
+			case err != nil:
 				e.err = err
-			} else {
+			default:
 				// Reached only when the computation below panicked; make the
 				// waiters retry rather than fail their sweeps on our bug.
 				e.err = Transient(errors.New("assignment abandoned by a panicking owner"))
@@ -489,15 +497,25 @@ func (o *Orchestrator) assignment(ctx context.Context, gg *taskgraph.Graph, sys 
 	t0 := rec.Start()
 	// Compute with the worker's pooled scratch but never its spare Result:
 	// a published Result is shared cache storage and must own fresh slices.
+	// Context-capable assigners get the attempt context, so an abandoned
+	// (timed-out) attempt aborts its DP at the next round boundary and the
+	// deferred release above unpins the slot instead of publishing — a
+	// deadline-dead unit can never seed the shared caches.
 	switch {
 	case delta:
+		if c, ok := asg.(contextAssigner); ok {
+			res, err = c.AssignContext(ctx, gg, sys, nil, w.dist, true)
+			break
+		}
 		if d, ok := asg.(deltaAssigner); ok {
 			res, err = d.AssignDelta(gg, sys, nil, w.dist)
 			break
 		}
 		fallthrough
 	default:
-		if r, ok := asg.(resultRecycler); ok {
+		if c, ok := asg.(contextAssigner); ok {
+			res, err = c.AssignContext(ctx, gg, sys, nil, w.dist, false)
+		} else if r, ok := asg.(resultRecycler); ok {
 			res, err = r.AssignInto(gg, sys, nil, w.dist)
 		} else {
 			res, err = asg.Assign(gg, sys)
@@ -515,6 +533,74 @@ func (o *Orchestrator) assignment(ctx context.Context, gg *taskgraph.Graph, sys 
 	settled = true
 	close(e.ready)
 	return res, true, nil
+}
+
+// Workbench is the exported view of one pool worker's scratch state,
+// handed to Orchestrator.Do callbacks: the serving layer (internal/serve)
+// runs its request pipeline on the same pooled working sets the sweep
+// engine uses, so a mixed process (a daemon also running sweeps) shares
+// one bounded pool and one set of arenas.
+type Workbench struct{ w *poolWorker }
+
+// Scheduler returns the worker's pooled scheduler scratch (schedule
+// recycling on: callers must consume each Schedule before the next Run on
+// the same Workbench).
+func (wb *Workbench) Scheduler() *scheduler.Scratch { return wb.w.scratch }
+
+// Distributor returns the worker's pooled distribution working set.
+func (wb *Workbench) Distributor() *core.Scratch { return wb.w.dist }
+
+// Do runs fn on one of the orchestrator's pool workers and returns its
+// error. It is the serving layer's unit of pool work, with the engine's
+// abandonment semantics (DESIGN.md §9):
+//
+//   - Do blocks until a worker picks the job up, or returns ctx.Err()
+//     without running fn when ctx settles first (the job is never
+//     enqueued after cancellation).
+//   - fn runs behind a recover boundary: a panic becomes a *PanicError
+//     and the torn worker is retired, never handed to another job.
+//   - when ctx settles while fn is still running, Do returns ctx.Err()
+//     immediately and abandons fn's goroutine — it keeps the old worker
+//     (which is retired) and its return value is discarded, so a hung or
+//     deadline-dead computation can never block the pool or publish.
+//
+// The Workbench is only valid inside fn; fn must not retain it.
+func (o *Orchestrator) Do(ctx context.Context, rec *metrics.Recorder, fn func(wb *Workbench) error) error {
+	res := make(chan error, 1)
+	ok := o.submit(poolJob{rec: rec, fn: func(box *workerBox) {
+		w := box.w
+		inner := make(chan error, 1)
+		go func() {
+			inner <- func() (err error) {
+				defer func() {
+					if v := recover(); v != nil {
+						err = &PanicError{Value: v, Stack: debug.Stack()}
+					}
+				}()
+				return fn(&Workbench{w: w})
+			}()
+		}()
+		var err error
+		select {
+		case err = <-inner:
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				// The panicking fn may have torn the worker's scratch
+				// mid-mutation; never hand it to another job.
+				box.w = newPoolWorker()
+			}
+		case <-ctx.Done():
+			// Abandon: the goroutine still owns w, so the pool moves on
+			// with a fresh worker and the stale result is dropped.
+			err = ctx.Err()
+			box.w = newPoolWorker()
+		}
+		res <- err
+	}}, ctx.Done())
+	if !ok {
+		return ctx.Err()
+	}
+	return <-res
 }
 
 // fpBits encodes a fingerprint as its float bit pattern, collapsing every

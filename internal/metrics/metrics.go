@@ -119,6 +119,12 @@ type Recorder struct {
 	// -resume run versus units computed (and committed) this run.
 	journalReplays  atomic.Int64
 	journalComputes atomic.Int64
+
+	// Request-level latency (dlserve): one observation per served request,
+	// end to end, across all stages. Kept outside the Stages array so that
+	// engine snapshots (BENCH_*.json, -stats) are unchanged when no
+	// requests were observed.
+	requests stageRecorder
 }
 
 // New returns an empty Recorder.
@@ -317,6 +323,18 @@ func (r *Recorder) JournalCompute() {
 	}
 }
 
+// ObserveRequest records one served request's end-to-end wall time
+// (dlserve). Request latency lives in its own histogram — see
+// Snapshot.Request — so batch-engine stage output is untouched.
+func (r *Recorder) ObserveRequest(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.requests.count.Add(1)
+	r.requests.nanos.Add(int64(d))
+	r.requests.buckets[bucketIndex(d)].Add(1)
+}
+
 // Bucket is one non-empty histogram bucket of a stage snapshot. UpTo is the
 // exclusive upper bound ("1ms"); the unbounded last bucket reports "inf".
 type Bucket struct {
@@ -446,7 +464,44 @@ type Snapshot struct {
 	JournalReplays  int64 `json:"journalReplays,omitempty"`
 	JournalComputes int64 `json:"journalComputes,omitempty"`
 
+	// Request is the end-to-end request-latency summary of a serving
+	// process (dlserve); nil when no requests were observed, so engine
+	// snapshots serialize exactly as before the serving layer existed.
+	Request *StageStats `json:"request,omitempty"`
+
 	Search SearchCounters `json:"search"`
+}
+
+// snapStage freezes one stageRecorder. One coherent copy of the buckets is
+// taken up front: quantiles and the reported histogram come from the same
+// reads, so they always agree even while observations stream in
+// concurrently.
+func snapStage(name string, sr *stageRecorder) StageStats {
+	st := StageStats{
+		Stage:      name,
+		Count:      sr.count.Load(),
+		TotalNanos: sr.nanos.Load(),
+	}
+	var buckets [numBuckets]int64
+	var histCount int64
+	for i := 0; i < numBuckets; i++ {
+		buckets[i] = sr.buckets[i].Load()
+		histCount += buckets[i]
+	}
+	for i := 0; i < numBuckets; i++ {
+		if buckets[i] == 0 {
+			continue
+		}
+		upTo := "inf"
+		if b := bucketBound(i); b != 0 {
+			upTo = b.String()
+		}
+		st.Histogram = append(st.Histogram, Bucket{UpTo: upTo, Count: buckets[i]})
+	}
+	st.P50Nanos = int64(quantile(&buckets, histCount, 0.50))
+	st.P95Nanos = int64(quantile(&buckets, histCount, 0.95))
+	st.P99Nanos = int64(quantile(&buckets, histCount, 0.99))
+	return st
 }
 
 // Snapshot freezes the recorder's counters. A nil Recorder yields an empty
@@ -458,35 +513,10 @@ func (r *Recorder) Snapshot() Snapshot {
 	}
 	snap.Stages = make([]StageStats, 0, NumStages)
 	for s := Stage(0); s < NumStages; s++ {
-		sr := &r.stages[s]
-		st := StageStats{
-			Stage:      s.String(),
-			Count:      sr.count.Load(),
-			TotalNanos: sr.nanos.Load(),
-		}
-		// One coherent copy of the buckets: quantiles and the reported
-		// histogram come from the same reads, so they always agree even
-		// while observations stream in concurrently.
-		var buckets [numBuckets]int64
-		var histCount int64
-		for i := 0; i < numBuckets; i++ {
-			buckets[i] = sr.buckets[i].Load()
-			histCount += buckets[i]
-		}
-		for i := 0; i < numBuckets; i++ {
-			if buckets[i] == 0 {
-				continue
-			}
-			upTo := "inf"
-			if b := bucketBound(i); b != 0 {
-				upTo = b.String()
-			}
-			st.Histogram = append(st.Histogram, Bucket{UpTo: upTo, Count: buckets[i]})
-		}
-		st.P50Nanos = int64(quantile(&buckets, histCount, 0.50))
-		st.P95Nanos = int64(quantile(&buckets, histCount, 0.95))
-		st.P99Nanos = int64(quantile(&buckets, histCount, 0.99))
-		snap.Stages = append(snap.Stages, st)
+		snap.Stages = append(snap.Stages, snapStage(s.String(), &r.stages[s]))
+	}
+	if req := snapStage("request", &r.requests); req.Count > 0 {
+		snap.Request = &req
 	}
 	snap.CacheHits = r.cacheHits.Load()
 	snap.CacheMisses = r.cacheMisses.Load()

@@ -197,6 +197,27 @@ func (t *Tracer) StageSpan(table string, graph, attempt int, stage, label string
 	})
 }
 
+// RequestSpan records one served request of a serving process (dlserve):
+// the request key (as table, so log tooling groups by content identity),
+// the degrade tier it was answered at (as stage), and how it ended. cache
+// tags a response served from the content-addressed cache ("hit") versus
+// computed ("miss").
+func (t *Tracer) RequestSpan(key string, tier string, start time.Time, outcome Outcome, cache, detail string) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{
+		TS:      start.Sub(t.start).Nanoseconds(),
+		Dur:     time.Since(start).Nanoseconds(),
+		Kind:    "request",
+		Table:   key,
+		Stage:   tier,
+		Outcome: outcome,
+		Cache:   cache,
+		Detail:  detail,
+	})
+}
+
 // Mark records an instant event: a retry being issued, a fault injection,
 // or a journal replay.
 func (t *Tracer) Mark(table string, graph, attempt int, outcome Outcome, detail string) {

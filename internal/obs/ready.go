@@ -1,0 +1,51 @@
+package obs
+
+import "sync/atomic"
+
+// Readiness is the ops server's readiness state machine, split from
+// liveness: /healthz answers "the process is up" for as long as it can
+// serve HTTP at all, while /readyz answers "send me traffic" — true only
+// between startup completing (the worker pool is running) and drain
+// beginning (SIGTERM received, in-flight work finishing). Load balancers
+// and orchestration probes key on /readyz; /healthz stays green through a
+// graceful drain so the process is not killed mid-flight.
+//
+// All methods are safe for concurrent use and no-ops (reporting not ready)
+// on a nil receiver.
+type Readiness struct {
+	started  atomic.Bool
+	draining atomic.Bool
+}
+
+// NewReadiness returns a Readiness that is neither started nor draining.
+func NewReadiness() *Readiness { return &Readiness{} }
+
+// SetStarted records that startup finished and the serving pool is running.
+func (r *Readiness) SetStarted(v bool) {
+	if r != nil {
+		r.started.Store(v)
+	}
+}
+
+// SetDraining flips the server into (or out of) drain: a draining server
+// is alive but must receive no new traffic.
+func (r *Readiness) SetDraining(v bool) {
+	if r != nil {
+		r.draining.Store(v)
+	}
+}
+
+// Draining reports whether drain has begun.
+func (r *Readiness) Draining() bool { return r != nil && r.draining.Load() }
+
+// Ready reports readiness (started ∧ not draining) and, when not ready,
+// the reason ("starting" or "draining").
+func (r *Readiness) Ready() (bool, string) {
+	switch {
+	case r == nil || !r.started.Load():
+		return false, "starting"
+	case r.draining.Load():
+		return false, "draining"
+	}
+	return true, ""
+}

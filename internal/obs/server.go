@@ -15,7 +15,8 @@ import (
 //
 //	/metrics   Prometheus text exposition of the metrics.Recorder snapshot
 //	/progress  JSON: units done/total per table, retry/failure counts, ETA
-//	/healthz   liveness probe ("ok")
+//	/healthz   liveness probe ("ok" while the process can serve at all)
+//	/readyz    readiness probe (200 only while started ∧ not draining)
 //	/debug/pprof/  the standard profiling handlers, so -http composes
 //	               with (or replaces) the -pprof server
 //
@@ -23,10 +24,11 @@ import (
 // the -pprof server. rec and prog may be nil — endpoints then report
 // empty snapshots.
 type Server struct {
-	ln   net.Listener
-	srv  *http.Server
-	rec  *metrics.Recorder
-	prog *Progress
+	ln    net.Listener
+	srv   *http.Server
+	rec   *metrics.Recorder
+	prog  *Progress
+	ready *Readiness
 }
 
 // ProgressReport is the /progress JSON document: unit completion, the
@@ -55,13 +57,22 @@ type StageLatency struct {
 	P99   float64 `json:"p99Seconds"`
 }
 
-// Serve binds addr and starts the ops endpoint.
+// Serve binds addr and starts the ops endpoint. Without a readiness state
+// (see ServeReady), /readyz always answers ready: batch CLIs have no
+// traffic to steer away, so the probe degrades to a second liveness check.
 func Serve(addr string, rec *metrics.Recorder, prog *Progress) (*Server, error) {
+	return ServeReady(addr, rec, prog, nil)
+}
+
+// ServeReady is Serve with an explicit readiness state machine driving
+// /readyz: daemons (dlserve) and drain-aware CLIs pass a Readiness they
+// flip on startup completion and on SIGTERM.
+func ServeReady(addr string, rec *metrics.Recorder, prog *Progress, ready *Readiness) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("ops listener: %w", err)
 	}
-	s := &Server{ln: ln, rec: rec, prog: prog}
+	s := &Server{ln: ln, rec: rec, prog: prog, ready: ready}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/progress", s.handleProgress)
@@ -69,6 +80,7 @@ func Serve(addr string, rec *metrics.Recorder, prog *Progress) (*Server, error) 
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -88,6 +100,19 @@ func (s *Server) Close() error {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.ready == nil {
+		fmt.Fprintln(w, "ready")
+		return
+	}
+	if ok, reason := s.ready.Ready(); !ok {
+		http.Error(w, "not ready: "+reason, http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"deadlinedist/internal/experiment"
+	"deadlinedist/internal/metrics"
+)
+
+// The chaos acceptance test from the issue: under injected panics, hangs
+// and transient errors, with concurrent clients retrying —
+//
+//  1. identical requests return byte-identical bodies,
+//  2. every response is a verdict or exactly one taxonomy error,
+//  3. SIGTERM-style drain completes within the longest outstanding
+//     deadline plus the watchdog slack,
+//  4. the process is goroutine-leak-free after drain.
+
+// chaosClient is a client with its own transport, so idle keep-alive
+// connections can be torn down before the goroutine-leak check.
+func chaosClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{}}
+}
+
+// waitNoLeak polls until the goroutine count returns to the baseline
+// (plus a small slack for runtime bookkeeping).
+func waitNoLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d live, baseline %d\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// checkTaxonomy asserts a response is a verdict (200) or one well-formed
+// taxonomy error whose class matches the status code. Returns the body.
+func checkTaxonomy(t *testing.T, status int, body []byte) {
+	t.Helper()
+	if status == http.StatusOK {
+		var r Response
+		if err := json.Unmarshal(body, &r); err != nil || len(r.Subtasks) == 0 || r.Key == "" {
+			t.Errorf("200 body is not a verdict: %v %s", err, body)
+		}
+		return
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Errorf("status %d body is not a taxonomy error: %v %s", status, err, body)
+		return
+	}
+	switch eb.Err.Class {
+	case ClassInvalid, ClassOverload, ClassTransient, ClassInternal:
+	default:
+		t.Errorf("unknown error class %q in %s", eb.Err.Class, body)
+	}
+	if want := eb.Err.Class.Status(); status != want {
+		t.Errorf("status %d does not match class %s (want %d): %s", status, eb.Err.Class, want, body)
+	}
+}
+
+func TestChaosAcceptance(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	s := New(Config{
+		Workers: 4,
+		// Every fault class at once. MaxFaultyAttempts 2 with 4 retry
+		// attempts guarantees convergence: the worst request burns two
+		// faulted attempts and computes on the third.
+		Faults: &experiment.FaultPlan{
+			Seed:         42,
+			PanicRate:    0.25,
+			HangRate:     0.15,
+			ErrorRate:    0.25,
+			HangDuration: 10 * time.Second, // far past the watchdog: hangs must be abandoned
+		},
+		Retry:       experiment.RetryPolicy{MaxAttempts: 4, BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond},
+		UnitTimeout: 250 * time.Millisecond,
+		MaxBudget:   5 * time.Second,
+		DrainSlack:  500 * time.Millisecond,
+		// A deep queue keeps the degrade ladder at full fidelity, so
+		// byte-identity is not confounded by tier changes mid-test.
+		Admission: AdmissionConfig{MaxInflight: 4, MaxQueue: 1024},
+		Metrics:   metrics.New(),
+	})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	drained := false
+	defer func() {
+		if !drained {
+			s.Drain(context.Background())
+		}
+	}()
+
+	const (
+		clients      = 8
+		perClient    = 12
+		distinctReqs = 6
+	)
+	requests := make([]string, distinctReqs)
+	for i := range requests {
+		// Mix of pinned and unpinned assigners and policies.
+		extra := ""
+		switch i % 3 {
+		case 1:
+			extra = `, "assigner": "ADAPT", "policy": "LLF"`
+		case 2:
+			extra = `, "assigner": "UD"`
+		}
+		requests[i] = reqBody(i, extra)
+	}
+
+	type reply struct {
+		req    int
+		status int
+		body   []byte
+	}
+	replies := make(chan reply, clients*perClient)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := chaosClient()
+			defer cl.Transport.(*http.Transport).CloseIdleConnections()
+			for i := 0; i < perClient; i++ {
+				ri := (c + i) % distinctReqs
+				resp, err := cl.Post("http://"+s.Addr()+"/v1/assign", "application/json",
+					strings.NewReader(requests[ri]))
+				if err != nil {
+					t.Errorf("client %d transport error: %v", c, err)
+					return
+				}
+				b, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("client %d read error: %v", c, err)
+					return
+				}
+				replies <- reply{ri, resp.StatusCode, b}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(replies)
+
+	// (2) every response is a verdict or a taxonomy error, and (1) all
+	// successful bodies for the same request content are byte-identical.
+	okBodies := make(map[int][]byte)
+	okCount, total := 0, 0
+	for r := range replies {
+		total++
+		checkTaxonomy(t, r.status, r.body)
+		if r.status != http.StatusOK {
+			continue
+		}
+		okCount++
+		if prev, seen := okBodies[r.req]; seen {
+			if !bytes.Equal(prev, r.body) {
+				t.Errorf("request %d: bodies diverge under faults:\n%s\n%s", r.req, prev, r.body)
+			}
+		} else {
+			okBodies[r.req] = r.body
+		}
+	}
+	if total != clients*perClient {
+		t.Fatalf("%d replies, want %d", total, clients*perClient)
+	}
+	// With bounded faults and enough retries, everything should converge.
+	if okCount != total {
+		t.Errorf("%d/%d requests failed despite bounded faults and retries", total-okCount, total)
+	}
+
+	// (3) drain completes within the longest outstanding deadline plus
+	// slack. Launch a last wave of slow requests (each hang-faulted attempt
+	// burns the 250ms watchdog), then drain while they are in flight.
+	lateBudget := 800 * time.Millisecond
+	var late sync.WaitGroup
+	lateClient := chaosClient()
+	for c := 0; c < 4; c++ {
+		late.Add(1)
+		go func(c int) {
+			defer late.Done()
+			body := fmt.Sprintf(`{"graph": %s, "procs": 3, "budgetMs": %d}`,
+				testGraphJSON(10+c), lateBudget.Milliseconds())
+			resp, err := lateClient.Post("http://"+s.Addr()+"/v1/assign", "application/json",
+				strings.NewReader(body))
+			if err != nil {
+				// The drain below may close the listener before this
+				// request is accepted; a transport error is then fine.
+				return
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			// Accepted requests must still be answered in taxonomy form.
+			checkTaxonomy(t, resp.StatusCode, b)
+		}(c)
+	}
+	time.Sleep(50 * time.Millisecond) // let the wave get in flight
+	start := time.Now()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	drained = true
+	drainTime := time.Since(start)
+	late.Wait()
+	lateClient.Transport.(*http.Transport).CloseIdleConnections()
+	// The bound: longest outstanding budget + drain slack, with scheduler
+	// grace for a loaded test machine.
+	if limit := lateBudget + 500*time.Millisecond + time.Second; drainTime > limit {
+		t.Errorf("drain took %v, limit %v", drainTime, limit)
+	}
+
+	// (4) no goroutines left behind: workers, watchdog-abandoned attempts,
+	// the pressure ticker and the HTTP server are all gone.
+	waitNoLeak(t, baseline)
+}
+
+// TestChaosDeterministicConvergence: the same faulted request re-sent to a
+// fresh server (same fault seed) converges to the same body — determinism
+// holds across processes, not just within one cache.
+func TestChaosDeterministicConvergence(t *testing.T) {
+	cfg := Config{
+		Faults: &experiment.FaultPlan{
+			Seed: 7, PanicRate: 0.4, ErrorRate: 0.3,
+		},
+		Retry:   experiment.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		Metrics: metrics.New(),
+	}
+	bodies := make([][]byte, 2)
+	for round := range bodies {
+		s := startServer(t, cfg)
+		resp, b := post(t, s, reqBody(3, `, "assigner": "NORM"`), nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: %d %s", round, resp.StatusCode, b)
+		}
+		bodies[round] = b
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Errorf("fresh-server bodies differ:\n%s\n%s", bodies[0], bodies[1])
+	}
+}

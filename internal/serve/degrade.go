@@ -1,0 +1,99 @@
+package serve
+
+import "sync/atomic"
+
+// The degrade ladder is the server's answer to sustained overload, after
+// the imprecise-computation line of El-Haweet et al. (PAPERS.md): when the
+// full-fidelity budget won't fit, serve a cheaper answer rather than no
+// answer, and only shed once every cheaper tier is exhausted too.
+//
+//	TierFull      compute with the requested assigner (default ADAPT/CCNE)
+//	TierCheap     compute unpinned requests with PURE/CCNE — one DP with
+//	              the cheapest stock metric; explicitly pinned assigners
+//	              are still honored (the client asked, the work is
+//	              bounded, and honoring keeps responses content-addressed)
+//	TierCacheOnly answer only from the response cache; misses are shed
+//	TierShed      reject everything at admission
+//
+// Movement is driven by the admission queue's occupancy, observed
+// periodically, with hysteresis in both directions: escalation needs
+// escalateAfter consecutive observations above the high-water mark,
+// de-escalation needs relaxAfter consecutive observations below the
+// low-water mark, and both move one tier at a time. The asymmetric
+// water marks (0.75 up, 0.25 down) keep the ladder from oscillating when
+// load sits near a threshold.
+
+// Tier is one rung of the degrade ladder, ordered by increasing severity.
+type Tier int32
+
+const (
+	TierFull Tier = iota
+	TierCheap
+	TierCacheOnly
+	TierShed
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierFull:
+		return "full"
+	case TierCheap:
+		return "cheap"
+	case TierCacheOnly:
+		return "cache-only"
+	default:
+		return "shed"
+	}
+}
+
+const (
+	escalateOccupancy = 0.75
+	relaxOccupancy    = 0.25
+	escalateAfter     = 3
+	relaxAfter        = 10
+)
+
+// Ladder holds the active tier. Observe is called from one goroutine (the
+// server's pressure ticker); Tier and SetTier are safe from any.
+type Ladder struct {
+	tier atomic.Int32
+	hot  int // consecutive observations above the high-water mark
+	cool int // consecutive observations below the low-water mark
+
+	escalations atomic.Int64
+}
+
+// Tier returns the active tier.
+func (l *Ladder) Tier() Tier { return Tier(l.tier.Load()) }
+
+// SetTier forces the tier (ops override, tests).
+func (l *Ladder) SetTier(t Tier) { l.tier.Store(int32(t)) }
+
+// Escalations counts upward tier moves since start.
+func (l *Ladder) Escalations() int64 { return l.escalations.Load() }
+
+// Observe feeds one pressure sample (admission queue occupancy in [0,1])
+// and moves the tier at most one rung, with hysteresis.
+func (l *Ladder) Observe(occupancy float64) {
+	switch {
+	case occupancy >= escalateOccupancy:
+		l.cool = 0
+		if l.hot++; l.hot >= escalateAfter {
+			l.hot = 0
+			if t := l.Tier(); t < TierShed {
+				l.tier.Store(int32(t + 1))
+				l.escalations.Add(1)
+			}
+		}
+	case occupancy <= relaxOccupancy:
+		l.hot = 0
+		if l.cool++; l.cool >= relaxAfter {
+			l.cool = 0
+			if t := l.Tier(); t > TierFull {
+				l.tier.Store(int32(t - 1))
+			}
+		}
+	default: // between the marks: hold position, reset both streaks
+		l.hot, l.cool = 0, 0
+	}
+}

@@ -1,0 +1,379 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"deadlinedist/internal/core"
+	"deadlinedist/internal/experiment"
+	"deadlinedist/internal/platform"
+	"deadlinedist/internal/scheduler"
+	"deadlinedist/internal/strategy"
+	"deadlinedist/internal/taskgraph"
+)
+
+// Request is the wire form of one assignment request: a task graph in the
+// repository's JSON interchange format, the platform size, and optional
+// knobs. Tenant and budget may instead (or additionally) arrive as the
+// X-Tenant and X-Budget-Ms headers; headers win.
+type Request struct {
+	// Graph is the task graph (taskgraph interchange: subtasks + arcs).
+	Graph json.RawMessage `json:"graph"`
+	// Procs is the processor count to distribute for (default 4).
+	Procs int `json:"procs,omitempty"`
+	// Assigner pins a deadline-assignment strategy: PURE, NORM, THRES,
+	// ADAPT (slicing metrics, CCNE estimation) or UD, ED, EQS, EQF
+	// (one-pass baselines). Empty selects the tier default (ADAPT at
+	// full fidelity, PURE when degraded).
+	Assigner string `json:"assigner,omitempty"`
+	// Policy is the dispatch rule of the schedulability check: EDF
+	// (default), LLF, FIFO or HLF.
+	Policy string `json:"policy,omitempty"`
+	// BudgetMs is the request's end-to-end computation budget in
+	// milliseconds; it becomes a context deadline threaded through the
+	// whole pipeline. 0 means the server default; values above the
+	// server maximum are clamped.
+	BudgetMs int `json:"budgetMs,omitempty"`
+	// Tenant names the quota bucket ("" = the anonymous tenant).
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// Response is the wire form of one successful answer. Every field is a
+// deterministic function of the request key, so repeated identical
+// requests marshal to byte-identical bodies — computed or cached.
+type Response struct {
+	// Key is the request's content address (sha256); retries carrying
+	// the same key are free.
+	Key string `json:"key"`
+	// Assigner is the strategy that actually computed the answer (a
+	// degraded request reports the cheaper label it was served with).
+	Assigner string `json:"assigner"`
+	// Procs echoes the platform size.
+	Procs int `json:"procs"`
+	// Verdict is the schedulability check's outcome.
+	Verdict Verdict `json:"verdict"`
+	// Subtasks carries the distribution: one window per ordinary
+	// subtask, in graph order.
+	Subtasks []SubtaskWindow `json:"subtasks"`
+}
+
+// Verdict reports whether the distributed deadlines are schedulable under
+// the requested dispatch policy, and how tightly.
+type Verdict struct {
+	Schedulable     bool    `json:"schedulable"`
+	MaxLateness     float64 `json:"maxLateness"`
+	Makespan        float64 `json:"makespan"`
+	MissedDeadlines int     `json:"missedDeadlines"`
+}
+
+// SubtaskWindow is one subtask's assigned execution window and placement.
+type SubtaskWindow struct {
+	Name     string  `json:"name"`
+	Release  float64 `json:"release"`
+	Deadline float64 `json:"deadline"`
+	Proc     int     `json:"proc"`
+}
+
+// Limits that make a malformed or adversarial request cheap to refuse.
+const (
+	maxProcs      = 512
+	maxSubtasks   = 20000
+	maxBodyBytes  = 8 << 20
+	serveFaultTag = "serve" // trace table / retry-seed namespace
+)
+
+// parsedRequest is a validated request, resolved against the server
+// config and the active degrade tier.
+type parsedRequest struct {
+	graph    *taskgraph.Graph
+	sys      *platform.System
+	assigner experiment.Assigner
+	label    string // registry name (PURE, ADAPT, ...), not Label()
+	policy   scheduler.Policy
+	key      string // sha256 content address
+	tenant   string
+	budget   time.Duration
+	pinned   bool // assigner explicitly requested
+}
+
+// assignerFor resolves a registry name. The registry is deliberately the
+// paper's stock set: slicing metrics run with CCNE estimation (the
+// paper's best) and defaultDelta/threshold parameters matching dlexp.
+func assignerFor(name string) (experiment.Assigner, error) {
+	switch name {
+	case "PURE":
+		return experiment.Slicing(core.PURE(), core.CCNE()), nil
+	case "NORM":
+		return experiment.Slicing(core.NORM(), core.CCNE()), nil
+	case "THRES":
+		return experiment.Slicing(core.THRES(1.0, 1.25), core.CCNE()), nil
+	case "ADAPT":
+		return experiment.Slicing(core.ADAPT(1.25), core.CCNE()), nil
+	case "UD":
+		return experiment.Baseline(strategy.UD()), nil
+	case "ED":
+		return experiment.Baseline(strategy.ED()), nil
+	case "EQS":
+		return experiment.Baseline(strategy.EQS()), nil
+	case "EQF":
+		return experiment.Baseline(strategy.EQF()), nil
+	}
+	return nil, fmt.Errorf("unknown assigner %q (want PURE, NORM, THRES, ADAPT, UD, ED, EQS or EQF)", name)
+}
+
+func policyFor(name string) (scheduler.Policy, error) {
+	switch name {
+	case "", "EDF":
+		return scheduler.PolicyEDF, nil
+	case "LLF":
+		return scheduler.PolicyLLF, nil
+	case "FIFO":
+		return scheduler.PolicyFIFO, nil
+	case "HLF":
+		return scheduler.PolicyHLF, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want EDF, LLF, FIFO or HLF)", name)
+}
+
+// policyName is the canonical spelling keyed into the content address, so
+// an omitted policy and an explicit "EDF" address the same answer.
+func policyName(p scheduler.Policy) string {
+	switch p {
+	case scheduler.PolicyLLF:
+		return "LLF"
+	case scheduler.PolicyFIFO:
+		return "FIFO"
+	case scheduler.PolicyHLF:
+		return "HLF"
+	default:
+		return "EDF"
+	}
+}
+
+// parse validates a request against the server's limits and the active
+// tier, resolving the effective assigner and computing the content key.
+func (s *Server) parse(req *Request, tier Tier) (*parsedRequest, *Error) {
+	if len(req.Graph) == 0 {
+		return nil, Errorf(ClassInvalid, "missing graph")
+	}
+	g, err := taskgraph.Decode(req.Graph)
+	if err != nil {
+		return nil, Errorf(ClassInvalid, err.Error())
+	}
+	subtasks := 0
+	for _, n := range g.NodesView() {
+		if n.Kind == taskgraph.KindSubtask {
+			subtasks++
+		}
+	}
+	if subtasks == 0 {
+		return nil, Errorf(ClassInvalid, "graph has no subtasks")
+	}
+	if subtasks > maxSubtasks {
+		return nil, Errorf(ClassInvalid, fmt.Sprintf("graph has %d subtasks (limit %d)", subtasks, maxSubtasks))
+	}
+	procs := req.Procs
+	if procs == 0 {
+		procs = 4
+	}
+	if procs < 1 || procs > maxProcs {
+		return nil, Errorf(ClassInvalid, fmt.Sprintf("procs %d out of range [1, %d]", procs, maxProcs))
+	}
+	sys, err := platform.New(procs)
+	if err != nil {
+		return nil, Errorf(ClassInvalid, err.Error())
+	}
+	policy, err := policyFor(req.Policy)
+	if err != nil {
+		return nil, Errorf(ClassInvalid, err.Error())
+	}
+
+	// Resolve the effective assigner: a pinned request is honored at
+	// every computing tier (the client asked for exactly this answer); an
+	// unpinned one gets the tier default — full fidelity normally, the
+	// cheapest stock metric under degradation.
+	label := req.Assigner
+	pinned := label != ""
+	if !pinned {
+		if tier >= TierCheap {
+			label = "PURE"
+		} else {
+			label = "ADAPT"
+		}
+	}
+	asg, err := assignerFor(label)
+	if err != nil {
+		return nil, Errorf(ClassInvalid, err.Error())
+	}
+
+	budget := s.cfg.DefaultBudget
+	if req.BudgetMs > 0 {
+		budget = time.Duration(req.BudgetMs) * time.Millisecond
+	}
+	if budget > s.cfg.MaxBudget {
+		budget = s.cfg.MaxBudget
+	}
+
+	// The content address covers exactly the answer's inputs: canonical
+	// graph bytes (re-marshalled, so formatting differences collapse),
+	// platform size, assigner, policy. Budget and tenant are excluded —
+	// they shape how long we try, not what the answer is.
+	canon, err := json.Marshal(g)
+	if err != nil {
+		return nil, Errorf(ClassInternal, "canonicalize graph: "+err.Error())
+	}
+	h := sha256.New()
+	h.Write(canon)
+	fmt.Fprintf(h, "|procs=%d|assigner=%s|policy=%s", procs, label, policyName(policy))
+	key := hex.EncodeToString(h.Sum(nil))
+
+	return &parsedRequest{
+		graph:    g,
+		sys:      sys,
+		assigner: asg,
+		label:    label,
+		policy:   policy,
+		key:      key,
+		tenant:   req.Tenant,
+		budget:   budget,
+		pinned:   pinned,
+	}, nil
+}
+
+// faultIndex derives the chaos harness's graph index from the request key,
+// so injection is a pure function of request content (identical requests
+// roll identical faults — and identical recoveries).
+func faultIndex(key string) int {
+	raw, err := hex.DecodeString(key[:8])
+	if err != nil {
+		return 0
+	}
+	return int(binary.BigEndian.Uint32(raw) & 0x7fffffff)
+}
+
+// compute runs the full pipeline for one parsed request on the shared
+// pool, under the engine's retry policy, and returns the marshalled
+// response body. It mirrors the sweep engine's unit runner: each attempt
+// gets a watchdog deadline (the tighter of the request budget and the
+// per-attempt timeout), injected faults and panics become typed errors,
+// and retryable failures re-run with deterministic jittered backoff.
+func (s *Server) compute(ctx context.Context, pr *parsedRequest) ([]byte, *Error) {
+	gi := faultIndex(pr.key)
+	attempts := s.cfg.Retry.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	seed := experiment.RetrySeed(serveFaultTag, gi)
+	var lastErr error
+	for k := 1; k <= attempts; k++ {
+		if k > 1 {
+			s.retries.Add(1)
+			if err := sleepCtx(ctx, s.cfg.Retry.Delay(k-1, seed)); err != nil {
+				return nil, Classify(err)
+			}
+		}
+		body, err := s.attempt(ctx, pr, gi, k)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !retryableAttempt(err) {
+			break
+		}
+	}
+	return nil, Classify(lastErr)
+}
+
+// retryableAttempt mirrors the engine's retry predicate: panics, attempt
+// timeouts (with a live request) and transient errors are worth re-running.
+func retryableAttempt(err error) bool {
+	if experiment.IsTransient(err) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var pe *experiment.PanicError
+	return errors.As(err, &pe)
+}
+
+// attempt is one try: one pool job computing assignment + schedulability
+// on a worker's pooled scratch. Fault injection runs inside the job so the
+// pool's recover boundary owns injected panics, and the attempt context
+// (budget ∧ per-attempt watchdog) governs both the DP's cooperative
+// cancellation and the pool's abandonment of a hung attempt.
+func (s *Server) attempt(ctx context.Context, pr *parsedRequest, gi, k int) ([]byte, error) {
+	actx := ctx
+	if s.cfg.UnitTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, s.cfg.UnitTimeout)
+		defer cancel()
+	}
+	var body []byte
+	err := s.orc.Do(actx, s.cfg.Metrics, func(wb *experiment.Workbench) error {
+		if err := s.cfg.Faults.Inject(actx, serveFaultTag, gi, k, s.cfg.Metrics, s.cfg.Trace); err != nil {
+			return err
+		}
+		res, err := experiment.AssignContext(actx, pr.assigner, pr.graph, pr.sys, wb.Distributor())
+		if err != nil {
+			return err
+		}
+		sched, err := wb.Scheduler().Run(pr.graph, pr.sys, res,
+			scheduler.Config{RespectRelease: true, Policy: pr.policy})
+		if err != nil {
+			return err
+		}
+		body, err = renderResponse(pr, res, sched)
+		return err
+	})
+	return body, err
+}
+
+// renderResponse marshals the deterministic response body: subtasks in
+// name order (stable under any future builder reordering), floats in Go's
+// shortest-round-trip form.
+func renderResponse(pr *parsedRequest, res *core.Result, sched *scheduler.Schedule) ([]byte, error) {
+	resp := Response{
+		Key:      pr.key,
+		Assigner: pr.assigner.Label(),
+		Procs:    pr.sys.NumProcs(),
+		Verdict: Verdict{
+			MaxLateness:     sched.MaxLateness(pr.graph, res),
+			Makespan:        sched.Makespan,
+			MissedDeadlines: sched.MissedDeadlines(pr.graph, res),
+		},
+	}
+	resp.Verdict.Schedulable = resp.Verdict.MissedDeadlines == 0
+	for _, n := range pr.graph.NodesView() {
+		if n.Kind != taskgraph.KindSubtask {
+			continue
+		}
+		resp.Subtasks = append(resp.Subtasks, SubtaskWindow{
+			Name:     n.Name,
+			Release:  res.Release[n.ID],
+			Deadline: res.Absolute[n.ID],
+			Proc:     sched.Proc[n.ID],
+		})
+	}
+	sort.Slice(resp.Subtasks, func(i, j int) bool { return resp.Subtasks[i].Name < resp.Subtasks[j].Name })
+	return json.Marshal(&resp)
+}
+
+// sleepCtx sleeps for d or until ctx settles.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

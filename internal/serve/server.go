@@ -1,0 +1,398 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deadlinedist/internal/experiment"
+	"deadlinedist/internal/metrics"
+	"deadlinedist/internal/obs"
+)
+
+// Config parameterizes a Server. The zero value works: every field has a
+// serving-grade default.
+type Config struct {
+	// Admission bounds concurrency and per-tenant rates.
+	Admission AdmissionConfig
+	// Workers sizes the worker pool when the server owns its
+	// orchestrator (0 = GOMAXPROCS).
+	Workers int
+	// Orchestrator, when non-nil, is a shared pool the server submits to
+	// (a process also running sweeps). The server then does not close it.
+	Orchestrator *experiment.Orchestrator
+	// DefaultBudget is the computation budget of requests that carry
+	// none (default 2s). MaxBudget clamps client budgets (default 10s).
+	DefaultBudget, MaxBudget time.Duration
+	// UnitTimeout is the per-attempt watchdog (default DefaultBudget):
+	// one hung attempt is abandoned and retried without consuming the
+	// whole request budget.
+	UnitTimeout time.Duration
+	// Retry governs re-execution of faulted attempts, with the engine's
+	// deterministic jittered backoff.
+	Retry experiment.RetryPolicy
+	// Faults, when non-nil, is the chaos harness injecting
+	// panics/hangs/transients at the attempt boundary — the service's
+	// integration test surface, never set in production.
+	Faults *experiment.FaultPlan
+	// CacheEntries caps the content-addressed response cache (default
+	// 4096 bodies).
+	CacheEntries int
+	// PressureInterval is how often the degrade ladder samples admission
+	// pressure (default 100ms).
+	PressureInterval time.Duration
+	// DrainSlack pads the drain deadline past the longest outstanding
+	// request budget (default 500ms): SIGTERM waits MaxBudget +
+	// DrainSlack at most.
+	DrainSlack time.Duration
+	// Metrics and Trace are optional sinks (nil-safe, zero overhead when
+	// unset, like everywhere else in this repository).
+	Metrics *metrics.Recorder
+	Trace   *obs.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 2 * time.Second
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 10 * time.Second
+	}
+	if c.DefaultBudget > c.MaxBudget {
+		c.DefaultBudget = c.MaxBudget
+	}
+	if c.UnitTimeout <= 0 {
+		c.UnitTimeout = c.DefaultBudget
+	}
+	if c.PressureInterval <= 0 {
+		c.PressureInterval = 100 * time.Millisecond
+	}
+	if c.DrainSlack <= 0 {
+		c.DrainSlack = 500 * time.Millisecond
+	}
+	return c
+}
+
+// Server is the dlserve daemon: admission control in front, the shared
+// engine pool behind, a degrade ladder and a content-addressed response
+// cache in between, and a drain state machine around the whole thing.
+type Server struct {
+	cfg    Config
+	orc    *experiment.Orchestrator
+	ownOrc bool
+	adm    *admission
+	ladder *Ladder
+	cache  *respCache
+	ready  *obs.Readiness
+
+	ln       net.Listener
+	srv      *http.Server
+	stopTick chan struct{}
+	tickDone chan struct{}
+	drainMu  sync.Mutex
+	drained  bool
+
+	// Request accounting, exported via /metrics.
+	served   atomic.Int64 // 2xx responses
+	failed   [4]atomic.Int64
+	retries  atomic.Int64
+	inflight atomic.Int64
+}
+
+var classIndex = map[Class]int{ClassInvalid: 0, ClassOverload: 1, ClassTransient: 2, ClassInternal: 3}
+
+// New builds a stopped server. Start runs it; Drain stops it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	orc := cfg.Orchestrator
+	own := false
+	if orc == nil {
+		orc = experiment.NewOrchestrator(cfg.Workers)
+		own = true
+	}
+	return &Server{
+		cfg:      cfg,
+		orc:      orc,
+		ownOrc:   own,
+		adm:      newAdmission(cfg.Admission, orc.Workers()),
+		ladder:   &Ladder{},
+		cache:    newRespCache(cfg.CacheEntries),
+		ready:    obs.NewReadiness(),
+		stopTick: make(chan struct{}),
+		tickDone: make(chan struct{}),
+	}
+}
+
+// Ladder exposes the degrade ladder (ops override, tests).
+func (s *Server) Ladder() *Ladder { return s.ladder }
+
+// Readiness exposes the /healthz–/readyz state machine.
+func (s *Server) Readiness() *obs.Readiness { return s.ready }
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Handler returns the server's HTTP mux — the serving surface plus the
+// ops endpoints, so one port carries both.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/assign", s.handleAssign)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ok, reason := s.ready.Ready(); !ok {
+			http.Error(w, "not ready: "+reason, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	return mux
+}
+
+// Start binds addr and serves until Drain. The server is ready (and
+// /readyz green) when Start returns.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dlserve listener: %w", err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln)
+	go s.pressureLoop()
+	s.ready.SetStarted(true)
+	return nil
+}
+
+// pressureLoop feeds admission occupancy to the degrade ladder.
+func (s *Server) pressureLoop() {
+	defer close(s.tickDone)
+	t := time.NewTicker(s.cfg.PressureInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.ladder.Observe(s.adm.occupancy())
+		case <-s.stopTick:
+			return
+		}
+	}
+}
+
+// Drain is the graceful-shutdown state machine, run on SIGTERM:
+//
+//  1. flip /readyz to draining (load balancers steer traffic away);
+//  2. stop accepting: requests arriving from here on are refused with a
+//     transient taxonomy error before touching the pipeline;
+//  3. wait for in-flight requests to finish — each is bounded by its own
+//     budget, so the wait converges within MaxBudget + DrainSlack, which
+//     caps ctx when the caller passed a looser one;
+//  4. release the pool (when owned) and the pressure ticker.
+//
+// Drain is idempotent; concurrent calls wait for the first.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.drained {
+		return nil
+	}
+	s.drained = true
+	s.ready.SetDraining(true)
+	bound := s.cfg.MaxBudget + s.cfg.DrainSlack
+	dctx, cancel := context.WithTimeout(ctx, bound)
+	defer cancel()
+	err := s.srv.Shutdown(dctx)
+	close(s.stopTick)
+	<-s.tickDone
+	if s.ownOrc {
+		s.orc.Close()
+	}
+	if err != nil {
+		return fmt.Errorf("drain did not converge within %v: %w", bound, err)
+	}
+	return nil
+}
+
+// handleAssign is the request path: taxonomy boundary → admission →
+// degrade tier → cache → pipeline. Every exit writes exactly one
+// response: a verdict body or one taxonomy error.
+func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	key := ""
+	tier := s.ladder.Tier()
+	outcome, cacheTag := obs.OutcomeError, ""
+	defer func() {
+		// The handler's last-resort recover boundary: a panic in the
+		// serving layer itself (the pipeline's runs behind the pool's)
+		// becomes one taxonomy error, never a dead connection.
+		if v := recover(); v != nil {
+			s.writeError(w, Errorf(ClassInternal,
+				fmt.Sprintf("panic in request handler: %v", v)), 0)
+			debug.PrintStack()
+		}
+		s.cfg.Metrics.ObserveRequest(time.Since(t0))
+		s.cfg.Trace.RequestSpan(key, tier.String(), t0, outcome, cacheTag, "")
+	}()
+
+	if r.Method != http.MethodPost {
+		s.writeError(w, Errorf(ClassInvalid, "POST required"), 0)
+		return
+	}
+	if s.ready.Draining() {
+		s.writeError(w, Errorf(ClassTransient, "server is draining"), 0)
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, Errorf(ClassInvalid, "decode request: "+err.Error()), 0)
+		return
+	}
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		req.Tenant = t
+	}
+	if b := r.Header.Get("X-Budget-Ms"); b != "" {
+		ms, err := strconv.Atoi(b)
+		if err != nil || ms <= 0 {
+			s.writeError(w, Errorf(ClassInvalid, "bad X-Budget-Ms "+b), 0)
+			return
+		}
+		req.BudgetMs = ms
+	}
+
+	// Shed tier: nothing computes, nothing waits.
+	if tier >= TierShed {
+		s.writeError(w, Errorf(ClassOverload, "degraded to shed tier"), time.Second)
+		return
+	}
+
+	pr, perr := s.parse(&req, tier)
+	if perr != nil {
+		s.writeError(w, perr, 0)
+		return
+	}
+	key = pr.key
+
+	// The request budget becomes the context deadline every later stage
+	// inherits: queue waits, pool submission, the DP's slicing rounds,
+	// the schedulability check. A request whose budget expires is
+	// abandoned at the next boundary, not completed uselessly.
+	ctx, cancel := context.WithTimeout(r.Context(), pr.budget)
+	defer cancel()
+
+	// Cache-only tier answers before admission: a hit costs no slot, a
+	// miss sheds without queuing.
+	if tier >= TierCacheOnly {
+		if body, ok := s.cache.peek(pr.key); ok {
+			cacheTag, outcome = "hit", obs.OutcomeOK
+			s.writeBody(w, body, true)
+			return
+		}
+		s.writeError(w, Errorf(ClassOverload, "degraded to cache-only tier"), time.Second)
+		return
+	}
+
+	release, retryAfter, aerr := s.adm.admit(ctx, pr.tenant)
+	if aerr != nil {
+		s.writeError(w, aerr, retryAfter)
+		return
+	}
+	defer release()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	// Content-addressed singleflight: the first request for this key
+	// computes; identical concurrent requests wait and share the body.
+	e, owner := s.cache.begin(pr.key)
+	var body []byte
+	var cerr *Error
+	if owner {
+		cacheTag = "miss"
+		body, cerr = s.compute(ctx, pr)
+		s.cache.settle(pr.key, e, body, cerr)
+	} else {
+		cacheTag = "hit"
+		body, cerr = s.cache.wait(ctx, e)
+	}
+	if cerr != nil {
+		s.writeError(w, cerr, 0)
+		return
+	}
+	outcome = obs.OutcomeOK
+	s.writeBody(w, body, cacheTag == "hit")
+}
+
+// writeBody writes a 200 verdict. The body is the cached bit-identical
+// answer; cache status travels in a header so it never perturbs bodies.
+func (s *Server) writeBody(w http.ResponseWriter, body []byte, hit bool) {
+	s.served.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(body)
+}
+
+// writeError writes the single taxonomy error of a failed request.
+func (s *Server) writeError(w http.ResponseWriter, e *Error, retryAfter time.Duration) {
+	s.failed[classIndex[e.Class]].Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int((retryAfter+time.Second-1)/time.Second)))
+	}
+	w.WriteHeader(e.Class.Status())
+	json.NewEncoder(w).Encode(ErrorBody{Err: *e})
+}
+
+// handleMetrics extends the repository's Prometheus exposition with the
+// serving families: active tier, request outcomes by class, shed and
+// cache counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WritePrometheus(w, s.cfg.Metrics.Snapshot(), obs.ProgressSnapshot{}); err != nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP dlserve_tier Active degrade-ladder tier (0=full 1=cheap 2=cache-only 3=shed).\n")
+	fmt.Fprintf(w, "# TYPE dlserve_tier gauge\ndlserve_tier %d\n", s.ladder.Tier())
+	fmt.Fprintf(w, "# HELP dlserve_requests_total Served requests by outcome.\n")
+	fmt.Fprintf(w, "# TYPE dlserve_requests_total counter\n")
+	fmt.Fprintf(w, "dlserve_requests_total{outcome=\"ok\"} %d\n", s.served.Load())
+	for class, i := range classIndex {
+		fmt.Fprintf(w, "dlserve_requests_total{outcome=%q} %d\n", string(class), s.failed[i].Load())
+	}
+	fmt.Fprintf(w, "# HELP dlserve_inflight Requests past admission right now.\n")
+	fmt.Fprintf(w, "# TYPE dlserve_inflight gauge\ndlserve_inflight %d\n", s.inflight.Load())
+	fmt.Fprintf(w, "# HELP dlserve_shed_total Requests shed before compute.\n")
+	fmt.Fprintf(w, "# TYPE dlserve_shed_total counter\n")
+	fmt.Fprintf(w, "dlserve_shed_total{gate=\"quota\"} %d\n", s.adm.shedQuota.Load())
+	fmt.Fprintf(w, "dlserve_shed_total{gate=\"queue\"} %d\n", s.adm.shedQueue.Load())
+	fmt.Fprintf(w, "# HELP dlserve_ladder_escalations_total Upward tier moves.\n")
+	fmt.Fprintf(w, "# TYPE dlserve_ladder_escalations_total counter\ndlserve_ladder_escalations_total %d\n", s.ladder.Escalations())
+	fmt.Fprintf(w, "# HELP dlserve_response_cache_total Content-addressed response cache traffic.\n")
+	fmt.Fprintf(w, "# TYPE dlserve_response_cache_total counter\n")
+	fmt.Fprintf(w, "dlserve_response_cache_total{event=\"hit\"} %d\n", s.cache.hits.Load())
+	fmt.Fprintf(w, "dlserve_response_cache_total{event=\"miss\"} %d\n", s.cache.misses.Load())
+	fmt.Fprintf(w, "# HELP dlserve_retries_total Attempt retries within requests.\n")
+	fmt.Fprintf(w, "# TYPE dlserve_retries_total counter\ndlserve_retries_total %d\n", s.retries.Load())
+}
+
+// errors import anchor (Classify lives in errors.go; keep the import local
+// to the file that needs it).
+var _ = errors.Is
