@@ -9,6 +9,8 @@
 //	dlserve -addr :8080 -rate 50 -burst 100      # per-tenant quotas
 //	dlserve -addr :8080 -max-budget-ms 5000      # clamp client budgets
 //	dlserve -addr :8080 -faults err=0.2,seed=7   # chaos mode (tests/CI)
+//	dlserve -slo interactive=250ms/0.999         # tighten a class contract
+//	dlserve -events ev.jsonl -trace tr.json -access-log -   # full tracing
 //
 // One request:
 //
@@ -20,11 +22,15 @@
 //
 // Every request carries a computation budget (budgetMs field or
 // X-Budget-Ms header) that is enforced as a context deadline through the
-// whole pipeline; responses are content-addressed, so retries are free
-// and bit-identical. Non-2xx responses carry exactly one taxonomy error:
-// invalid (400), overload (429 + Retry-After), transient (503), internal
-// (500). SIGTERM drains gracefully: /readyz flips to 503, in-flight
-// requests finish within their budgets, then the process exits 0.
+// whole pipeline, and a latency class ("class" field or X-Latency-Class
+// header: interactive, standard or batch) that selects the latency
+// objective it is scored against on /slo and clamps its budget.
+// Responses are content-addressed, so retries are free and bit-identical,
+// and every response echoes X-Request-Id (client-supplied or minted).
+// Non-2xx responses carry exactly one taxonomy error: invalid (400),
+// overload (429 + Retry-After), transient (503), internal (500). SIGTERM
+// drains gracefully: /readyz flips to 503, in-flight requests finish
+// within their budgets, then the process exits 0.
 package main
 
 import (
@@ -71,7 +77,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		cacheSize  = fs.Int("cache", 4096, "response-cache capacity (bodies)")
 		drainSlack = fs.Duration("drain-slack", 500*time.Millisecond, "drain deadline past the longest request budget")
 		faultSpec  = fs.String("faults", "", "chaos spec key=value,... (panic/hang/err rates, seed, hangms, maxfaulty)")
-		eventsPath = fs.String("events", "", "write a JSONL event log (one span per request) to this file")
+		eventsPath = fs.String("events", "", "write a JSONL event log (request spans and their stage child spans) to this file")
+		tracePath  = fs.String("trace", "", "write a Chrome trace (chrome://tracing, ui.perfetto.dev) to this file")
+		accessPath = fs.String("access-log", "", "write the structured access log (one JSON line per request) to this file; \"-\" = stdout")
+		sloSpec    = fs.String("slo", "", "SLO spec key=value,... (class=objective[/target[/maxbudget]] for interactive/standard/batch, fast=, slow=, warn=, page=, min=, default=)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -102,20 +111,39 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		cfg.Faults = plan
 		fmt.Fprintf(out, "chaos mode: %s\n", *faultSpec)
 	}
-	if *eventsPath != "" {
-		tr, err := obs.NewFiles(*eventsPath, "")
+	if *sloSpec != "" {
+		slo, err := serve.ParseSLO(*sloSpec)
+		if err != nil {
+			return err
+		}
+		cfg.SLO = slo
+	}
+	if *eventsPath != "" || *tracePath != "" {
+		tr, err := obs.NewFiles(*eventsPath, *tracePath)
 		if err != nil {
 			return err
 		}
 		defer tr.Close()
 		cfg.Trace = tr
 	}
+	if *accessPath != "" {
+		if *accessPath == "-" {
+			cfg.AccessLog = out
+		} else {
+			f, err := os.Create(*accessPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			cfg.AccessLog = f
+		}
+	}
 
 	s := serve.New(cfg)
 	if err := s.Start(*addr); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "dlserve on http://%s (/v1/assign /metrics /healthz /readyz)\n", s.Addr())
+	fmt.Fprintf(out, "dlserve on http://%s (/v1/assign /metrics /slo /healthz /readyz)\n", s.Addr())
 
 	<-ctx.Done()
 	fmt.Fprintln(out, "drain: stopped accepting, finishing in-flight requests")

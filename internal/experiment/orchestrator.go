@@ -550,6 +550,9 @@ func (wb *Workbench) Scheduler() *scheduler.Scratch { return wb.w.scratch }
 // Distributor returns the worker's pooled distribution working set.
 func (wb *Workbench) Distributor() *core.Scratch { return wb.w.dist }
 
+// Worker returns the pool worker's id (1-based), for span attribution.
+func (wb *Workbench) Worker() int { return wb.w.id }
+
 // Do runs fn on one of the orchestrator's pool workers and returns its
 // error. It is the serving layer's unit of pool work, with the engine's
 // abandonment semantics (DESIGN.md §9):

@@ -335,6 +335,42 @@ func (r *Recorder) ObserveRequest(d time.Duration) {
 	r.requests.buckets[bucketIndex(d)].Add(1)
 }
 
+// Histogram is a standalone wall-time histogram over the package's
+// power-of-two buckets, for recorders outside the engine's fixed stage set
+// (per-latency-class request durations in dlserve). The zero value is ready
+// to use; all methods are safe for concurrent use and no-ops on a nil
+// receiver, matching the Recorder contract.
+type Histogram struct {
+	rec stageRecorder
+}
+
+// Observe records one wall-time observation.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.rec.count.Add(1)
+	h.rec.nanos.Add(int64(d))
+	h.rec.buckets[bucketIndex(d)].Add(1)
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.rec.count.Load()
+}
+
+// Snapshot freezes the histogram as a StageStats named name, with the same
+// histogram-interpolated P50/P95/P99 the engine stages report.
+func (h *Histogram) Snapshot(name string) StageStats {
+	if h == nil {
+		return StageStats{Stage: name}
+	}
+	return snapStage(name, &h.rec)
+}
+
 // Bucket is one non-empty histogram bucket of a stage snapshot. UpTo is the
 // exclusive upper bound ("1ms"); the unbounded last bucket reports "inf".
 type Bucket struct {

@@ -443,3 +443,41 @@ func TestConcurrentSnapshotStress(t *testing.T) {
 		t.Errorf("counters = %d/%d/%d, want %d each", snap.CacheHits, snap.UnitRetries, snap.JournalComputes, writers*perWriter)
 	}
 }
+
+// TestHistogramStandalone: the exported Histogram matches the engine's
+// bucket/quantile machinery and is nil-safe.
+func TestHistogramStandalone(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 8; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	h.Observe(500 * time.Millisecond)
+	h.Observe(500 * time.Millisecond)
+	if h.Count() != 10 {
+		t.Fatalf("count = %d, want 10", h.Count())
+	}
+	st := h.Snapshot("request")
+	if st.Stage != "request" || st.Count != 10 {
+		t.Fatalf("snapshot %+v", st)
+	}
+	if want := int64(8*50*time.Millisecond + 2*500*time.Millisecond); st.TotalNanos != want {
+		t.Errorf("total = %d, want %d", st.TotalNanos, want)
+	}
+	// 50ms sits in the [32.768ms, 65.536ms) bucket: the median must land
+	// inside it.
+	if st.P50() < 32*time.Millisecond || st.P50() > 66*time.Millisecond {
+		t.Errorf("p50 = %v outside the 50ms bucket", st.P50())
+	}
+	// The p99 rank (10th of 10) is a 500ms observation.
+	if st.P99() < 262*time.Millisecond {
+		t.Errorf("p99 = %v, want inside the 500ms bucket", st.P99())
+	}
+	var nilH *Histogram
+	nilH.Observe(time.Second) // must not panic
+	if nilH.Count() != 0 {
+		t.Error("nil histogram counted")
+	}
+	if got := nilH.Snapshot("x"); got.Stage != "x" || got.Count != 0 {
+		t.Errorf("nil snapshot %+v", got)
+	}
+}

@@ -38,6 +38,9 @@ const (
 	// runRow hosts events with no worker affinity: marks (retries, fault
 	// injections) and journal replays.
 	runRow = 0
+	// requestRow hosts the request spans of a serving process and their
+	// non-attempt child stages; pool attempts land on their worker's row.
+	requestRow = -1
 )
 
 func newChromeWriter(w io.Writer) *chromeWriter {
@@ -128,6 +131,53 @@ func (c *chromeWriter) emit(ev Event) error {
 			TS: float64(ev.TS) / 1e3, Dur: float64(ev.Dur) / 1e3,
 			PID: chromePID, TID: tid, Args: args,
 		})
+	case "request", "rstage":
+		tid := requestRow
+		name := "requests"
+		if ev.Kind == "rstage" && ev.Worker != 0 {
+			tid, name = ev.Worker, "worker "+strconv.Itoa(ev.Worker)
+		}
+		if err := c.row(tid, name); err != nil {
+			return err
+		}
+		args := map[string]any{"req": ev.Req}
+		if ev.Table != "" {
+			args["key"] = ev.Table
+		}
+		if ev.Tenant != "" {
+			args["tenant"] = ev.Tenant
+		}
+		if ev.Class != "" {
+			args["class"] = ev.Class
+		}
+		if ev.Attempt != 0 {
+			args["attempt"] = ev.Attempt
+		}
+		if ev.Cache != "" {
+			args["cache"] = ev.Cache
+		}
+		if ev.Outcome != "" {
+			args["outcome"] = string(ev.Outcome)
+		}
+		if ev.Detail != "" {
+			args["detail"] = ev.Detail
+		}
+		name = ev.Stage
+		if ev.Kind == "request" {
+			name = "req " + shortID(ev.Req)
+			args["tier"] = ev.Stage
+		}
+		if ev.Dur == 0 {
+			return c.push(chromeEvent{
+				Name: name, Phase: "I", TS: float64(ev.TS) / 1e3,
+				PID: chromePID, TID: tid, Scope: "t", Args: args,
+			})
+		}
+		return c.push(chromeEvent{
+			Name: name, Phase: "X",
+			TS: float64(ev.TS) / 1e3, Dur: float64(ev.Dur) / 1e3,
+			PID: chromePID, TID: tid, Args: args,
+		})
 	case "mark":
 		args := map[string]any{"table": ev.Table, "graph": ev.Graph, "outcome": string(ev.Outcome)}
 		if ev.Detail != "" {
@@ -136,6 +186,15 @@ func (c *chromeWriter) emit(ev Event) error {
 		return c.instant(runRow, string(ev.Outcome)+" g"+strconv.Itoa(ev.Graph), ev, args)
 	}
 	return nil
+}
+
+// shortID abbreviates a request id for span names (the full id stays in
+// args).
+func shortID(s string) string {
+	if len(s) > 12 {
+		return s[:12]
+	}
+	return s
 }
 
 func (c *chromeWriter) instant(tid int, name string, ev Event, args map[string]any) error {

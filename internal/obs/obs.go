@@ -47,6 +47,13 @@ const (
 	// OutcomeJournalReplayed marks a unit prefilled from the checkpoint
 	// journal instead of being recomputed (dlexp -resume).
 	OutcomeJournalReplayed Outcome = "journal-replayed"
+	// OutcomeTierChange marks a degrade-ladder tier transition of a
+	// serving process (the detail field carries "from->to").
+	OutcomeTierChange Outcome = "tier-change"
+	// OutcomeAlert marks an SLO burn-rate alert state transition (the
+	// detail field carries "from->to"; the class field says which latency
+	// class).
+	OutcomeAlert Outcome = "alert"
 )
 
 // Event is one row of the structured event log. Every event carries the
@@ -57,8 +64,12 @@ const (
 // Kinds: "unit" spans cover one whole attempt of one unit of pool work
 // (one graph through every assigner × size cell of one table); "stage"
 // spans cover one pipeline stage of one cell; "mark" events are instants
-// (retries, fault injections, journal replays). Times are nanoseconds
-// since the tracer was created; durations are nanoseconds.
+// (retries, fault injections, journal replays). Serving processes
+// (dlserve) add "request" spans — one per served request, with the
+// request id, latency class and tenant — and "rstage" child spans for the
+// request's journey through admission, cache, degrade ladder and pool
+// attempts; Req groups a request's spans into one trace. Times are
+// nanoseconds since the tracer was created; durations are nanoseconds.
 type Event struct {
 	TS      int64   `json:"ts"`
 	Dur     int64   `json:"dur,omitempty"`
@@ -73,6 +84,9 @@ type Event struct {
 	Outcome Outcome `json:"outcome,omitempty"`
 	Cache   string  `json:"cache,omitempty"`
 	Detail  string  `json:"detail,omitempty"`
+	Req     string  `json:"req,omitempty"`
+	Class   string  `json:"class,omitempty"`
+	Tenant  string  `json:"tenant,omitempty"`
 }
 
 // Options selects the tracer's sinks. Either may be nil.
@@ -197,12 +211,26 @@ func (t *Tracer) StageSpan(table string, graph, attempt int, stage, label string
 	})
 }
 
-// RequestSpan records one served request of a serving process (dlserve):
-// the request key (as table, so log tooling groups by content identity),
-// the degrade tier it was answered at (as stage), and how it ended. cache
+// RequestInfo is the identity and outcome of one served request, as
+// recorded by RequestSpan: the request id (grouping the request's child
+// spans into one trace), the content-address key (as table, so log
+// tooling groups by content identity), the tenant, the latency class, the
+// degrade tier it was answered at (as stage), and how it ended. Cache
 // tags a response served from the content-addressed cache ("hit") versus
 // computed ("miss").
-func (t *Tracer) RequestSpan(key string, tier string, start time.Time, outcome Outcome, cache, detail string) {
+type RequestInfo struct {
+	ID      string
+	Key     string
+	Tenant  string
+	Class   string
+	Tier    string
+	Outcome Outcome
+	Cache   string
+	Detail  string
+}
+
+// RequestSpan records one served request of a serving process (dlserve).
+func (t *Tracer) RequestSpan(info RequestInfo, start time.Time) {
 	if t == nil {
 		return
 	}
@@ -210,8 +238,35 @@ func (t *Tracer) RequestSpan(key string, tier string, start time.Time, outcome O
 		TS:      start.Sub(t.start).Nanoseconds(),
 		Dur:     time.Since(start).Nanoseconds(),
 		Kind:    "request",
-		Table:   key,
-		Stage:   tier,
+		Req:     info.ID,
+		Table:   info.Key,
+		Tenant:  info.Tenant,
+		Class:   info.Class,
+		Stage:   info.Tier,
+		Outcome: info.Outcome,
+		Cache:   info.Cache,
+		Detail:  info.Detail,
+	})
+}
+
+// ReqStage records one stage of one served request's journey through the
+// serving pipeline (admission wait, tenant-bucket decision, cache wait,
+// degrade-tier resolution, pool attempts, response write): a child span
+// of the request span sharing its request id. attempt and worker
+// attribute pool attempts (0 where they do not apply); a zero dur records
+// an instant (a retry being issued).
+func (t *Tracer) ReqStage(reqID, stage string, attempt, worker int, start time.Time, outcome Outcome, cache, detail string) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{
+		TS:      start.Sub(t.start).Nanoseconds(),
+		Dur:     time.Since(start).Nanoseconds(),
+		Kind:    "rstage",
+		Req:     reqID,
+		Stage:   stage,
+		Attempt: attempt,
+		Worker:  worker,
 		Outcome: outcome,
 		Cache:   cache,
 		Detail:  detail,

@@ -6,7 +6,6 @@ import (
 	"math"
 	"strconv"
 	"strings"
-	"time"
 
 	"deadlinedist/internal/metrics"
 )
@@ -96,28 +95,11 @@ func WritePrometheus(w io.Writer, snap metrics.Snapshot, prog ProgressSnapshot) 
 	return err
 }
 
-// writeStageHistogram renders one stage as a Prometheus histogram: the
-// snapshot's sparse power-of-two buckets become cumulative le= buckets in
-// seconds, ending at the mandatory +Inf bucket.
+// writeStageHistogram renders one stage as a Prometheus histogram via the
+// shared duration-histogram renderer (slo.go).
 func writeStageHistogram(b *strings.Builder, st metrics.StageStats) {
-	stage := escapeLabel(st.Stage)
-	var cum int64
-	for _, bucket := range st.Histogram {
-		if bucket.UpTo == "inf" {
-			break // folded into +Inf below
-		}
-		d, err := time.ParseDuration(bucket.UpTo)
-		if err != nil {
-			continue
-		}
-		cum += bucket.Count
-		fmt.Fprintf(b, "dlexp_stage_duration_seconds_bucket{stage=%q,le=%q} %d\n",
-			stage, formatFloat(d.Seconds()), cum)
-	}
-	fmt.Fprintf(b, "dlexp_stage_duration_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", stage, st.Count)
-	fmt.Fprintf(b, "dlexp_stage_duration_seconds_sum{stage=%q} %s\n",
-		stage, formatFloat(st.Total().Seconds()))
-	fmt.Fprintf(b, "dlexp_stage_duration_seconds_count{stage=%q} %d\n", stage, st.Count)
+	writeDurationHistogram(b, "dlexp_stage_duration_seconds",
+		fmt.Sprintf("stage=%q", escapeLabel(st.Stage)), st)
 }
 
 func writeHeader(b *strings.Builder, name, typ, help string) {

@@ -67,11 +67,17 @@ func TestPrometheusFormatValid(t *testing.T) {
 	if err := WritePrometheus(&b, snap, ps); err != nil {
 		t.Fatal(err)
 	}
+	validateExposition(t, b.String())
+}
 
+// validateExposition is the minimal format checker shared by the metrics
+// and SLO exposition tests (see TestPrometheusFormatValid for the rules).
+func validateExposition(t *testing.T, out string) {
+	t.Helper()
 	helped := map[string]bool{}
 	typed := map[string]bool{}
 	var lastBucketCum = map[string]float64{}
-	for ln, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+	for ln, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
 		if line == "" {
 			t.Fatalf("line %d: empty line in exposition", ln+1)
 		}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"deadlinedist/internal/metrics"
+)
+
+// This file is the wire form of the serving layer's SLO state: the JSON
+// document served on dlserve's /slo endpoint and the Prometheus families
+// of the per-latency-class RED metrics and burn-rate gauges. The types
+// live here (not in internal/serve) so the exposition renderer sits next
+// to WritePrometheus and shares its formatting discipline; internal/serve
+// fills them from its tracker.
+
+// SLOWindow is one burn-rate window of one latency class: the good/bad
+// counts inside the window and the error-budget burn rate they imply
+// (bad fraction divided by the class's error budget 1-target; 0 without
+// enough traffic).
+type SLOWindow struct {
+	Window   string  `json:"window"` // "5m", "1h"
+	Good     int64   `json:"good"`
+	Bad      int64   `json:"bad"`
+	BurnRate float64 `json:"burnRate"`
+}
+
+// SLOClass is the full SLO state of one latency class: its objective and
+// target, the multi-window burn rates, the alert state with transition
+// counts, and the class's RED metrics (request/error totals plus the
+// latency histogram with p50/p95/p99).
+type SLOClass struct {
+	Class            string             `json:"class"`
+	Objective        string             `json:"objective"` // duration form, "500ms"
+	ObjectiveSeconds float64            `json:"objectiveSeconds"`
+	Target           float64            `json:"target"`
+	State            string             `json:"state"` // "ok", "warning", "page"
+	Windows          []SLOWindow        `json:"windows"`
+	Served           int64              `json:"served"` // total requests observed
+	Bad              int64              `json:"bad"`    // total objective misses + server errors
+	Transitions      map[string]int64   `json:"transitions,omitempty"`
+	Latency          metrics.StageStats `json:"latency"`
+}
+
+// alertStateValue maps the alert state to its gauge encoding.
+func alertStateValue(state string) int {
+	switch state {
+	case "warning":
+		return 1
+	case "page":
+		return 2
+	}
+	return 0
+}
+
+// WriteSLOPrometheus renders the per-class RED metrics and burn-rate
+// alerting families as Prometheus text exposition, matching
+// WritePrometheus's conventions (stable zero-valued series, cumulative
+// histogram buckets ending at +Inf).
+func WriteSLOPrometheus(w io.Writer, classes []SLOClass) error {
+	b := &strings.Builder{}
+
+	writeHeader(b, "dlserve_class_requests_total", "counter",
+		"Served requests by latency class and SLO result (good = 2xx within the class objective).")
+	for _, c := range classes {
+		lbl := escapeLabel(c.Class)
+		fmt.Fprintf(b, "dlserve_class_requests_total{class=%q,result=\"good\"} %d\n", lbl, c.Served-c.Bad)
+		fmt.Fprintf(b, "dlserve_class_requests_total{class=%q,result=\"bad\"} %d\n", lbl, c.Bad)
+	}
+
+	writeHeader(b, "dlserve_class_latency_seconds", "histogram",
+		"End-to-end request latency by latency class.")
+	for _, c := range classes {
+		writeDurationHistogram(b, "dlserve_class_latency_seconds",
+			fmt.Sprintf("class=%q", escapeLabel(c.Class)), c.Latency)
+	}
+
+	writeHeader(b, "dlserve_slo_objective_seconds", "gauge",
+		"Latency objective of each class.")
+	for _, c := range classes {
+		fmt.Fprintf(b, "dlserve_slo_objective_seconds{class=%q} %s\n",
+			escapeLabel(c.Class), formatFloat(c.ObjectiveSeconds))
+	}
+
+	writeHeader(b, "dlserve_slo_burn_rate", "gauge",
+		"Error-budget burn rate by latency class and window (1.0 = burning exactly the budget).")
+	for _, c := range classes {
+		for _, win := range c.Windows {
+			fmt.Fprintf(b, "dlserve_slo_burn_rate{class=%q,window=%q} %s\n",
+				escapeLabel(c.Class), escapeLabel(win.Window), formatFloat(win.BurnRate))
+		}
+	}
+
+	writeHeader(b, "dlserve_slo_alert_state", "gauge",
+		"Burn-rate alert state by latency class (0=ok 1=warning 2=page).")
+	for _, c := range classes {
+		fmt.Fprintf(b, "dlserve_slo_alert_state{class=%q} %d\n",
+			escapeLabel(c.Class), alertStateValue(c.State))
+	}
+
+	writeHeader(b, "dlserve_slo_alert_transitions_total", "counter",
+		"Alert state transitions by latency class and destination state.")
+	for _, c := range classes {
+		for _, to := range []string{"ok", "warning", "page"} {
+			fmt.Fprintf(b, "dlserve_slo_alert_transitions_total{class=%q,to=%q} %d\n",
+				escapeLabel(c.Class), to, c.Transitions[to])
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeDurationHistogram renders one duration histogram under family with
+// the given pre-rendered label pair(s): the snapshot's sparse
+// power-of-two buckets become cumulative le= buckets in seconds, ending
+// at the mandatory +Inf bucket.
+func writeDurationHistogram(b *strings.Builder, family, labels string, st metrics.StageStats) {
+	var cum int64
+	for _, bucket := range st.Histogram {
+		if bucket.UpTo == "inf" {
+			break // folded into +Inf below
+		}
+		d, err := time.ParseDuration(bucket.UpTo)
+		if err != nil {
+			continue
+		}
+		cum += bucket.Count
+		fmt.Fprintf(b, "%s_bucket{%s,le=%q} %d\n", family, labels, formatFloat(d.Seconds()), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%s,le=\"+Inf\"} %d\n", family, labels, st.Count)
+	fmt.Fprintf(b, "%s_sum{%s} %s\n", family, labels, formatFloat(st.Total().Seconds()))
+	fmt.Fprintf(b, "%s_count{%s} %d\n", family, labels, st.Count)
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"deadlinedist/internal/metrics"
+)
+
+// sloClasses builds a two-class fixture with real histogram content: an
+// interactive class mid-burn (warning, with transitions recorded) and a
+// healthy batch class with zero traffic — the stable-zero-series case.
+func sloClasses() []SLOClass {
+	var h metrics.Histogram
+	h.Observe(2 * time.Millisecond)
+	h.Observe(40 * time.Millisecond)
+	h.Observe(900 * time.Millisecond)
+	return []SLOClass{
+		{
+			Class:            "interactive",
+			Objective:        "500ms",
+			ObjectiveSeconds: 0.5,
+			Target:           0.99,
+			State:            "warning",
+			Windows: []SLOWindow{
+				{Window: "5m0s", Good: 2, Bad: 1, BurnRate: 33.3},
+				{Window: "1h0m0s", Good: 2, Bad: 1, BurnRate: 33.3},
+			},
+			Served:      3,
+			Bad:         1,
+			Transitions: map[string]int64{"warning": 1},
+			Latency:     h.Snapshot("interactive"),
+		},
+		{
+			Class:            "batch",
+			Objective:        "30s",
+			ObjectiveSeconds: 30,
+			Target:           0.99,
+			State:            "ok",
+			Windows: []SLOWindow{
+				{Window: "5m0s"},
+				{Window: "1h0m0s"},
+			},
+			Latency: metrics.StageStats{Stage: "batch"},
+		},
+	}
+}
+
+func TestWriteSLOPrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSLOPrometheus(&b, sloClasses()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE dlserve_class_requests_total counter",
+		`dlserve_class_requests_total{class="interactive",result="good"} 2`,
+		`dlserve_class_requests_total{class="interactive",result="bad"} 1`,
+		`dlserve_class_requests_total{class="batch",result="good"} 0`,
+		"# TYPE dlserve_class_latency_seconds histogram",
+		`dlserve_class_latency_seconds_count{class="interactive"} 3`,
+		`dlserve_class_latency_seconds_bucket{class="interactive",le="+Inf"} 3`,
+		`dlserve_class_latency_seconds_bucket{class="batch",le="+Inf"} 0`,
+		`dlserve_slo_objective_seconds{class="interactive"} 0.5`,
+		`dlserve_slo_objective_seconds{class="batch"} 30`,
+		`dlserve_slo_burn_rate{class="interactive",window="5m0s"} 33.3`,
+		`dlserve_slo_burn_rate{class="batch",window="1h0m0s"} 0`,
+		`dlserve_slo_alert_state{class="interactive"} 1`,
+		`dlserve_slo_alert_state{class="batch"} 0`,
+		`dlserve_slo_alert_transitions_total{class="interactive",to="warning"} 1`,
+		`dlserve_slo_alert_transitions_total{class="interactive",to="page"} 0`,
+		`dlserve_slo_alert_transitions_total{class="batch",to="ok"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SLO exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSLOPrometheusFormatValid runs the shared exposition format checker
+// (prometheus_test.go) over the SLO families: HELP/TYPE on every family,
+// parsable samples, cumulative buckets ending at +Inf.
+func TestSLOPrometheusFormatValid(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSLOPrometheus(&b, sloClasses()); err != nil {
+		t.Fatal(err)
+	}
+	validateExposition(t, b.String())
+}
+
+// TestSLOPrometheusHistogramCumulative pins the bucket math: the sparse
+// power-of-two histogram must come out as strictly cumulative le= buckets
+// with every observation accounted for under +Inf.
+func TestSLOPrometheusHistogramCumulative(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSLOPrometheus(&b, sloClasses()); err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	buckets := 0
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, `dlserve_class_latency_seconds_bucket{class="interactive"`) {
+			continue
+		}
+		buckets++
+		v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket regressed (%v -> %v): %q", last, v, line)
+		}
+		last = v
+	}
+	if buckets < 2 || last != 3 {
+		t.Fatalf("want >=2 cumulative buckets ending at 3, got %d ending at %v", buckets, last)
+	}
+}

@@ -102,6 +102,13 @@ func (a *admission) admit(ctx context.Context, tenant string) (release func(), r
 		a.shedQuota.Add(1)
 		return nil, ra, Errorf(ClassOverload, "tenant "+tenant+" over quota")
 	}
+	return a.acquireSlot(ctx)
+}
+
+// acquireSlot is the second gate alone: the bounded accept queue. Split
+// from admit so the handler can span the quota decision and the queue
+// wait as separate request stages.
+func (a *admission) acquireSlot(ctx context.Context) (release func(), retryAfter time.Duration, err *Error) {
 	select {
 	case a.slots <- struct{}{}: // fast path: a slot is free
 	default:
@@ -148,6 +155,7 @@ type bucket struct {
 	mu     sync.Mutex
 	tokens float64
 	last   time.Time
+	sheds  int64 // consecutive sheds since the last successful take
 }
 
 func (b *bucket) take(now time.Time, rate, burst float64) (time.Duration, bool) {
@@ -162,11 +170,17 @@ func (b *bucket) take(now time.Time, rate, burst float64) (time.Duration, bool) 
 	}
 	if b.tokens >= 1 {
 		b.tokens--
+		b.sheds = 0
 		return 0, true
 	}
-	// Time until one whole token exists, rounded up to a whole second for
-	// the Retry-After header (its coarsest portable form).
-	need := (1 - b.tokens) / rate
+	// Retry-After is proportional to the shed backlog: the k-th
+	// consecutively shed request is told to come back when k whole tokens
+	// will have refilled, so a burst of shed clients spreads its retries
+	// over the refill schedule instead of stampeding back together at the
+	// one-token mark. Rounded up to whole seconds (the header's coarsest
+	// portable form).
+	b.sheds++
+	need := (float64(b.sheds) - b.tokens) / rate
 	ra := time.Duration(math.Ceil(need)) * time.Second
 	if ra < time.Second {
 		ra = time.Second

@@ -15,6 +15,7 @@ import (
 
 	"deadlinedist/internal/experiment"
 	"deadlinedist/internal/metrics"
+	"deadlinedist/internal/obs"
 )
 
 // The chaos acceptance test from the issue: under injected panics, hangs
@@ -78,10 +79,24 @@ func checkTaxonomy(t *testing.T, status int, body []byte) {
 	}
 }
 
+// TestChaosAcceptance runs the scenario twice — observability sinks off,
+// then on (JSONL events + Chrome trace + access log) — and additionally
+// asserts the PR-5 contract: the sinks must not perturb answers, so
+// successful bodies for the same request content are byte-identical
+// across the two modes, not just within one.
 func TestChaosAcceptance(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	bodiesOff := runChaosAcceptance(t, false)
+	bodiesOn := runChaosAcceptance(t, true)
+	for ri, off := range bodiesOff {
+		if on, ok := bodiesOn[ri]; ok && !bytes.Equal(off, on) {
+			t.Errorf("request %d: body differs with sinks on/off:\n%s\n%s", ri, off, on)
+		}
+	}
+}
 
-	s := New(Config{
+// chaosConfig is the shared scenario config for both acceptance passes.
+func chaosConfig() Config {
+	return Config{
 		Workers: 4,
 		// Every fault class at once. MaxFaultyAttempts 2 with 4 retry
 		// attempts guarantees convergence: the worst request burns two
@@ -101,7 +116,26 @@ func TestChaosAcceptance(t *testing.T) {
 		// byte-identity is not confounded by tier changes mid-test.
 		Admission: AdmissionConfig{MaxInflight: 4, MaxQueue: 1024},
 		Metrics:   metrics.New(),
-	})
+	}
+}
+
+// runChaosAcceptance is one full acceptance pass; it returns the
+// converged body of every distinct request for cross-mode comparison.
+func runChaosAcceptance(t *testing.T, sinks bool) map[int][]byte {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+
+	var events, chrome bytes.Buffer
+	var alog *syncWriter
+	var tr *obs.Tracer
+	cfg := chaosConfig()
+	if sinks {
+		tr = obs.New(obs.Options{Events: &events, Chrome: &chrome})
+		alog = &syncWriter{}
+		cfg.Trace = tr
+		cfg.AccessLog = alog
+	}
+	s := New(cfg)
 	if err := s.Start("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
@@ -231,9 +265,38 @@ func TestChaosAcceptance(t *testing.T) {
 		t.Errorf("drain took %v, limit %v", drainTime, limit)
 	}
 
+	// With sinks on, the exhaust must actually contain the flight data:
+	// JSONL request spans, a Chrome trace, and one access-log line per
+	// answered request.
+	if sinks {
+		if err := tr.Close(); err != nil {
+			t.Errorf("tracer close: %v", err)
+		}
+		reqSpans := 0
+		for _, line := range strings.Split(strings.TrimSpace(events.String()), "\n") {
+			var ev map[string]any
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				t.Fatalf("events sink is not JSONL: %v in %q", err, line)
+			}
+			if ev["kind"] == "request" {
+				reqSpans++
+			}
+		}
+		if reqSpans < clients*perClient {
+			t.Errorf("%d request spans in events sink, want >= %d", reqSpans, clients*perClient)
+		}
+		if !strings.HasPrefix(chrome.String(), "[") {
+			t.Errorf("chrome sink is not a trace array: %.40q", chrome.String())
+		}
+		if lines := strings.Count(alog.String(), "\n"); lines < clients*perClient {
+			t.Errorf("%d access-log lines, want >= %d", lines, clients*perClient)
+		}
+	}
+
 	// (4) no goroutines left behind: workers, watchdog-abandoned attempts,
 	// the pressure ticker and the HTTP server are all gone.
 	waitNoLeak(t, baseline)
+	return okBodies
 }
 
 // TestChaosDeterministicConvergence: the same faulted request re-sent to a

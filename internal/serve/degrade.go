@@ -15,7 +15,10 @@ import "sync/atomic"
 //	TierCacheOnly answer only from the response cache; misses are shed
 //	TierShed      reject everything at admission
 //
-// Movement is driven by the admission queue's occupancy, observed
+// Movement is driven by serving pressure — the larger of the admission
+// queue's occupancy and the worst latency class's fast-window burn rate
+// as a fraction of the paging threshold (slo.go), so the ladder reacts
+// both to queues building and to budgets burning — observed
 // periodically, with hysteresis in both directions: escalation needs
 // escalateAfter consecutive observations above the high-water mark,
 // de-escalation needs relaxAfter consecutive observations below the
@@ -61,16 +64,37 @@ type Ladder struct {
 	cool int // consecutive observations below the low-water mark
 
 	escalations atomic.Int64
+	transitions atomic.Int64
+
+	// onTransition, when non-nil, observes every tier change (including
+	// SetTier overrides). Set before the ladder starts being observed.
+	onTransition func(from, to Tier)
 }
 
 // Tier returns the active tier.
 func (l *Ladder) Tier() Tier { return Tier(l.tier.Load()) }
 
 // SetTier forces the tier (ops override, tests).
-func (l *Ladder) SetTier(t Tier) { l.tier.Store(int32(t)) }
+func (l *Ladder) SetTier(t Tier) { l.move(t) }
+
+// move stores the tier and, on an actual change, counts the transition
+// and fires the hook exactly once.
+func (l *Ladder) move(to Tier) {
+	from := Tier(l.tier.Swap(int32(to)))
+	if from == to {
+		return
+	}
+	l.transitions.Add(1)
+	if l.onTransition != nil {
+		l.onTransition(from, to)
+	}
+}
 
 // Escalations counts upward tier moves since start.
 func (l *Ladder) Escalations() int64 { return l.escalations.Load() }
+
+// Transitions counts tier changes in either direction since start.
+func (l *Ladder) Transitions() int64 { return l.transitions.Load() }
 
 // Observe feeds one pressure sample (admission queue occupancy in [0,1])
 // and moves the tier at most one rung, with hysteresis.
@@ -81,7 +105,7 @@ func (l *Ladder) Observe(occupancy float64) {
 		if l.hot++; l.hot >= escalateAfter {
 			l.hot = 0
 			if t := l.Tier(); t < TierShed {
-				l.tier.Store(int32(t + 1))
+				l.move(t + 1)
 				l.escalations.Add(1)
 			}
 		}
@@ -90,7 +114,7 @@ func (l *Ladder) Observe(occupancy float64) {
 		if l.cool++; l.cool >= relaxAfter {
 			l.cool = 0
 			if t := l.Tier(); t > TierFull {
-				l.tier.Store(int32(t - 1))
+				l.move(t - 1)
 			}
 		}
 	default: // between the marks: hold position, reset both streaks

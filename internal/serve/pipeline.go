@@ -9,10 +9,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"deadlinedist/internal/core"
 	"deadlinedist/internal/experiment"
+	"deadlinedist/internal/obs"
 	"deadlinedist/internal/platform"
 	"deadlinedist/internal/scheduler"
 	"deadlinedist/internal/strategy"
@@ -39,10 +41,17 @@ type Request struct {
 	// BudgetMs is the request's end-to-end computation budget in
 	// milliseconds; it becomes a context deadline threaded through the
 	// whole pipeline. 0 means the server default; values above the
-	// server maximum are clamped.
+	// server maximum — or the latency class's own clamp — are clamped.
 	BudgetMs int `json:"budgetMs,omitempty"`
 	// Tenant names the quota bucket ("" = the anonymous tenant).
 	Tenant string `json:"tenant,omitempty"`
+	// Class is the request's latency class: "interactive", "standard" or
+	// "batch" (empty = the server's default class). May instead (or
+	// additionally) arrive as the X-Latency-Class header; the header
+	// wins. The class selects the latency objective the request is
+	// scored against (slo.go) and clamps its budget; it does not change
+	// the answer, so it is excluded from the content address.
+	Class string `json:"class,omitempty"`
 }
 
 // Response is the wire form of one successful answer. Every field is a
@@ -99,6 +108,7 @@ type parsedRequest struct {
 	policy   scheduler.Policy
 	key      string // sha256 content address
 	tenant   string
+	class    LatencyClass
 	budget   time.Duration
 	pinned   bool // assigner explicitly requested
 }
@@ -213,12 +223,27 @@ func (s *Server) parse(req *Request, tier Tier) (*parsedRequest, *Error) {
 		return nil, Errorf(ClassInvalid, err.Error())
 	}
 
+	// The latency class shapes scoring and budget, never the answer.
+	class := s.slo.cfg.DefaultClass
+	if req.Class != "" {
+		var ok bool
+		if class, ok = parseLatencyClass(req.Class); !ok {
+			return nil, Errorf(ClassInvalid,
+				fmt.Sprintf("unknown latency class %q (want interactive, standard or batch)", req.Class))
+		}
+	}
+
 	budget := s.cfg.DefaultBudget
 	if req.BudgetMs > 0 {
 		budget = time.Duration(req.BudgetMs) * time.Millisecond
 	}
 	if budget > s.cfg.MaxBudget {
 		budget = s.cfg.MaxBudget
+	}
+	// The class clamp binds last: an interactive request may not reserve a
+	// batch-sized budget (the class is a promise in both directions).
+	if cb := s.slo.maxBudget(class); cb > 0 && budget > cb {
+		budget = cb
 	}
 
 	// The content address covers exactly the answer's inputs: canonical
@@ -242,6 +267,7 @@ func (s *Server) parse(req *Request, tier Tier) (*parsedRequest, *Error) {
 		policy:   policy,
 		key:      key,
 		tenant:   req.Tenant,
+		class:    class,
 		budget:   budget,
 		pinned:   pinned,
 	}, nil
@@ -264,7 +290,7 @@ func faultIndex(key string) int {
 // gets a watchdog deadline (the tighter of the request budget and the
 // per-attempt timeout), injected faults and panics become typed errors,
 // and retryable failures re-run with deterministic jittered backoff.
-func (s *Server) compute(ctx context.Context, pr *parsedRequest) ([]byte, *Error) {
+func (s *Server) compute(ctx context.Context, pr *parsedRequest, rs *reqState) ([]byte, *Error) {
 	gi := faultIndex(pr.key)
 	attempts := s.cfg.Retry.MaxAttempts
 	if attempts <= 0 {
@@ -275,11 +301,15 @@ func (s *Server) compute(ctx context.Context, pr *parsedRequest) ([]byte, *Error
 	for k := 1; k <= attempts; k++ {
 		if k > 1 {
 			s.retries.Add(1)
-			if err := sleepCtx(ctx, s.cfg.Retry.Delay(k-1, seed)); err != nil {
+			rs.retries++
+			bt := rs.stageStart()
+			err := sleepCtx(ctx, s.cfg.Retry.Delay(k-1, seed))
+			rs.span(s.cfg.Trace, "backoff", bt, k, 0, obs.OutcomeRetry, "", errDetail(lastErr))
+			if err != nil {
 				return nil, Classify(err)
 			}
 		}
-		body, err := s.attempt(ctx, pr, gi, k)
+		body, err := s.attempt(ctx, pr, gi, k, rs)
 		if err == nil {
 			return body, nil
 		}
@@ -289,6 +319,14 @@ func (s *Server) compute(ctx context.Context, pr *parsedRequest) ([]byte, *Error
 		}
 	}
 	return nil, Classify(lastErr)
+}
+
+// errDetail compresses an attempt error for span tags.
+func errDetail(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // retryableAttempt mirrors the engine's retry predicate: panics, attempt
@@ -306,15 +344,24 @@ func retryableAttempt(err error) bool {
 // pool's recover boundary owns injected panics, and the attempt context
 // (budget ∧ per-attempt watchdog) governs both the DP's cooperative
 // cancellation and the pool's abandonment of a hung attempt.
-func (s *Server) attempt(ctx context.Context, pr *parsedRequest, gi, k int) ([]byte, error) {
+func (s *Server) attempt(ctx context.Context, pr *parsedRequest, gi, k int, rs *reqState) ([]byte, error) {
 	actx := ctx
 	if s.cfg.UnitTimeout > 0 {
 		var cancel context.CancelFunc
 		actx, cancel = context.WithTimeout(ctx, s.cfg.UnitTimeout)
 		defer cancel()
 	}
+	at := rs.stageStart()
 	var body []byte
+	// The worker id is stored atomically because an abandoned (hung or
+	// panicked) attempt's goroutine may still be running when Do returns;
+	// whichever write lands, the span names a worker that really carried
+	// this attempt.
+	var workerID atomic.Int64
 	err := s.orc.Do(actx, s.cfg.Metrics, func(wb *experiment.Workbench) error {
+		if rs.obsOn {
+			workerID.Store(int64(wb.Worker()))
+		}
 		if err := s.cfg.Faults.Inject(actx, serveFaultTag, gi, k, s.cfg.Metrics, s.cfg.Trace); err != nil {
 			return err
 		}
@@ -330,7 +377,28 @@ func (s *Server) attempt(ctx context.Context, pr *parsedRequest, gi, k int) ([]b
 		body, err = renderResponse(pr, res, sched)
 		return err
 	})
+	rs.span(s.cfg.Trace, "attempt", at, k, int(workerID.Load()),
+		attemptOutcome(err), "", errDetail(err))
 	return body, err
+}
+
+// attemptOutcome maps an attempt error to its span outcome, mirroring the
+// engine's unit-span taxonomy.
+func attemptOutcome(err error) obs.Outcome {
+	switch {
+	case err == nil:
+		return obs.OutcomeOK
+	case errors.Is(err, context.DeadlineExceeded):
+		return obs.OutcomeTimeout
+	case errors.Is(err, context.Canceled):
+		return obs.OutcomeCancelled
+	default:
+		var pe *experiment.PanicError
+		if errors.As(err, &pe) {
+			return obs.OutcomePanic
+		}
+		return obs.OutcomeError
+	}
 }
 
 // renderResponse marshals the deterministic response body: subtasks in

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deadlinedist/internal/obs"
+)
+
+// This file is the request-scoped half of the server's observability:
+// request ids, the structured access log, and the per-request state the
+// handler threads through its stages. Everything follows the
+// repository's nil-safe discipline — a server with no Trace and no
+// AccessLog pays no stage clock reads and emits nothing — except the
+// request id itself, which is always minted: X-Request-Id must round-trip
+// on every response (including every error class) whether or not any
+// sink is attached, because it is the client's correlation handle, not
+// ours.
+
+// maxRequestIDLen bounds client-supplied ids; longer ones are replaced,
+// not truncated (a truncated id correlates with nothing).
+const maxRequestIDLen = 64
+
+// ridGen mints process-unique request ids: a random per-process prefix
+// plus a counter, so ids from concurrent replicas never collide and ids
+// within one process sort by arrival.
+type ridGen struct {
+	prefix string
+	n      atomic.Uint64
+}
+
+func newRidGen() *ridGen {
+	var raw [6]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		// Degenerate but functional: ids stay unique within the process.
+		return &ridGen{prefix: "000000000000"}
+	}
+	return &ridGen{prefix: hex.EncodeToString(raw[:])}
+}
+
+func (g *ridGen) next() string {
+	return fmt.Sprintf("%s-%06x", g.prefix, g.n.Add(1))
+}
+
+// requestID accepts a sane client-supplied id or mints one.
+func (g *ridGen) requestID(supplied string) string {
+	if supplied == "" || len(supplied) > maxRequestIDLen {
+		return g.next()
+	}
+	for i := 0; i < len(supplied); i++ {
+		c := supplied[i]
+		if c < 0x21 || c > 0x7e { // printable ASCII, no spaces: header-safe, log-safe
+			return g.next()
+		}
+	}
+	return supplied
+}
+
+// AccessRecord is one access-log line: the request's identity, how it was
+// served, and where its time went. Marshalled as a single JSON object per
+// line.
+type AccessRecord struct {
+	Req     string `json:"req"`
+	Tenant  string `json:"tenant,omitempty"`
+	Class   string `json:"class"`
+	Tier    string `json:"tier"`
+	Status  int    `json:"status"`
+	Outcome string `json:"outcome"`
+	Cache   string `json:"cache,omitempty"`
+	Key     string `json:"key,omitempty"`
+	Retries int    `json:"retries,omitempty"`
+	// Stage durations in milliseconds: the whole request, the admission
+	// wait, the compute (or cache wait), and the response write.
+	TotalMs   float64 `json:"totalMs"`
+	AdmitMs   float64 `json:"admitMs,omitempty"`
+	ComputeMs float64 `json:"computeMs,omitempty"`
+	WriteMs   float64 `json:"writeMs,omitempty"`
+}
+
+// accessLogger serializes access-log lines and operational events onto
+// one writer. Nil-safe: a nil logger records nothing.
+type accessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newAccessLogger(w io.Writer) *accessLogger {
+	if w == nil {
+		return nil
+	}
+	return &accessLogger{w: w}
+}
+
+func (l *accessLogger) log(rec AccessRecord) {
+	if l == nil {
+		return
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	l.mu.Lock()
+	l.w.Write(buf)
+	l.mu.Unlock()
+}
+
+// event logs one operational event (a degrade-tier or alert transition)
+// as its own JSON line, distinguishable from access records by the
+// "event" key.
+func (l *accessLogger) event(kind, class, detail string) {
+	if l == nil {
+		return
+	}
+	line := struct {
+		Event  string `json:"event"`
+		Class  string `json:"class,omitempty"`
+		Detail string `json:"detail"`
+	}{Event: kind, Class: class, Detail: detail}
+	buf, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	l.mu.Lock()
+	l.w.Write(buf)
+	l.mu.Unlock()
+}
+
+// reqState is one request's observability context, threaded through the
+// handler's stages. The handler fills identity fields as they resolve
+// (class before parse, key after); finish emits the request span, the
+// access-log line and the SLO observation exactly once, on every exit
+// path including panics.
+type reqState struct {
+	rid    string
+	t0     time.Time
+	tenant string
+	class  LatencyClass
+	tier   Tier
+	key    string
+
+	status   int
+	outcome  obs.Outcome
+	cacheTag string
+	detail   string
+	retries  int
+
+	admitDur, computeDur, writeDur time.Duration
+
+	// obsOn gates the per-stage clock reads and span emission: false when
+	// neither a tracer nor an access log is attached, keeping the
+	// disabled-sinks request path free of stage timing work.
+	obsOn bool
+}
+
+// stageStart returns the current time when stage observability is on and
+// the zero time otherwise; span treats a zero start as "not measured".
+func (rs *reqState) stageStart() time.Time {
+	if !rs.obsOn {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// span records one completed stage of this request on the tracer (nil-safe)
+// and returns the stage's duration for the access record.
+func (rs *reqState) span(tr *obs.Tracer, stage string, start time.Time, attempt, worker int, outcome obs.Outcome, cache, detail string) time.Duration {
+	if start.IsZero() {
+		return 0
+	}
+	d := time.Since(start)
+	tr.ReqStage(rs.rid, stage, attempt, worker, start, outcome, cache, detail)
+	return d
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -54,10 +55,18 @@ type Config struct {
 	// request budget (default 500ms): SIGTERM waits MaxBudget +
 	// DrainSlack at most.
 	DrainSlack time.Duration
+	// SLO parameterizes latency classes and burn-rate alerting (slo.go).
+	// The zero value serves the stock interactive/standard/batch
+	// contracts; tracking is always on (it feeds /slo and the ladder),
+	// only its sinks are optional.
+	SLO SLOConfig
 	// Metrics and Trace are optional sinks (nil-safe, zero overhead when
-	// unset, like everywhere else in this repository).
-	Metrics *metrics.Recorder
-	Trace   *obs.Tracer
+	// unset, like everywhere else in this repository). AccessLog, when
+	// non-nil, receives one JSON line per request plus tier/alert
+	// transition events (reqobs.go).
+	Metrics   *metrics.Recorder
+	Trace     *obs.Tracer
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +102,9 @@ type Server struct {
 	ladder *Ladder
 	cache  *respCache
 	ready  *obs.Readiness
+	slo    *sloTracker
+	alog   *accessLogger
+	rids   *ridGen
 
 	ln       net.Listener
 	srv      *http.Server
@@ -119,7 +131,7 @@ func New(cfg Config) *Server {
 		orc = experiment.NewOrchestrator(cfg.Workers)
 		own = true
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		orc:      orc,
 		ownOrc:   own,
@@ -127,9 +139,26 @@ func New(cfg Config) *Server {
 		ladder:   &Ladder{},
 		cache:    newRespCache(cfg.CacheEntries),
 		ready:    obs.NewReadiness(),
+		slo:      newSLOTracker(cfg.SLO, cfg.MaxBudget),
+		alog:     newAccessLogger(cfg.AccessLog),
+		rids:     newRidGen(),
 		stopTick: make(chan struct{}),
 		tickDone: make(chan struct{}),
 	}
+	// Transition hooks: each tier or alert change emits exactly one log
+	// event (and a trace mark when a tracer is attached); the matching
+	// counters live in the ladder and the SLO tracker themselves.
+	s.ladder.onTransition = func(from, to Tier) {
+		detail := from.String() + "->" + to.String()
+		s.alog.event("tier-change", "", detail)
+		s.cfg.Trace.Mark(serveFaultTag, 0, 0, obs.OutcomeTierChange, detail)
+	}
+	s.slo.onAlert = func(lc LatencyClass, from, to int32) {
+		detail := alertName(from) + "->" + alertName(to)
+		s.alog.event("alert", lc.String(), detail)
+		s.cfg.Trace.Mark(serveFaultTag, 0, 0, obs.OutcomeAlert, detail)
+	}
+	return s
 }
 
 // Ladder exposes the degrade ladder (ops override, tests).
@@ -159,6 +188,7 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/slo", s.handleSLO)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	return mux
@@ -179,7 +209,10 @@ func (s *Server) Start(addr string) error {
 	return nil
 }
 
-// pressureLoop feeds admission occupancy to the degrade ladder.
+// pressureLoop feeds the degrade ladder the larger of two pressure
+// signals: admission-queue occupancy (queues building) and the worst
+// latency class's fast-window burn as a fraction of the paging threshold
+// (budgets burning). Each tick also advances the SLO alert ladder.
 func (s *Server) pressureLoop() {
 	defer close(s.tickDone)
 	t := time.NewTicker(s.cfg.PressureInterval)
@@ -187,7 +220,11 @@ func (s *Server) pressureLoop() {
 	for {
 		select {
 		case <-t.C:
-			s.ladder.Observe(s.adm.occupancy())
+			p := s.slo.evaluate()
+			if occ := s.adm.occupancy(); occ > p {
+				p = occ
+			}
+			s.ladder.Observe(p)
 		case <-s.stopTick:
 			return
 		}
@@ -230,63 +267,78 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // handleAssign is the request path: taxonomy boundary → admission →
 // degrade tier → cache → pipeline. Every exit writes exactly one
-// response: a verdict body or one taxonomy error.
+// response: a verdict body or one taxonomy error. The reqState threads
+// the request's identity (id, tenant, class, tier) and stage timings
+// through every branch; finish settles them into the request span, the
+// access log and the SLO tracker exactly once.
 func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
-	t0 := time.Now()
-	key := ""
-	tier := s.ladder.Tier()
-	outcome, cacheTag := obs.OutcomeError, ""
+	rs := &reqState{
+		rid:   s.rids.requestID(r.Header.Get("X-Request-Id")),
+		t0:    time.Now(),
+		class: s.slo.cfg.DefaultClass,
+		tier:  s.ladder.Tier(),
+		obsOn: s.cfg.Trace != nil || s.alog != nil,
+	}
+	// The id echoes on every response — success and all four error
+	// classes — so it must land in the headers before any write.
+	w.Header().Set("X-Request-Id", rs.rid)
 	defer func() {
 		// The handler's last-resort recover boundary: a panic in the
 		// serving layer itself (the pipeline's runs behind the pool's)
 		// becomes one taxonomy error, never a dead connection.
 		if v := recover(); v != nil {
-			s.writeError(w, Errorf(ClassInternal,
+			s.writeError(w, rs, Errorf(ClassInternal,
 				fmt.Sprintf("panic in request handler: %v", v)), 0)
 			debug.PrintStack()
 		}
-		s.cfg.Metrics.ObserveRequest(time.Since(t0))
-		s.cfg.Trace.RequestSpan(key, tier.String(), t0, outcome, cacheTag, "")
+		s.finish(rs)
 	}()
 
 	if r.Method != http.MethodPost {
-		s.writeError(w, Errorf(ClassInvalid, "POST required"), 0)
+		s.writeError(w, rs, Errorf(ClassInvalid, "POST required"), 0)
 		return
 	}
 	if s.ready.Draining() {
-		s.writeError(w, Errorf(ClassTransient, "server is draining"), 0)
+		s.writeError(w, rs, Errorf(ClassTransient, "server is draining"), 0)
 		return
 	}
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
-		s.writeError(w, Errorf(ClassInvalid, "decode request: "+err.Error()), 0)
+		s.writeError(w, rs, Errorf(ClassInvalid, "decode request: "+err.Error()), 0)
 		return
 	}
 	if t := r.Header.Get("X-Tenant"); t != "" {
 		req.Tenant = t
 	}
+	if c := r.Header.Get("X-Latency-Class"); c != "" {
+		req.Class = c
+	}
 	if b := r.Header.Get("X-Budget-Ms"); b != "" {
 		ms, err := strconv.Atoi(b)
 		if err != nil || ms <= 0 {
-			s.writeError(w, Errorf(ClassInvalid, "bad X-Budget-Ms "+b), 0)
+			s.writeError(w, rs, Errorf(ClassInvalid, "bad X-Budget-Ms "+b), 0)
 			return
 		}
 		req.BudgetMs = ms
 	}
 
+	// Degrade-tier resolution, as its own (instant) child span: which
+	// rung this request was served under, decided before any work.
+	rs.span(s.cfg.Trace, "tier", rs.stageStart(), 0, 0, obs.OutcomeOK, "", rs.tier.String())
+
 	// Shed tier: nothing computes, nothing waits.
-	if tier >= TierShed {
-		s.writeError(w, Errorf(ClassOverload, "degraded to shed tier"), time.Second)
+	if rs.tier >= TierShed {
+		s.writeError(w, rs, Errorf(ClassOverload, "degraded to shed tier"), time.Second)
 		return
 	}
 
-	pr, perr := s.parse(&req, tier)
+	pr, perr := s.parse(&req, rs.tier)
 	if perr != nil {
-		s.writeError(w, perr, 0)
+		s.writeError(w, rs, perr, 0)
 		return
 	}
-	key = pr.key
+	rs.key, rs.tenant, rs.class = pr.key, pr.tenant, pr.class
 
 	// The request budget becomes the context deadline every later stage
 	// inherits: queue waits, pool submission, the DP's slicing rounds,
@@ -297,21 +349,38 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 
 	// Cache-only tier answers before admission: a hit costs no slot, a
 	// miss sheds without queuing.
-	if tier >= TierCacheOnly {
+	if rs.tier >= TierCacheOnly {
+		ct := rs.stageStart()
 		if body, ok := s.cache.peek(pr.key); ok {
-			cacheTag, outcome = "hit", obs.OutcomeOK
-			s.writeBody(w, body, true)
+			rs.cacheTag = "hit"
+			rs.computeDur = rs.span(s.cfg.Trace, "cache", ct, 0, 0, obs.OutcomeOK, "hit", "")
+			s.writeBody(w, rs, body, true)
 			return
 		}
-		s.writeError(w, Errorf(ClassOverload, "degraded to cache-only tier"), time.Second)
+		rs.span(s.cfg.Trace, "cache", ct, 0, 0, obs.OutcomeError, "miss", "cache-only miss")
+		s.writeError(w, rs, Errorf(ClassOverload, "degraded to cache-only tier"), time.Second)
 		return
 	}
 
-	release, retryAfter, aerr := s.adm.admit(ctx, pr.tenant)
-	if aerr != nil {
-		s.writeError(w, aerr, retryAfter)
+	// Admission gate one: the tenant's token bucket.
+	qt := rs.stageStart()
+	if ra, ok := s.adm.takeToken(pr.tenant); !ok {
+		s.adm.shedQuota.Add(1)
+		rs.admitDur += rs.span(s.cfg.Trace, "quota", qt, 0, 0, obs.OutcomeError, "", "over quota")
+		s.writeError(w, rs, Errorf(ClassOverload, "tenant "+pr.tenant+" over quota"), ra)
 		return
 	}
+	rs.admitDur += rs.span(s.cfg.Trace, "quota", qt, 0, 0, obs.OutcomeOK, "", "")
+
+	// Admission gate two: the bounded accept queue.
+	st := rs.stageStart()
+	release, retryAfter, aerr := s.adm.acquireSlot(ctx)
+	if aerr != nil {
+		rs.admitDur += rs.span(s.cfg.Trace, "queue", st, 0, 0, obs.OutcomeError, "", aerr.Message)
+		s.writeError(w, rs, aerr, retryAfter)
+		return
+	}
+	rs.admitDur += rs.span(s.cfg.Trace, "queue", st, 0, 0, obs.OutcomeOK, "", "")
 	defer release()
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
@@ -322,44 +391,117 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	var body []byte
 	var cerr *Error
 	if owner {
-		cacheTag = "miss"
-		body, cerr = s.compute(ctx, pr)
+		rs.cacheTag = "miss"
+		cpt := rs.stageStart()
+		body, cerr = s.compute(ctx, pr, rs)
+		if !cpt.IsZero() {
+			rs.computeDur = time.Since(cpt)
+		}
 		s.cache.settle(pr.key, e, body, cerr)
 	} else {
-		cacheTag = "hit"
+		rs.cacheTag = "hit"
+		wt := rs.stageStart()
 		body, cerr = s.cache.wait(ctx, e)
+		oc := obs.OutcomeOK
+		if cerr != nil {
+			oc = obs.OutcomeError
+		}
+		rs.computeDur = rs.span(s.cfg.Trace, "cache-wait", wt, 0, 0, oc, "hit", "")
 	}
 	if cerr != nil {
-		s.writeError(w, cerr, 0)
+		s.writeError(w, rs, cerr, 0)
 		return
 	}
-	outcome = obs.OutcomeOK
-	s.writeBody(w, body, cacheTag == "hit")
+	s.writeBody(w, rs, body, rs.cacheTag == "hit")
+}
+
+// finish settles one request's accounting exactly once: the end-to-end
+// latency observation, the SLO scoring (2xx and 5xx only — client faults
+// and sheds spend no error budget, see slo.go), the request span, and
+// the access-log line.
+func (s *Server) finish(rs *reqState) {
+	d := time.Since(rs.t0)
+	s.cfg.Metrics.ObserveRequest(d)
+	if rs.status < 400 || rs.status >= 500 {
+		s.slo.observe(rs.class, d, rs.status)
+	}
+	outcome := "ok"
+	if rs.status >= 400 {
+		outcome = rs.detail
+	}
+	s.cfg.Trace.RequestSpan(obs.RequestInfo{
+		ID:      rs.rid,
+		Key:     rs.key,
+		Tenant:  rs.tenant,
+		Class:   rs.class.String(),
+		Tier:    rs.tier.String(),
+		Outcome: rs.outcome,
+		Cache:   rs.cacheTag,
+		Detail:  outcome,
+	}, rs.t0)
+	if s.alog != nil {
+		s.alog.log(AccessRecord{
+			Req:       rs.rid,
+			Tenant:    rs.tenant,
+			Class:     rs.class.String(),
+			Tier:      rs.tier.String(),
+			Status:    rs.status,
+			Outcome:   outcome,
+			Cache:     rs.cacheTag,
+			Key:       rs.key,
+			Retries:   rs.retries,
+			TotalMs:   float64(d) / float64(time.Millisecond),
+			AdmitMs:   float64(rs.admitDur) / float64(time.Millisecond),
+			ComputeMs: float64(rs.computeDur) / float64(time.Millisecond),
+			WriteMs:   float64(rs.writeDur) / float64(time.Millisecond),
+		})
+	}
 }
 
 // writeBody writes a 200 verdict. The body is the cached bit-identical
 // answer; cache status travels in a header so it never perturbs bodies.
-func (s *Server) writeBody(w http.ResponseWriter, body []byte, hit bool) {
+func (s *Server) writeBody(w http.ResponseWriter, rs *reqState, body []byte, hit bool) {
 	s.served.Add(1)
+	rs.status, rs.outcome, rs.detail = http.StatusOK, obs.OutcomeOK, ""
 	w.Header().Set("Content-Type", "application/json")
 	if hit {
 		w.Header().Set("X-Cache", "hit")
 	} else {
 		w.Header().Set("X-Cache", "miss")
 	}
+	wt := rs.stageStart()
 	w.Write(body)
+	rs.writeDur = rs.span(s.cfg.Trace, "write", wt, 0, 0, obs.OutcomeOK, "", "")
 }
 
 // writeError writes the single taxonomy error of a failed request.
-func (s *Server) writeError(w http.ResponseWriter, e *Error, retryAfter time.Duration) {
+func (s *Server) writeError(w http.ResponseWriter, rs *reqState, e *Error, retryAfter time.Duration) {
 	s.failed[classIndex[e.Class]].Add(1)
+	rs.status, rs.outcome, rs.detail = e.Class.Status(), obs.OutcomeError, string(e.Class)
 	w.Header().Set("Content-Type", "application/json")
 	if retryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(int((retryAfter+time.Second-1)/time.Second)))
 	}
+	wt := rs.stageStart()
 	w.WriteHeader(e.Class.Status())
 	json.NewEncoder(w).Encode(ErrorBody{Err: *e})
+	rs.writeDur = rs.span(s.cfg.Trace, "write", wt, 0, 0, obs.OutcomeError, "", string(e.Class))
 }
+
+// handleSLO serves the SLO state as JSON: one entry per latency class
+// with objectives, windowed burn rates, alert state and latency
+// quantiles. The ops-facing twin of the Prometheus families on /metrics.
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Classes []obs.SLOClass `json:"classes"`
+	}{s.slo.snapshot()})
+}
+
+// SLOSnapshot exposes the per-class SLO state (tests, embedding ops).
+func (s *Server) SLOSnapshot() []obs.SLOClass { return s.slo.snapshot() }
 
 // handleMetrics extends the repository's Prometheus exposition with the
 // serving families: active tier, request outcomes by class, shed and
@@ -385,12 +527,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "dlserve_shed_total{gate=\"queue\"} %d\n", s.adm.shedQueue.Load())
 	fmt.Fprintf(w, "# HELP dlserve_ladder_escalations_total Upward tier moves.\n")
 	fmt.Fprintf(w, "# TYPE dlserve_ladder_escalations_total counter\ndlserve_ladder_escalations_total %d\n", s.ladder.Escalations())
+	fmt.Fprintf(w, "# HELP dlserve_tier_transitions_total Tier changes in either direction.\n")
+	fmt.Fprintf(w, "# TYPE dlserve_tier_transitions_total counter\ndlserve_tier_transitions_total %d\n", s.ladder.Transitions())
 	fmt.Fprintf(w, "# HELP dlserve_response_cache_total Content-addressed response cache traffic.\n")
 	fmt.Fprintf(w, "# TYPE dlserve_response_cache_total counter\n")
 	fmt.Fprintf(w, "dlserve_response_cache_total{event=\"hit\"} %d\n", s.cache.hits.Load())
 	fmt.Fprintf(w, "dlserve_response_cache_total{event=\"miss\"} %d\n", s.cache.misses.Load())
 	fmt.Fprintf(w, "# HELP dlserve_retries_total Attempt retries within requests.\n")
 	fmt.Fprintf(w, "# TYPE dlserve_retries_total counter\ndlserve_retries_total %d\n", s.retries.Load())
+	obs.WriteSLOPrometheus(w, s.slo.snapshot())
 }
 
 // errors import anchor (Classify lives in errors.go; keep the import local
